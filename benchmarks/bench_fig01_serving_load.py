@@ -1,0 +1,39 @@
+"""Figure 1 — Online serving GPU cluster load variation.
+
+Paper: a 2-day allocation statistic of an online model-serving cluster
+shows the difference between idle and peak GPU demand reaches ~2,000 GPUs
+— the headroom elastic training can harvest.
+
+Regenerates: the two-day serving-demand series and its idle/peak gap.
+"""
+
+import numpy as np
+
+from repro.sched import MINUTES_PER_DAY, ServingLoadModel
+
+from benchmarks.conftest import print_header, series_line
+
+TOTAL_GPUS = 3000
+
+
+def generate_series():
+    return ServingLoadModel(total_gpus=TOTAL_GPUS, seed=2021).series(2 * MINUTES_PER_DAY)
+
+
+def test_fig01_serving_load_variation(run_once):
+    series = run_once(generate_series)
+
+    print_header("Figure 1: serving-cluster GPU demand over two days")
+    hourly = series.reshape(-1, 60).mean(axis=1)
+    series_line("hourly demand (day 1)", hourly[:24].tolist(), fmt="{:6.0f}")
+    series_line("hourly demand (day 2)", hourly[24:].tolist(), fmt="{:6.0f}")
+
+    gap = int(series.max() - series.min())
+    print(f"\nidle/peak gap: {gap} GPUs (paper: up to ~2,000)")
+    print(f"peak demand:   {int(series.max())}/{TOTAL_GPUS} GPUs")
+    print(f"idle trough:   {int(series.min())}/{TOTAL_GPUS} GPUs")
+
+    # shape assertions: a large diurnal swing, bounded by the cluster
+    assert gap > 1200
+    assert series.max() <= TOTAL_GPUS
+    assert series.min() >= 0

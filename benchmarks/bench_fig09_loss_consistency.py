@@ -1,0 +1,138 @@
+"""Figure 9 — Loss-curve difference of EasyScale and DDP across 3 stages.
+
+Paper: ResNet50 and VGG19 train through stage 0 (4x V100), stage 1
+(2x V100, elasticity), stage 2 (1x V100 + 2x P100, heterogeneity), 100
+mini-batches each.  Plotting EasyScale's last-worker loss minus the DDP
+reference's:
+
+- **D1** is identical to DDP-homo through stages 0-1, diverges in stage 2;
+- **D0** diverges already at stage 1 (bucket mapping lost on restart);
+- **D1+D2** is identical to DDP-heter in *all* stages;
+- **D0+D2** diverges at stage 1 like D0.
+
+Regenerates: the per-stage max |loss difference| for all four determinism
+configurations, for both models, and asserts exactly that zero/non-zero
+pattern.
+"""
+
+import numpy as np
+
+from repro.core import (
+    EasyScaleEngine,
+    EasyScaleJobConfig,
+    WorkerAssignment,
+    determinism_from_label,
+)
+from repro.ddp import DDPTrainer, ddp_heter_config, ddp_homo_config
+from repro.hw import P100, V100
+from repro.models import get_workload
+from repro.optim import SGD
+from repro.utils.fingerprint import fingerprint_state_dict
+
+from benchmarks.conftest import print_header, print_table
+
+SEED = 5
+STEPS_PER_STAGE = 8
+NUM_ESTS = 4
+BATCH = 8
+STAGES = [
+    [V100, V100, V100, V100],
+    [V100, V100],
+    [V100, P100, P100],
+]
+
+
+def sgd(model):
+    return SGD(model.named_parameters(), lr=0.05, momentum=0.9)
+
+
+def ddp_losses(spec, dataset, heter):
+    """Last-worker losses plus the parameter fingerprint at each stage end."""
+    config = (
+        ddp_heter_config(NUM_ESTS, ["v100"] * NUM_ESTS, seed=SEED, batch_size=BATCH)
+        if heter
+        else ddp_homo_config(NUM_ESTS, seed=SEED, batch_size=BATCH)
+    )
+    trainer = DDPTrainer(spec, dataset, config, sgd)
+    digests = []
+    for _ in STAGES:
+        trainer.train_steps(STEPS_PER_STAGE)
+        digests.append(fingerprint_state_dict(trainer.model.state_dict()))
+    return np.array([row[-1] for row in trainer.loss_history]), digests
+
+
+def easyscale_losses(spec, dataset, determinism):
+    config = EasyScaleJobConfig(
+        num_ests=NUM_ESTS,
+        seed=SEED,
+        batch_size=BATCH,
+        determinism=determinism_from_label(determinism),
+    )
+    engine = EasyScaleEngine(
+        spec, dataset, config, sgd, WorkerAssignment.balanced(STAGES[0], NUM_ESTS)
+    )
+    losses = []
+    digests = []
+    for stage_idx, gpus in enumerate(STAGES):
+        if stage_idx > 0:
+            engine = engine.reconfigure(WorkerAssignment.balanced(gpus, NUM_ESTS))
+        losses.extend(engine.train_steps(STEPS_PER_STAGE))
+        digests.append(fingerprint_state_dict(engine.model.state_dict()))
+    return np.array(losses), digests
+
+
+def run_experiment():
+    results = {}
+    for model_name in ("resnet50", "vgg19"):
+        spec = get_workload(model_name)
+        dataset = spec.build_dataset(256, seed=9)
+        ref = {
+            False: ddp_losses(spec, dataset, heter=False),
+            True: ddp_losses(spec, dataset, heter=True),
+        }
+        per_config = {}
+        for determinism in ("D0", "D1", "D0+D2", "D1+D2"):
+            heter = "D2" in determinism
+            ref_losses, ref_digests = ref[heter]
+            losses, digests = easyscale_losses(spec, dataset, determinism)
+            diff = np.abs(losses - ref_losses)
+            stage_max = [
+                float(diff[s * STEPS_PER_STAGE : (s + 1) * STEPS_PER_STAGE].max())
+                for s in range(len(STAGES))
+            ]
+            bitwise = [d == r for d, r in zip(digests, ref_digests)]
+            per_config[determinism] = (stage_max, bitwise)
+        results[model_name] = per_config
+    return results
+
+
+def test_fig09_loss_consistency(run_once):
+    results = run_once(run_experiment)
+
+    for model_name, per_config in results.items():
+        print_header(
+            f"Figure 9 ({model_name}): max |EasyScale loss - DDP loss| per stage"
+        )
+        print_table(
+            ["config", "stage0 4xV100", "stage1 2xV100", "stage2 V100+2xP100", "bitwise", "reference"],
+            [
+                [cfg] + [f"{v:.2e}" for v in stages]
+                + ["/".join("=" if b else "!" for b in bitwise)]
+                + ["DDP-heter" if "D2" in cfg else "DDP-homo"]
+                for cfg, (stages, bitwise) in per_config.items()
+            ],
+            fmt="14",
+        )
+
+    for model_name, per_config in results.items():
+        (_, d0), (_, d1) = per_config["D0"], per_config["D1"]
+        (_, d0d2), (_, d1d2) = per_config["D0+D2"], per_config["D1+D2"]
+        # D1+D2: bitwise identical to DDP-heter in every stage
+        assert d1d2 == [True, True, True], f"{model_name}: D1+D2 must match DDP-heter"
+        # D1: bitwise through the elastic stages, broken by heterogeneity
+        assert d1[:2] == [True, True], f"{model_name}: D1 must survive elasticity"
+        assert d1[2] is False, f"{model_name}: D1 must diverge on heterogeneous GPUs"
+        # D0 family: bitwise only until the first restart
+        assert d0[0] is True and d0d2[0] is True
+        assert d0[1] is False, f"{model_name}: D0 must diverge after checkpoint/restart"
+        assert d0d2[1] is False, f"{model_name}: D0+D2 must diverge after restart"

@@ -1,0 +1,100 @@
+"""Figure 10 — GPU memory and throughput: EasyScale vs worker packing.
+
+Paper: running k workers on one 32 GB V100 via Gandiva-style worker
+packing multiplies CUDA contexts, model replicas, and activations — memory
+grows linearly and OOMs after 8 workers (ResNet50, bs=32) or 2 workers
+(ShuffleNetV2, bs=512).  Packing's aggregate throughput creeps up to
+~1.11x from concurrent kernels.  EasyScale's memory stays flat at any EST
+count and its throughput is flat (slightly below packing's peak).
+
+Regenerates: the memory curves and normalized-throughput bars for both
+models, worker counts 1..16, with OOM points marked.
+"""
+
+import math
+
+from repro.hw import (
+    V100,
+    easyscale_aggregate_throughput,
+    easyscale_memory_gb,
+    max_packed_workers,
+    packing_aggregate_throughput,
+    packing_memory_gb,
+)
+from repro.models import get_workload
+
+from benchmarks.conftest import print_header, print_table
+
+CASES = [("resnet50", 32), ("shufflenetv2", 512)]
+WORKER_COUNTS = [1, 2, 3, 4, 6, 8, 10, 12, 16]
+
+
+def run_experiment():
+    results = {}
+    for name, batch in CASES:
+        spec = get_workload(name)
+        base = packing_aggregate_throughput(spec, V100, 1)
+        rows = []
+        for k in WORKER_COUNTS:
+            packing_mem = packing_memory_gb(spec, k, batch)
+            packing_oom = packing_mem > V100.memory_gb
+            rows.append(
+                {
+                    "workers": k,
+                    "packing_mem": packing_mem,
+                    "packing_oom": packing_oom,
+                    "packing_tp": (
+                        packing_aggregate_throughput(spec, V100, k) / base
+                        if not packing_oom
+                        else float("nan")
+                    ),
+                    "easyscale_mem": easyscale_memory_gb(spec, k, batch),
+                    "easyscale_tp": easyscale_aggregate_throughput(spec, V100, k)
+                    / base
+                    * 1.0,
+                }
+            )
+        results[name] = {
+            "rows": rows,
+            "max_packed": max_packed_workers(spec, V100, batch),
+        }
+    return results
+
+
+def test_fig10_packing_vs_easyscale(run_once):
+    results = run_once(run_experiment)
+
+    for (name, batch), data in zip(CASES, results.values()):
+        print_header(f"Figure 10 ({name}, bs={batch}) on a 32 GB V100")
+        print_table(
+            ["workers", "pack mem GB", "pack tp", "ES mem GB", "ES tp"],
+            [
+                [
+                    r["workers"],
+                    "OOM" if r["packing_oom"] else f"{r['packing_mem']:.1f}",
+                    "-" if r["packing_oom"] else f"{r['packing_tp']:.3f}",
+                    f"{r['easyscale_mem']:.1f}",
+                    f"{r['easyscale_tp']:.3f}",
+                ]
+                for r in data["rows"]
+            ],
+        )
+        print(f"packing OOMs beyond {data['max_packed']} workers")
+
+    resnet = results["resnet50"]
+    shuffle = results["shufflenetv2"]
+    # paper's OOM points
+    assert resnet["max_packed"] == 8
+    assert shuffle["max_packed"] == 2
+    for data in results.values():
+        rows = data["rows"]
+        # EasyScale memory flat (within 15%), never OOM
+        mems = [r["easyscale_mem"] for r in rows]
+        assert max(mems) < V100.memory_gb
+        assert (max(mems) - min(mems)) / min(mems) < 0.15
+        # packing throughput peaks at <= 1.11x of one worker
+        peaks = [r["packing_tp"] for r in rows if not r["packing_oom"]]
+        assert max(peaks) <= 1.11 + 1e-9
+        # EasyScale throughput flat within a few percent
+        es = [r["easyscale_tp"] for r in rows]
+        assert max(es) - min(es) < 0.05

@@ -1,0 +1,96 @@
+"""Figure 11 — The cost of lightweight EST context switching.
+
+Paper: running one EST per GPU with context switching enabled vs disabled
+costs at most 1.9% (Electra) because only determinism-critical state (RNG
+streams, gradient staging) is saved — never model parameters.  Related
+(§5.1.2 text): sharing data workers cuts first-mini-batch latency by 67.1%
+on average by launching 4 instead of 32 loader processes.
+
+Regenerates: the normalized per-iteration time with/without context
+switching for all eight workloads, the measured byte size of a real EST
+context (vs. the model replica it avoids copying), and the data-worker
+sharing latency win.
+"""
+
+from repro.core.est import EasyScaleThread
+from repro.data.dataloader import LoaderTiming
+from repro.hw import V100, context_switch_time, minibatch_time
+from repro.models import TABLE1, get_workload
+from repro.utils.rng import RNGBundle
+from repro.utils.serialization import sizeof_state
+
+from benchmarks.conftest import print_header, print_table
+
+DATA_WORKERS_PER_TRAINER = 4
+NUM_ESTS = 8
+
+
+def run_experiment():
+    rows = []
+    for name in TABLE1:
+        spec = get_workload(name)
+        base = minibatch_time(spec, V100)
+        with_switch = base + context_switch_time(spec, V100)
+        est = EasyScaleThread(0, 0)
+        est.rng.normal((100,))  # a realistically-advanced stream
+        context_bytes = sizeof_state(est.save_context().to_state())
+        model = spec.build_model(RNGBundle(0))
+        mini_replica_bytes = sizeof_state(model.state_dict())
+        rows.append(
+            {
+                "model": name,
+                "overhead": with_switch / base - 1.0,
+                "context_bytes": context_bytes,
+                "mini_replica_bytes": mini_replica_bytes,
+                # the full-size network the mini model stands in for
+                "real_replica_bytes": spec.params_gb * 1e9,
+            }
+        )
+
+    timing = LoaderTiming()
+    naive_workers = DATA_WORKERS_PER_TRAINER * NUM_ESTS
+    shared_latency = timing.first_batch_latency(DATA_WORKERS_PER_TRAINER, batch_size=8)
+    naive_latency = timing.first_batch_latency(naive_workers, batch_size=8)
+    sharing = {
+        "naive_workers": naive_workers,
+        "shared_workers": DATA_WORKERS_PER_TRAINER,
+        "reduction": 1.0 - shared_latency / naive_latency,
+    }
+    return rows, sharing
+
+
+def test_fig11_context_switch_overhead(run_once):
+    rows, sharing = run_once(run_experiment)
+
+    print_header("Figure 11: context-switching overhead per mini-batch")
+    print_table(
+        ["model", "overhead %", "EST context B", "mini replica B", "real replica GB"],
+        [
+            [
+                r["model"],
+                f"{100 * r['overhead']:.2f}",
+                r["context_bytes"],
+                r["mini_replica_bytes"],
+                f"{r['real_replica_bytes'] / 1e9:.3f}",
+            ]
+            for r in rows
+        ],
+        fmt="15",
+    )
+    print(
+        f"\ndata-worker sharing ({NUM_ESTS} ESTs x {DATA_WORKERS_PER_TRAINER} workers):"
+        f" {sharing['naive_workers']} -> {sharing['shared_workers']} workers,"
+        f" first-batch latency -{100 * sharing['reduction']:.1f}%"
+        f"  (paper: -67.1% average)"
+    )
+
+    overheads = {r["model"]: r["overhead"] for r in rows}
+    assert max(overheads.values()) <= 0.019 + 1e-9  # paper's worst case, Electra
+    assert max(overheads, key=overheads.get) == "electra"
+    for r in rows:
+        # the context (a few KB of RNG state) is orders of magnitude
+        # smaller than the full-size replica it avoids copying — that
+        # asymmetry is why switching is cheap at production scale
+        assert r["context_bytes"] < 100_000
+        assert r["context_bytes"] < 1e-3 * r["real_replica_bytes"]
+    assert sharing["reduction"] > 0.6

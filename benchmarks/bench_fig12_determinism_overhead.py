@@ -1,0 +1,103 @@
+"""Figure 12 — The overhead of ensuring accuracy-consistency.
+
+Paper: per-iteration time normalized to stock PyTorch, for each workload
+on V100 / P100 / T4.  D1 (elastic determinism) costs <1% everywhere.
+D1+D2 (hardware-agnostic kernels) also costs ~1% for the GEMM/attention
+models (NeuMF, Bert, Electra, SwinTransformer) but ~236% on average for
+the conv models (ShuffleNetV2, ResNet50, VGG19, YOLOv3), whose vendor
+convolution kernels D2 must disable.
+
+Regenerates: the normalized-time table from the calibrated timing model,
+plus a *measured* wall-clock comparison of the real vendor vs. agnostic
+GEMM kernels on this machine, confirming the slowdown is genuine and not
+just a model constant.
+"""
+
+import time
+
+import numpy as np
+
+from repro.hw import P100, T4, V100, minibatch_time
+from repro.models import TABLE1, get_workload
+from repro.tensor import kernels
+from repro.tensor.kernels import D0_POLICY, D2_POLICY
+
+from benchmarks.conftest import print_header, print_table
+
+GPUS = (V100, P100, T4)
+CONV_MODELS = {"shufflenetv2", "resnet50", "vgg19", "yolov3"}
+
+
+def model_table():
+    rows = []
+    for name in TABLE1:
+        spec = get_workload(name)
+        row = {"model": name}
+        for gpu in GPUS:
+            base = 1.0 / spec.throughput[gpu.name.lower()]
+            row[f"{gpu.name}_d1"] = minibatch_time(spec, gpu, D0_POLICY) / base
+            row[f"{gpu.name}_d1d2"] = minibatch_time(spec, gpu, D2_POLICY) / base
+        rows.append(row)
+    return rows
+
+
+def measure_kernel_slowdown(size=192, repeats=5):
+    """Wall-clock the real NumPy kernels: vendor dialect vs D2 agnostic."""
+    rng = np.random.default_rng(0)
+    a = rng.normal(size=(size, size)).astype(np.float32)
+    b = rng.normal(size=(size, size)).astype(np.float32)
+
+    def clock(policy):
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            for _ in range(20):
+                kernels.matmul(a, b, dialect="p100", policy=policy)
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    vendor = clock(D0_POLICY)
+    agnostic = clock(D2_POLICY)
+    return agnostic / vendor
+
+
+def run_experiment():
+    return model_table(), measure_kernel_slowdown()
+
+
+def test_fig12_determinism_overhead(run_once):
+    rows, measured_slowdown = run_once(run_experiment)
+
+    print_header("Figure 12: per-iteration time normalized to stock PyTorch")
+    print_table(
+        ["model"]
+        + [f"{g.name} {lvl}" for g in GPUS for lvl in ("D1", "D1+D2")],
+        [
+            [r["model"]]
+            + [f"{r[f'{g.name}_{k}']:.3f}" for g in GPUS for k in ("d1", "d1d2")]
+            for r in rows
+        ],
+        fmt="11",
+    )
+
+    conv_overhead = np.mean(
+        [r["V100_d1d2"] - 1.0 for r in rows if r["model"] in CONV_MODELS]
+    )
+    light_overhead = np.mean(
+        [r["V100_d1d2"] - 1.0 for r in rows if r["model"] not in CONV_MODELS]
+    )
+    print(f"\nD1+D2 mean overhead: conv models +{100 * conv_overhead:.0f}% "
+          f"(paper: +236%), others +{100 * light_overhead:.1f}% (paper: <1%)")
+    print(f"measured agnostic-vs-vendor GEMM slowdown on this host: "
+          f"x{measured_slowdown:.2f} (the D2 cost is a real kernel property)")
+
+    for r in rows:
+        for gpu in GPUS:
+            assert r[f"{gpu.name}_d1"] < 1.01, "D1 must stay under 1%"
+            if r["model"] in CONV_MODELS:
+                assert r[f"{gpu.name}_d1d2"] > 2.0
+            else:
+                assert r[f"{gpu.name}_d1d2"] < 1.02
+    # min-of-5 repeats makes this robust to background load; the observed
+    # ratio is ~2x, so 1.1 leaves wide margin while still proving the cost
+    assert measured_slowdown > 1.1, "agnostic split-K GEMM should be measurably slower"

@@ -1,0 +1,77 @@
+"""Figure 14 — Trace experiment: JCT and makespan vs YARN-CS.
+
+Paper: replaying a Philly-style trace on a 64-GPU cluster (32 V100 +
+16 P100 + 16 T4), EasyScale-homo improves average JCT by 8.3x and
+makespan by 2.5x over YARN's capacity scheduler; EasyScale-heter reaches
+13.2x / 2.8x by also harvesting other GPU types.
+
+Regenerates: the JCT/makespan bars for the three schedulers on the same
+trace.  Absolute ratios depend on the trace draw; the asserted shape is
+decisive EasyScale wins on both metrics, with heter >= homo on JCT.
+"""
+
+from repro.hw import microbench_cluster
+from repro.sched import (
+    ClusterSimulator,
+    EasyScalePolicy,
+    YarnCapacityScheduler,
+    generate_trace,
+)
+
+from benchmarks.conftest import print_header, print_table
+
+TRACE = dict(
+    num_jobs=60,
+    seed=4,
+    mean_interarrival_s=45,
+    mean_duration_s=1500,
+    burst_fraction=0.5,
+    type_weights={"v100": 0.3, "p100": 0.4, "t4": 0.3},
+    demand=[(1, 0.3), (2, 0.2), (4, 0.2), (8, 0.18), (16, 0.12)],
+    duration_sigma=1.1,
+    max_duration_factor=20,
+)
+
+
+def run_experiment():
+    jobs = generate_trace(**TRACE)
+    results = {}
+    for policy in (YarnCapacityScheduler(), EasyScalePolicy(False), EasyScalePolicy(True)):
+        results[policy.name] = ClusterSimulator(microbench_cluster(), jobs, policy).run()
+    return results
+
+
+def test_fig14_trace_jct_makespan(run_once):
+    results = run_once(run_experiment)
+
+    yarn = results["yarn-cs"]
+    homo = results["easyscale-homo"]
+    heter = results["easyscale-heter"]
+
+    print_header("Figure 14: average JCT and makespan (64-GPU trace)")
+    print_table(
+        ["scheduler", "avg JCT (s)", "makespan (s)", "JCT vs YARN", "makespan vs YARN"],
+        [
+            [
+                name,
+                f"{r.average_jct:.0f}",
+                f"{r.makespan:.0f}",
+                f"x{yarn.average_jct / r.average_jct:.1f}",
+                f"x{yarn.makespan / r.makespan:.2f}",
+            ]
+            for name, r in results.items()
+        ],
+        fmt="16",
+    )
+    print(
+        "\npaper: EasyScale-homo x8.3 JCT / x2.5 makespan; "
+        "EasyScale-heter x13.2 / x2.8"
+    )
+
+    for result in results.values():
+        assert len(result.completed) == TRACE["num_jobs"]
+    assert homo.average_jct < yarn.average_jct / 3
+    assert heter.average_jct < yarn.average_jct / 3
+    assert homo.makespan < yarn.makespan / 1.5
+    assert heter.makespan < yarn.makespan / 1.5
+    assert heter.average_jct <= homo.average_jct * 1.05

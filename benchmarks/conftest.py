@@ -1,0 +1,50 @@
+"""Shared helpers for the figure/table regeneration benchmarks.
+
+Every ``bench_figXX`` module regenerates one figure or table from the
+paper's evaluation section: it runs the experiment through the public API,
+prints the same rows/series the paper reports (shape, not absolute
+numbers), and asserts the qualitative claims (who wins, where the
+crossovers are).  ``pytest benchmarks/ --benchmark-only`` runs them all.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+import pytest
+
+
+def print_header(title: str) -> None:
+    bar = "=" * max(len(title), 20)
+    print(f"\n{bar}\n{title}\n{bar}")
+
+
+def print_table(headers: Sequence[str], rows: Iterable[Sequence[object]], fmt: str = "10") -> None:
+    widths = [max(len(str(h)), int(fmt)) for h in headers]
+    print("  ".join(str(h).rjust(w) for h, w in zip(headers, widths)))
+    for row in rows:
+        cells = []
+        for value, width in zip(row, widths):
+            if isinstance(value, float):
+                cells.append(f"{value:.4g}".rjust(width))
+            else:
+                cells.append(str(value).rjust(width))
+        print("  ".join(cells))
+
+
+def series_line(label: str, values: Sequence[float], fmt: str = "{:8.4f}") -> None:
+    print(f"{label:24s} " + " ".join(fmt.format(v) for v in values))
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment exactly once under pytest-benchmark accounting.
+
+    The regenerators are deterministic simulations, not micro-kernels, so a
+    single round is both sufficient and honest.
+    """
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

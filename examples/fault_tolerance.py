@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Fault tolerance: survive preemption via on-demand disk checkpoints.
+
+The production scenario of §5.3: an EasyScale job runs as a best-effort
+tenant on a serving cluster.  A serving spike preempts *all* of its GPUs —
+the paper's point is that this is not a failure (gang-scheduled Sync-SGD
+jobs abort here; 61.7% of >8-GPU job failures in CompanyA's cluster were
+resource revocations).  The job checkpoints in seconds, waits, and later
+resumes on whatever GPUs exist — here a single T4 where it had 4 V100s —
+with bitwise-identical training state (D1+D2).
+
+Run:  python examples/fault_tolerance.py
+"""
+
+import os
+import tempfile
+
+from repro.core import (
+    Checkpoint,
+    EasyScaleEngine,
+    EasyScaleJobConfig,
+    WorkerAssignment,
+    determinism_from_label,
+)
+from repro.ddp import DDPTrainer, ddp_heter_config
+from repro.hw import T4, V100
+from repro.models import get_workload
+from repro.optim import SGD
+from repro.utils.fingerprint import fingerprint_state_dict
+
+SEED = 13
+
+
+def make_optimizer(model):
+    return SGD(model.named_parameters(), lr=0.03, momentum=0.9)
+
+
+def main() -> None:
+    spec = get_workload("bert")
+    dataset = spec.build_dataset(256, seed=SEED)
+
+    # the uninterrupted reference (what the job *should* compute)
+    reference = DDPTrainer(
+        spec, dataset, ddp_heter_config(4, ["v100"] * 4, seed=SEED, batch_size=4),
+        make_optimizer,
+    )
+    reference.train_steps(10)
+
+    # --- phase 1: the job runs on 4 V100s of the serving cluster -------
+    config = EasyScaleJobConfig(
+        num_ests=4, seed=SEED, batch_size=4, determinism=determinism_from_label("D1+D2")
+    )
+    engine = EasyScaleEngine(
+        spec, dataset, config, make_optimizer, WorkerAssignment.balanced([V100] * 4, 4)
+    )
+    engine.train_steps(6)
+    print(f"trained 6 global steps on 4x V100 (sim time {engine.sim_time:.1f}s)")
+
+    # --- preemption: serving needs every GPU back, NOW ------------------
+    with tempfile.TemporaryDirectory() as tmpdir:
+        ckpt_path = os.path.join(tmpdir, "job.ckpt")
+        engine.checkpoint().save(ckpt_path)
+        size_kb = os.path.getsize(ckpt_path) / 1024
+        print(f"serving spike: all GPUs revoked; checkpointed to disk ({size_kb:.1f} KB)")
+        del engine  # the processes are gone
+
+        # --- phase 2: hours later, one T4 frees up ----------------------
+        restored = Checkpoint.load(ckpt_path)
+        engine = EasyScaleEngine.from_checkpoint(
+            spec, dataset, restored, make_optimizer, WorkerAssignment.balanced([T4], 4)
+        )
+        print(f"resumed at global step {engine.global_step} on 1x T4 (4 ESTs time-slicing)")
+        engine.train_steps(4)
+
+    ours = fingerprint_state_dict(engine.model.state_dict())
+    ref = fingerprint_state_dict(reference.model.state_dict())
+    print(f"\nreference (4x V100, never interrupted): {ref[:32]}...")
+    print(f"preempted job (4x V100 -> disk -> 1x T4): {ours[:32]}...")
+    if ours == ref:
+        print("bitwise IDENTICAL: the preemption is invisible in the model.")
+    else:
+        raise SystemExit("mismatch: restore broke determinism!")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Quickstart: train elastically, scale in twice, stay bitwise-consistent.
+
+Demonstrates the EasyScale headline property on a mini ResNet-18:
+
+1. train a DDP reference job on 4 fixed (simulated) V100 GPUs;
+2. train the same job with EasyScale (4 ESTs), scaling 4 GPUs -> 2 -> 1
+   mid-training via on-demand checkpoints;
+3. verify the final model parameters are bitwise identical.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import EasyScaleEngine, EasyScaleJobConfig, WorkerAssignment
+from repro.ddp import DDPTrainer, ddp_homo_config
+from repro.hw import V100
+from repro.models import get_workload
+from repro.optim import SGD
+from repro.utils.fingerprint import fingerprint_state_dict
+
+SEED = 7
+STEPS = 12
+
+
+def make_optimizer(model):
+    return SGD(model.named_parameters(), lr=0.05, momentum=0.9)
+
+
+def main() -> None:
+    spec = get_workload("resnet18")
+    dataset = spec.build_dataset(512, seed=SEED)
+
+    # --- reference: plain DDP on 4 fixed GPUs -------------------------
+    print("training DDP reference on 4x V100 ...")
+    ddp = DDPTrainer(
+        spec, dataset, ddp_homo_config(world_size=4, seed=SEED, batch_size=8), make_optimizer
+    )
+    ddp_losses = ddp.train_steps(STEPS)
+    ddp_digest = fingerprint_state_dict(ddp.model.state_dict())
+
+    # --- EasyScale: same job, elastic 4 -> 2 -> 1 GPUs ----------------
+    print("training EasyScale with 4 ESTs, scaling 4 -> 2 -> 1 GPUs ...")
+    config = EasyScaleJobConfig(num_ests=4, seed=SEED, batch_size=8)
+    engine = EasyScaleEngine(
+        spec, dataset, config, make_optimizer, WorkerAssignment.balanced([V100] * 4, 4)
+    )
+    losses = engine.train_steps(4)
+    engine = engine.reconfigure(WorkerAssignment.balanced([V100] * 2, 4))  # scale in
+    losses += engine.train_steps(4)
+    engine = engine.reconfigure(WorkerAssignment.balanced([V100] * 1, 4))  # scale in again
+    losses += engine.train_steps(4)
+    es_digest = fingerprint_state_dict(engine.model.state_dict())
+
+    # --- compare -------------------------------------------------------
+    print(f"\n{'step':>4}  {'DDP loss':>10}  {'EasyScale loss':>14}")
+    for i, (a, b) in enumerate(zip(ddp_losses, losses)):
+        print(f"{i:>4}  {a:>10.6f}  {b:>14.6f}")
+    print(f"\nDDP model digest       : {ddp_digest[:32]}...")
+    print(f"EasyScale model digest : {es_digest[:32]}...")
+    if ddp_digest == es_digest:
+        print("\nbitwise IDENTICAL: elasticity did not change a single bit.")
+    else:
+        raise SystemExit("mismatch: determinism broken!")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""EasyScale reproduction (SC '23): elastic training with consistent
+accuracy and improved utilization on (simulated) GPUs.
+
+Public API tour
+---------------
+- :mod:`repro.tensor` / :mod:`repro.nn` / :mod:`repro.optim` — the
+  NumPy-backed training substrate (autograd, layers, optimizers) with a
+  device-dialect kernel registry.
+- :mod:`repro.data` — synthetic datasets, virtual-rank sampling, shared
+  data workers with the Fig. 7 queuing buffer.
+- :mod:`repro.models` — the eight Table-1 workloads, scaled down.
+- :mod:`repro.hw` — simulated V100/P100/T4 devices, memory and timing
+  models, cluster inventories.
+- :mod:`repro.comm` / :mod:`repro.ddp` — ring all-reduce with faithful
+  float32 association, gradient bucketing, and the DDP baseline.
+- :mod:`repro.elastic` — TorchElastic-like and Pollux-like baselines.
+- :mod:`repro.core` — EasyScale itself: ESTs, D0/D1/D2 determinism,
+  ElasticDDP, on-demand checkpoints, the elastic engine.
+- :mod:`repro.sched` — Eq. (1) performance model, companion plan DB,
+  intra-/inter-job schedulers, trace and co-location simulators.
+
+Quickstart::
+
+    from repro.core import EasyScaleEngine, EasyScaleJobConfig, WorkerAssignment
+    from repro.models import get_workload
+    from repro.optim import SGD
+    from repro.hw import V100
+
+    spec = get_workload("resnet18")
+    engine = EasyScaleEngine(
+        spec,
+        spec.build_dataset(512, seed=1),
+        EasyScaleJobConfig(num_ests=4, seed=1),
+        lambda m: SGD(m.named_parameters(), lr=0.05, momentum=0.9),
+        WorkerAssignment.balanced([V100] * 4, 4),
+    )
+    engine.train_steps(10)
+    engine = engine.reconfigure(WorkerAssignment.balanced([V100], 4))  # scale in
+    engine.train_steps(10)  # bitwise identical to uninterrupted training
+"""
+
+__version__ = "1.0.0"

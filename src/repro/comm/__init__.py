@@ -1,0 +1,21 @@
+"""Simulated collective communication: allreduce algorithms + bucketing."""
+
+from repro.comm.allreduce import (
+    ALGORITHMS,
+    allreduce_mean,
+    ring_allreduce_sum,
+    sequential_allreduce_sum,
+    tree_allreduce_sum,
+)
+from repro.comm.bucketing import BucketAssignment, build_initial_buckets, rebuild_from_arrival
+
+__all__ = [
+    "ALGORITHMS",
+    "allreduce_mean",
+    "ring_allreduce_sum",
+    "tree_allreduce_sum",
+    "sequential_allreduce_sum",
+    "BucketAssignment",
+    "build_initial_buckets",
+    "rebuild_from_arrival",
+]

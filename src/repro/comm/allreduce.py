@@ -1,0 +1,99 @@
+"""All-reduce algorithms with faithful float32 association.
+
+NCCL's ring all-reduce reduce-scatters a flat buffer: the buffer is split
+into ``world_size`` chunks, and chunk ``c`` is accumulated around the ring
+starting from a different rank.  Two consequences the paper leans on:
+
+1. For a *fixed* world size and buffer layout the result is deterministic
+   (so plain DDP satisfies D0);
+2. Changing the world size — or re-laying-out the buffer (bucket rebuild)
+   — changes which partial sums associate, flipping low-order float32 bits
+   (so elasticity breaks determinism unless D1 pins both).
+
+We reproduce this exactly: the accumulation below is elementwise float32
+in the same chunk/rank order a ring would produce.  EasyScale's ElasticDDP
+calls the same function over **virtual-rank** gradient sets, so its result
+is bitwise what DDP-with-nEST-GPUs would compute, on any physical layout.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+
+def _check_inputs(grads: Sequence[np.ndarray]) -> List[np.ndarray]:
+    if not grads:
+        raise ValueError("allreduce needs at least one rank")
+    first = grads[0]
+    out = []
+    for g in grads:
+        g = np.asarray(g, dtype=np.float32).reshape(-1)
+        if g.shape != np.asarray(first).reshape(-1).shape:
+            raise ValueError("all ranks must contribute equally-shaped flat buffers")
+        out.append(g)
+    return out
+
+
+def ring_allreduce_sum(grads: Sequence[np.ndarray]) -> np.ndarray:
+    """Ring reduce-scatter association over a flat float32 buffer.
+
+    Chunk ``c`` (of ``world`` chunks) accumulates in rank order
+    ``c+1, c+2, ..., c`` starting from rank ``c+1``'s value — matching the
+    data movement of a ring: each rank forwards its partial sum to the next.
+    """
+    flats = _check_inputs(grads)
+    world = len(flats)
+    n = flats[0].size
+    out = np.empty(n, dtype=np.float32)
+    # chunk boundaries: world near-equal chunks (like NCCL)
+    bounds = np.linspace(0, n, world + 1).astype(np.int64)
+    for c in range(world):
+        lo, hi = int(bounds[c]), int(bounds[c + 1])
+        if lo == hi:
+            continue
+        acc = flats[(c + 1) % world][lo:hi].copy()
+        for step in range(2, world + 1):
+            rank = (c + step) % world
+            acc = acc + flats[rank][lo:hi]
+        out[lo:hi] = acc
+    return out
+
+
+def tree_allreduce_sum(grads: Sequence[np.ndarray]) -> np.ndarray:
+    """Binary-tree pairwise association (NCCL tree algorithm)."""
+    flats = _check_inputs(grads)
+    level = flats
+    while len(level) > 1:
+        nxt = []
+        for i in range(0, len(level) - 1, 2):
+            nxt.append(level[i] + level[i + 1])
+        if len(level) % 2:
+            nxt.append(level[-1])
+        level = nxt
+    return level[0].copy()
+
+
+def sequential_allreduce_sum(grads: Sequence[np.ndarray]) -> np.ndarray:
+    """Strict rank-order left fold (the simplest canonical association)."""
+    flats = _check_inputs(grads)
+    acc = flats[0].copy()
+    for g in flats[1:]:
+        acc = acc + g
+    return acc
+
+
+ALGORITHMS = {
+    "ring": ring_allreduce_sum,
+    "tree": tree_allreduce_sum,
+    "sequential": sequential_allreduce_sum,
+}
+
+
+def allreduce_mean(grads: Sequence[np.ndarray], algorithm: str = "ring") -> np.ndarray:
+    """Sum with the chosen association, then divide by world size (DDP avg)."""
+    if algorithm not in ALGORITHMS:
+        raise KeyError(f"unknown allreduce algorithm {algorithm!r}")
+    total = ALGORITHMS[algorithm](grads)
+    return total / np.float32(len(grads))

@@ -1,0 +1,129 @@
+"""Gradient bucketing (PyTorch DDP semantics) and its D1 fix.
+
+DDP gathers gradients into fixed-capacity buckets for fewer, larger
+all-reduces.  The mapping of parameters to buckets starts as the *reverse
+registration (≈ reverse topological) order* and is **rebuilt at the end of
+the first mini-batch** according to the order gradients actually became
+ready during backward (§3.3, "communication mechanism").
+
+Under elasticity the workers restart, channels are rebuilt, and the bucket
+layout can end up different — changing flat-buffer element positions, and
+with them the ring association, and with *that* the model bits.  D1's fix:
+store the bucket index mapping in the checkpoint, reinstate it on restore,
+and disable reconstruction.  Both the broken and the fixed path are
+implemented here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass
+class BucketAssignment:
+    """Ordered buckets of parameter names, with flatten/unflatten."""
+
+    buckets: List[List[str]]
+
+    def __post_init__(self) -> None:
+        seen = set()
+        for bucket in self.buckets:
+            for name in bucket:
+                if name in seen:
+                    raise ValueError(f"parameter {name!r} appears in multiple buckets")
+                seen.add(name)
+        if not seen:
+            raise ValueError("bucket assignment is empty")
+
+    @property
+    def all_names(self) -> List[str]:
+        return [name for bucket in self.buckets for name in bucket]
+
+    def flatten_bucket(
+        self, bucket_idx: int, grads: Mapping[str, np.ndarray]
+    ) -> np.ndarray:
+        """Concatenate one bucket's gradients into a flat float32 buffer."""
+        parts = [np.asarray(grads[name], dtype=np.float32).reshape(-1) for name in self.buckets[bucket_idx]]
+        return np.concatenate(parts)
+
+    def unflatten_bucket(
+        self,
+        bucket_idx: int,
+        flat: np.ndarray,
+        shapes: Mapping[str, Tuple[int, ...]],
+    ) -> Dict[str, np.ndarray]:
+        out: Dict[str, np.ndarray] = {}
+        offset = 0
+        for name in self.buckets[bucket_idx]:
+            size = int(np.prod(shapes[name]))
+            out[name] = flat[offset : offset + size].reshape(shapes[name])
+            offset += size
+        if offset != flat.size:
+            raise ValueError(f"bucket {bucket_idx} flat size mismatch: {offset} vs {flat.size}")
+        return out
+
+    def to_state(self) -> List[List[str]]:
+        """Serializable form, recorded in D1 checkpoints."""
+        return [list(bucket) for bucket in self.buckets]
+
+    @classmethod
+    def from_state(cls, state: Sequence[Sequence[str]]) -> "BucketAssignment":
+        return cls([list(bucket) for bucket in state])
+
+
+def build_initial_buckets(
+    param_order: Sequence[str],
+    param_sizes: Mapping[str, int],
+    capacity_elems: int = 2048,
+) -> BucketAssignment:
+    """Initial DDP mapping: reverse registration order, capacity-capped.
+
+    PyTorch's default capacity is 25 MB; ``capacity_elems`` plays that role
+    at mini-model scale so models still produce several buckets.
+    """
+    if capacity_elems <= 0:
+        raise ValueError("capacity must be positive")
+    buckets: List[List[str]] = []
+    current: List[str] = []
+    used = 0
+    for name in reversed(list(param_order)):
+        size = param_sizes[name]
+        if current and used + size > capacity_elems:
+            buckets.append(current)
+            current = []
+            used = 0
+        current.append(name)
+        used += size
+    if current:
+        buckets.append(current)
+    return BucketAssignment(buckets)
+
+
+def rebuild_from_arrival(
+    arrival_order: Sequence[str],
+    param_sizes: Mapping[str, int],
+    capacity_elems: int = 2048,
+) -> BucketAssignment:
+    """Post-first-iteration rebuild by gradient readiness order."""
+    expected = set(param_sizes)
+    got = list(arrival_order)
+    if set(got) != expected:
+        missing = expected - set(got)
+        raise ValueError(f"arrival order missing parameters: {sorted(missing)[:5]}")
+    buckets: List[List[str]] = []
+    current: List[str] = []
+    used = 0
+    for name in got:
+        size = param_sizes[name]
+        if current and used + size > capacity_elems:
+            buckets.append(current)
+            current = []
+            used = 0
+        current.append(name)
+        used += size
+    if current:
+        buckets.append(current)
+    return BucketAssignment(buckets)

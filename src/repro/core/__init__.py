@@ -1,0 +1,37 @@
+"""EasyScale core: ESTs, determinism levels, ElasticDDP, engine, checkpoints."""
+
+from repro.core.checkpoint import Checkpoint
+from repro.core.determinism import (
+    DeterminismConfig,
+    ScanReport,
+    allowed_gpu_heterogeneity,
+    determinism_from_label,
+    scan_model,
+)
+from repro.core.elastic_ddp import ElasticDDP
+from repro.core.engine import EasyScaleEngine, EasyScaleJobConfig, WorkerAssignment
+from repro.core.est import EasyScaleThread, ESTContext, est_rng
+from repro.core.porting import PortedTrainingSession
+from repro.core.selftest import SelfTestReport, run_selftest
+from repro.core.worker import EasyScaleWorker, LocalStepResult
+
+__all__ = [
+    "Checkpoint",
+    "DeterminismConfig",
+    "ScanReport",
+    "scan_model",
+    "allowed_gpu_heterogeneity",
+    "determinism_from_label",
+    "ElasticDDP",
+    "EasyScaleEngine",
+    "EasyScaleJobConfig",
+    "WorkerAssignment",
+    "EasyScaleThread",
+    "ESTContext",
+    "est_rng",
+    "EasyScaleWorker",
+    "LocalStepResult",
+    "PortedTrainingSession",
+    "SelfTestReport",
+    "run_selftest",
+]

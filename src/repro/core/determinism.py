@@ -1,0 +1,118 @@
+"""Determinism levels D0 / D1 / D2 and the model eligibility scanner.
+
+The paper defines three nested guarantees (§3.3):
+
+- **D0 (static)** — same bits across runs on a *fixed* number of GPUs:
+  fixed RNG seeds, RNG states checkpointed, profiling autotune off,
+  deterministic (non-atomic) kernels.
+- **D1 (elastic)** — same bits across *different GPU counts*: D0 plus
+  constant virtual communication ranks and the gradient-bucket mapping
+  recorded in checkpoints (bucket reconstruction disabled on restore).
+- **D2 (heterogeneous)** — same bits across *different GPU types*: D1's
+  kernels replaced by hardware-agnostic implementations (pinned algo_id,
+  fixed SM/thread shapes).
+
+D0 and D1 are on by default (negligible overhead); D2 is costly for
+conv-heavy models, so :func:`scan_model` inspects the module tree — the
+analogue of EasyScale scanning ``nn.Module`` — and reports whether a model
+relies on vendor-optimized convolution kernels.  The scheduler uses the
+report to keep non-eligible jobs on homogeneous GPUs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.nn.layers import Conv2d
+from repro.nn.module import Module
+from repro.tensor.kernels import BASELINE_POLICY, D0_POLICY, D2_POLICY, KernelPolicy
+
+
+@dataclass(frozen=True)
+class DeterminismConfig:
+    """Which guarantees a job requests.
+
+    ``static`` → D0, ``elastic`` → D1 (implies static), ``heterogeneous``
+    → D2 (implies static; combinable with or without elastic, matching the
+    paper's D0+D2 / D1+D2 configurations in Fig. 9).
+    """
+
+    static: bool = True
+    elastic: bool = True
+    heterogeneous: bool = False
+
+    def __post_init__(self) -> None:
+        if (self.elastic or self.heterogeneous) and not self.static:
+            raise ValueError("D1/D2 require D0 (static determinism)")
+
+    @property
+    def kernel_policy(self) -> KernelPolicy:
+        if not self.static:
+            return BASELINE_POLICY
+        return D2_POLICY if self.heterogeneous else D0_POLICY
+
+    @property
+    def record_bucket_mapping(self) -> bool:
+        """D1's checkpoint ingredient."""
+        return self.elastic
+
+    @property
+    def label(self) -> str:
+        if not self.static:
+            return "baseline"
+        name = "D1" if self.elastic else "D0"
+        return f"{name}+D2" if self.heterogeneous else name
+
+
+def determinism_from_label(label: str) -> DeterminismConfig:
+    """Parse the paper's configuration names: D0, D1, D0+D2, D1+D2."""
+    normalized = label.strip().upper().replace(" ", "")
+    mapping = {
+        "BASELINE": DeterminismConfig(static=False, elastic=False, heterogeneous=False),
+        "D0": DeterminismConfig(static=True, elastic=False, heterogeneous=False),
+        "D1": DeterminismConfig(static=True, elastic=True, heterogeneous=False),
+        "D0+D2": DeterminismConfig(static=True, elastic=False, heterogeneous=True),
+        "D1+D2": DeterminismConfig(static=True, elastic=True, heterogeneous=True),
+    }
+    if normalized not in mapping:
+        raise KeyError(f"unknown determinism label {label!r}; options: {sorted(mapping)}")
+    return mapping[normalized]
+
+
+@dataclass
+class ScanReport:
+    """Result of scanning a model for vendor-kernel reliance."""
+
+    vendor_kernel_modules: List[str] = field(default_factory=list)
+
+    @property
+    def relies_on_vendor_kernels(self) -> bool:
+        return bool(self.vendor_kernel_modules)
+
+    @property
+    def d2_recommended(self) -> bool:
+        """Cheap to enable D2?  True when no conv kernels are involved."""
+        return not self.relies_on_vendor_kernels
+
+
+def scan_model(model: Module) -> ScanReport:
+    """Walk the module tree looking for operators whose fast path is a
+    vendor-tuned kernel (convolutions).  GEMM-only models (transformers,
+    MLPs) have cheap deterministic implementations and pass the scan."""
+    report = ScanReport()
+    for name, module in model.named_modules():
+        if isinstance(module, Conv2d):
+            report.vendor_kernel_modules.append(name or type(module).__name__)
+    return report
+
+
+def allowed_gpu_heterogeneity(model: Module, config: DeterminismConfig) -> bool:
+    """May this job be scheduled across GPU types?
+
+    True iff D2 is requested *and* either the model passes the scan or the
+    user explicitly accepts the conv D2 overhead (requesting heterogeneous
+    is that acceptance; the scheduler additionally prefers homogeneous
+    plans for conv-heavy jobs — §3.3 last paragraph).
+    """
+    return config.heterogeneous

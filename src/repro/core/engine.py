@@ -1,0 +1,402 @@
+"""EasyScaleEngine: elastic, accuracy-consistent training (§3.2–3.3).
+
+The engine ties the pieces together: ``nEST`` logical workers execute on
+however many physical workers the current :class:`WorkerAssignment`
+provides, gradients are synchronized over virtual ranks by
+:class:`~repro.core.elastic_ddp.ElasticDDP`, and on every resource change
+an on-demand checkpoint carries the EST contexts + extra states + the
+single parameter replica to the new configuration.
+
+The headline contract, asserted by the integration tests: for a job with
+``nEST = n`` under D1 (homogeneous) or D1+D2 (heterogeneous), the model
+parameters after any schedule of scale-in/scale-out events are **bitwise
+identical** to DDP training with ``n`` fixed GPUs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.checkpoint import Checkpoint
+from repro.core.determinism import DeterminismConfig, determinism_from_label
+from repro.core.elastic_ddp import ElasticDDP
+from repro.core.est import EasyScaleThread
+from repro.core.worker import EasyScaleWorker
+from repro.data.dataloader import SharedDataLoader
+from repro.data.datasets import Dataset
+from repro.data.transforms import Transform
+from repro.hw.gpu import GPUType, gpu_type
+from repro.models.registry import WorkloadSpec
+from repro.nn.module import Module
+from repro.optim.lr_scheduler import LRScheduler
+from repro.optim.optimizer import Optimizer
+from repro.utils.rng import RNGBundle, derive_seed
+from repro.utils.telemetry import RunLog
+
+
+@dataclass(frozen=True)
+class WorkerAssignment:
+    """The EST-to-GPU mapping configuration produced by the intra-job scheduler.
+
+    ``gpus[i]`` is worker ``i``'s device type; ``est_map[i]`` lists the
+    virtual ranks hosted by worker ``i``.  Together the map must cover
+    virtual ranks 0..nEST-1 exactly once.
+    """
+
+    gpus: Sequence[GPUType]
+    est_map: Sequence[Sequence[int]]
+
+    def __post_init__(self) -> None:
+        if len(self.gpus) != len(self.est_map):
+            raise ValueError("one EST list per GPU required")
+        if not self.gpus:
+            raise ValueError("assignment needs at least one worker")
+        flat = [v for slice_ in self.est_map for v in slice_]
+        if sorted(flat) != list(range(len(flat))):
+            raise ValueError(f"EST map must cover ranks 0..n-1 exactly once, got {flat}")
+        if any(not slice_ for slice_ in self.est_map):
+            raise ValueError("every worker must host at least one EST")
+
+    @property
+    def num_ests(self) -> int:
+        return sum(len(s) for s in self.est_map)
+
+    @property
+    def num_workers(self) -> int:
+        return len(self.gpus)
+
+    @classmethod
+    def balanced(cls, gpus: Sequence[GPUType], num_ests: int) -> "WorkerAssignment":
+        """Contiguous, capability-agnostic split of ESTs over workers."""
+        if not gpus:
+            raise ValueError("need at least one GPU")
+        if num_ests < len(gpus):
+            raise ValueError(f"{num_ests} ESTs cannot occupy {len(gpus)} workers")
+        base, rem = divmod(num_ests, len(gpus))
+        est_map: List[List[int]] = []
+        cursor = 0
+        for i in range(len(gpus)):
+            count = base + (1 if i < rem else 0)
+            est_map.append(list(range(cursor, cursor + count)))
+            cursor += count
+        return cls(gpus=tuple(gpus), est_map=tuple(tuple(s) for s in est_map))
+
+    @classmethod
+    def named(cls, names: Sequence[str], num_ests: int) -> "WorkerAssignment":
+        """Convenience: balanced assignment from GPU type names."""
+        return cls.balanced([gpu_type(n) for n in names], num_ests)
+
+
+@dataclass
+class EasyScaleJobConfig:
+    """Job-level configuration fixed at submission (model-designing stage)."""
+
+    num_ests: int
+    seed: int = 0
+    determinism: DeterminismConfig = field(
+        default_factory=lambda: determinism_from_label("D1")
+    )
+    batch_size: int = 8
+    bucket_capacity_elems: int = 2048
+    allreduce_algorithm: str = "ring"
+    num_data_workers: int = 2
+    validate_memory: bool = False
+    #: gradient accumulation per EST (activation memory shrinks by the
+    #: same factor — lets big effective batches fit small GPUs)
+    micro_batches: int = 1
+
+    def __post_init__(self) -> None:
+        if self.num_ests <= 0:
+            raise ValueError("num_ests must be positive")
+        if self.micro_batches <= 0:
+            raise ValueError("micro_batches must be positive")
+        if self.batch_size % self.micro_batches != 0:
+            raise ValueError(
+                f"batch_size {self.batch_size} not divisible into "
+                f"{self.micro_batches} micro-batches"
+            )
+
+
+class EasyScaleEngine:
+    """Run one EasyScale job over a (re)configurable set of workers."""
+
+    def __init__(
+        self,
+        spec: WorkloadSpec,
+        dataset: Dataset,
+        config: EasyScaleJobConfig,
+        optimizer_factory: Callable[[Module], Optimizer],
+        assignment: WorkerAssignment,
+        transform: Optional[Transform] = None,
+        scheduler_factory: Optional[Callable[[Optimizer], LRScheduler]] = None,
+        telemetry: Optional["RunLog"] = None,
+        _restore: Optional[Checkpoint] = None,
+    ) -> None:
+        if assignment.num_ests != config.num_ests:
+            raise ValueError(
+                f"assignment covers {assignment.num_ests} ESTs, job declares {config.num_ests}"
+            )
+        self.spec = spec
+        self.config = config
+        self.dataset = dataset
+        self.transform = transform
+        self.optimizer_factory = optimizer_factory
+        self.scheduler_factory = scheduler_factory
+        self.telemetry = telemetry
+
+        self.model = spec.build_model(RNGBundle(derive_seed(config.seed, "model")))
+        self.optimizer = optimizer_factory(self.model)
+        self.scheduler = scheduler_factory(self.optimizer) if scheduler_factory else None
+        self.loader = SharedDataLoader(
+            dataset,
+            num_replicas=config.num_ests,
+            batch_size=config.batch_size,
+            seed=config.seed,
+            num_workers=config.num_data_workers,
+            transform=transform,
+        )
+        self._named_params = dict(self.model.named_parameters())
+        self._param_names_by_id = {id(p): n for n, p in self._named_params.items()}
+        self.elastic_ddp = ElasticDDP(
+            param_order=list(self._named_params),
+            param_sizes={n: p.data.size for n, p in self._named_params.items()},
+            param_shapes={n: p.data.shape for n, p in self._named_params.items()},
+            num_ests=config.num_ests,
+            bucket_capacity_elems=config.bucket_capacity_elems,
+            allreduce_algorithm=config.allreduce_algorithm,
+            record_mapping=config.determinism.record_bucket_mapping,
+        )
+
+        self.ests = [EasyScaleThread(config.seed, v) for v in range(config.num_ests)]
+        self.epoch = 0
+        self.step_in_epoch = 0
+        self.global_step = 0
+        self.sim_time = 0.0
+        self.loss_history: List[List[float]] = []
+
+        if _restore is not None:
+            self._load_checkpoint(_restore)
+
+        self._build_workers(assignment)
+
+    # ------------------------------------------------------------------
+    # worker construction / reconfiguration
+    # ------------------------------------------------------------------
+    def _build_workers(self, assignment: WorkerAssignment) -> None:
+        self.assignment = assignment
+        if self.telemetry is not None:
+            self.telemetry.scale_event(
+                self.global_step, [g.name for g in assignment.gpus]
+            )
+        est_by_vrank = {est.vrank: est for est in self.ests}
+        self.workers = [
+            EasyScaleWorker(
+                worker_id=i,
+                gpu=gpu,
+                ests=[est_by_vrank[v] for v in vranks],
+                spec=self.spec,
+                policy=self.config.determinism.kernel_policy,
+                validate_memory=self.config.validate_memory,
+                micro_batches=self.config.micro_batches,
+            )
+            for i, (gpu, vranks) in enumerate(zip(assignment.gpus, assignment.est_map))
+        ]
+
+    def reconfigure(self, assignment: WorkerAssignment) -> "EasyScaleEngine":
+        """Scale in/out: on-demand checkpoint, then resume on new workers.
+
+        Returns a fresh engine (the old one is dead, like the restarted
+        processes of the real system).  Bitwise continuity is guaranteed
+        under D1; under bare D0 the gradient-bucket mapping is lost, which
+        is the paper's demonstrated divergence.
+        """
+        ckpt = self.checkpoint()
+        return EasyScaleEngine.from_checkpoint(
+            self.spec,
+            self.dataset,
+            ckpt,
+            self.optimizer_factory,
+            assignment,
+            transform=self.transform,
+            scheduler_factory=self.scheduler_factory,
+            telemetry=self.telemetry,
+        )
+
+    # ------------------------------------------------------------------
+    # training
+    # ------------------------------------------------------------------
+    @property
+    def steps_per_epoch(self) -> int:
+        return self.loader.steps_per_epoch
+
+    def run_global_step(self) -> List[float]:
+        """One synchronized global step across all ESTs; returns losses
+        ordered by virtual rank."""
+        self.loader.set_epoch(self.epoch)
+        arrival: Optional[List[str]] = (
+            [] if not self.elastic_ddp.reconstructed else None
+        )
+        results = []
+        step_time = 0.0
+        for worker in self.workers:
+            worker_results = worker.run_global_step(
+                self.model,
+                load_batch=lambda vrank: self.loader.load(vrank, self.epoch, self.step_in_epoch),
+                named_params=self._named_params,
+                arrival_sink=arrival,
+                param_names_by_id=self._param_names_by_id,
+            )
+            results.extend(worker_results)
+            step_time = max(step_time, worker.step_time())
+
+        results.sort(key=lambda r: r.vrank)
+        averaged = self.elastic_ddp.synchronize([r.grads for r in results])
+        for name, grad in averaged.items():
+            self._named_params[name].grad = grad
+        for result in results:  # virtual-rank order: canonical BN folding
+            for layer, mean, var in result.bn_journal:
+                layer.fold_stats(mean, var)
+        self.optimizer.step()
+        self.model.zero_grad()
+        for est in self.ests:
+            est.staged_grads = None
+
+        if arrival is not None:
+            self.elastic_ddp.maybe_reconstruct(arrival)
+
+        # simulated time: slowest worker (sync barrier) + a simple
+        # bandwidth-model term for the cross-worker all-reduce
+        comm = self.spec.params_gb / 5.0 if len(self.workers) > 1 else self.spec.params_gb / 20.0
+        self.sim_time += step_time + comm
+
+        self.global_step += 1
+        self.step_in_epoch += 1
+        if self.step_in_epoch >= self.steps_per_epoch:
+            self.step_in_epoch = 0
+            self.epoch += 1
+            if self.scheduler is not None:
+                self.scheduler.step()
+        losses = [r.loss for r in results]
+        self.loss_history.append(losses)
+        if self.telemetry is not None:
+            self.telemetry.step(
+                self.global_step - 1, losses, epoch=self.epoch, sim_time=self.sim_time
+            )
+        return losses
+
+    def train_steps(self, num_steps: int) -> List[float]:
+        """Run ``num_steps`` global steps; returns the last EST's losses."""
+        return [self.run_global_step()[-1] for _ in range(num_steps)]
+
+    def train_epochs(self, num_epochs: int) -> None:
+        target = self.epoch + num_epochs
+        while self.epoch < target:
+            self.run_global_step()
+
+    def evaluate(self, dataset: Dataset, num_samples: int = 256) -> float:
+        """Task-appropriate quality metric on a held-out dataset.
+
+        Runs in eval/no-grad mode under a fixed execution context, so it
+        never perturbs the training state; the result is logged to
+        telemetry when a sink is attached.
+        """
+        from repro.ddp.metrics import evaluate_workload
+
+        score = evaluate_workload(self.spec, self.model, dataset, num_samples)
+        if self.telemetry is not None:
+            self.telemetry.eval(self.global_step, "accuracy", score)
+        return score
+
+    # ------------------------------------------------------------------
+    # on-demand checkpoint
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> Checkpoint:
+        """Snapshot at a global-step boundary (the only legal point)."""
+        return Checkpoint(
+            est_contexts=[est.save_context().to_state() for est in self.ests],
+            extra={
+                "epoch": self.epoch,
+                "step_in_epoch": self.step_in_epoch,
+                "global_step": self.global_step,
+                "bucket_mapping": self.elastic_ddp.export_mapping(),
+                "loader": self.loader.export_state(),
+                "determinism": self.config.determinism.label,
+            },
+            params={
+                "model": self.model.state_dict(),
+                "optimizer": self.optimizer.state_dict(),
+                "scheduler": self.scheduler.state_dict() if self.scheduler else None,
+            },
+            meta={
+                "workload": self.spec.name,
+                "num_ests": self.config.num_ests,
+                "seed": self.config.seed,
+                "batch_size": self.config.batch_size,
+                "bucket_capacity_elems": self.config.bucket_capacity_elems,
+                "allreduce_algorithm": self.config.allreduce_algorithm,
+                "num_data_workers": self.config.num_data_workers,
+                "micro_batches": self.config.micro_batches,
+            },
+        )
+
+    def _load_checkpoint(self, ckpt: Checkpoint) -> None:
+        if ckpt.num_ests != self.config.num_ests:
+            raise ValueError(
+                f"checkpoint has {ckpt.num_ests} ESTs, job declares {self.config.num_ests}"
+            )
+        if ckpt.meta.get("workload") not in (None, self.spec.name):
+            raise ValueError(
+                f"checkpoint belongs to workload {ckpt.meta.get('workload')!r}"
+            )
+        self.model.load_state_dict(ckpt.params["model"])
+        self.optimizer.load_state_dict(ckpt.params["optimizer"])
+        if self.scheduler is not None and ckpt.params.get("scheduler") is not None:
+            self.scheduler.load_state_dict(ckpt.params["scheduler"])
+        for est in self.ests:
+            est.load_context(ckpt.context_for(est.vrank))
+        self.epoch = int(ckpt.extra["epoch"])
+        self.step_in_epoch = int(ckpt.extra["step_in_epoch"])
+        self.global_step = int(ckpt.extra["global_step"])
+        self.elastic_ddp.import_mapping(ckpt.extra.get("bucket_mapping"))
+        self.loader.import_state(ckpt.extra["loader"])
+        self.loader.set_epoch(self.epoch)
+
+    @classmethod
+    def from_checkpoint(
+        cls,
+        spec: WorkloadSpec,
+        dataset: Dataset,
+        ckpt: Checkpoint,
+        optimizer_factory: Callable[[Module], Optimizer],
+        assignment: WorkerAssignment,
+        transform: Optional[Transform] = None,
+        scheduler_factory: Optional[Callable[[Optimizer], LRScheduler]] = None,
+        config: Optional[EasyScaleJobConfig] = None,
+        telemetry: Optional["RunLog"] = None,
+    ) -> "EasyScaleEngine":
+        """Resume a job from an on-demand checkpoint on a new allocation."""
+        if config is None:
+            config = EasyScaleJobConfig(
+                num_ests=ckpt.num_ests,
+                seed=int(ckpt.meta.get("seed", 0)),
+                determinism=determinism_from_label(ckpt.extra.get("determinism", "D1")),
+                batch_size=int(ckpt.meta.get("batch_size", 8)),
+                bucket_capacity_elems=int(ckpt.meta.get("bucket_capacity_elems", 2048)),
+                allreduce_algorithm=str(ckpt.meta.get("allreduce_algorithm", "ring")),
+                num_data_workers=int(ckpt.meta.get("num_data_workers", 2)),
+                micro_batches=int(ckpt.meta.get("micro_batches", 1)),
+            )
+        return cls(
+            spec,
+            dataset,
+            config,
+            optimizer_factory,
+            assignment,
+            transform=transform,
+            scheduler_factory=scheduler_factory,
+            telemetry=telemetry,
+            _restore=ckpt,
+        )

@@ -1,0 +1,146 @@
+"""EasyScale worker: one process, one GPU, one CUDA context, many ESTs.
+
+A worker executes its assigned ESTs in the time-slicing manner of §3.2:
+for each global step it runs one *local step* (one mini-batch) per EST,
+context-switching at mini-batch boundaries.  The worker owns the gradient
+staging area — the only EST state that must leave the GPU — and models the
+paper's overlap: the D2H copy of EST *i*'s gradients hides under EST
+*i+1*'s compute, and the final EST's synchronization finds all sibling
+gradients already staged (Fig. 13).
+
+The numerical work happens against the *shared* model replica (one per
+worker in the real system; one per job in this in-process simulation —
+legitimate because replicas are bitwise identical between global steps).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.est import EasyScaleThread
+from repro.ddp.ddp import micro_slices
+from repro.hw.gpu import GPUType
+from repro.hw.memory import check_fits, easyscale_memory_gb
+from repro.hw.timing import context_switch_time, minibatch_time
+from repro.models.registry import WorkloadSpec
+from repro.nn.module import Module
+from repro.nn.runtime import collect_bn_stats, use_rng
+from repro.tensor.context import execution_context
+from repro.tensor.kernels import KernelPolicy
+
+
+@dataclass
+class LocalStepResult:
+    """Output of one EST's local step."""
+
+    vrank: int
+    loss: float
+    grads: Dict[str, np.ndarray]
+    bn_journal: list
+    compute_time: float
+    exposed_copy_time: float
+
+
+class EasyScaleWorker:
+    """One physical worker hosting a slice of the job's ESTs."""
+
+    def __init__(
+        self,
+        worker_id: int,
+        gpu: GPUType,
+        ests: List[EasyScaleThread],
+        spec: WorkloadSpec,
+        policy: KernelPolicy,
+        validate_memory: bool = True,
+        micro_batches: int = 1,
+    ) -> None:
+        if not ests:
+            raise ValueError(f"worker {worker_id} has no ESTs assigned")
+        if micro_batches <= 0:
+            raise ValueError("micro_batches must be positive")
+        self.worker_id = worker_id
+        self.gpu = gpu
+        self.ests = list(ests)
+        self.spec = spec
+        self.policy = policy
+        self.micro_batches = micro_batches
+        if validate_memory:
+            check_fits(easyscale_memory_gb(spec, len(ests)), gpu)
+
+    @property
+    def vranks(self) -> List[int]:
+        return [est.vrank for est in self.ests]
+
+    def run_global_step(
+        self,
+        model: Module,
+        load_batch: Callable[[int], Tuple[np.ndarray, np.ndarray]],
+        named_params: Dict[str, object],
+        arrival_sink: Optional[List[str]] = None,
+        param_names_by_id: Optional[Dict[int, str]] = None,
+    ) -> List[LocalStepResult]:
+        """Execute one local step per EST, in local order, time-sliced.
+
+        ``load_batch(vrank)`` supplies the EST's mini-batch; gradients are
+        copied out ("swapped to CPU") and the model's grads cleared between
+        ESTs, which is exactly the context switch.  If ``arrival_sink`` is
+        given, the first EST's backward records gradient arrival order into
+        it (bucket-reconstruction observation).
+        """
+        from repro.tensor.tensor import leaf_grad_hook
+
+        results: List[LocalStepResult] = []
+        per_batch = minibatch_time(self.spec, self.gpu, self.policy)
+        switch = context_switch_time(self.spec, self.gpu)
+        for position, est in enumerate(self.ests):
+            x, y = load_batch(est.vrank)
+            model.zero_grad()
+            micro_losses = []
+            with execution_context(self.gpu.dialect, self.policy), use_rng(
+                est.rng
+            ), collect_bn_stats() as journal:
+                for micro_x, micro_y in micro_slices(x, y, self.micro_batches):
+                    loss = self.spec.forward_loss(model, micro_x, micro_y)
+                    if arrival_sink is not None and est.vrank == 0:
+                        def on_grad(tensor) -> None:
+                            name = (param_names_by_id or {}).get(id(tensor))
+                            if name is not None and name not in arrival_sink:
+                                arrival_sink.append(name)
+
+                        with leaf_grad_hook(on_grad):
+                            loss.backward()
+                    else:
+                        loss.backward()
+                    micro_losses.append(loss.item())
+            scale = np.float32(1.0 / self.micro_batches)
+            grads = {
+                name: (param.grad * scale if self.micro_batches > 1 else param.grad.copy())
+                for name, param in named_params.items()
+                if param.grad is not None
+            }
+            est.staged_grads = grads
+            # copy of this EST's grads overlaps the *next* EST's compute;
+            # only the last EST in the slice exposes its staging latency,
+            # and even that hides under gradient synchronization setup
+            exposed = switch if position < len(self.ests) - 1 else 0.0
+            results.append(
+                LocalStepResult(
+                    vrank=est.vrank,
+                    loss=float(np.mean(micro_losses)),
+                    grads=grads,
+                    bn_journal=journal,
+                    compute_time=per_batch,
+                    exposed_copy_time=exposed,
+                )
+            )
+        model.zero_grad()
+        return results
+
+    def step_time(self) -> float:
+        """Simulated wall-clock of one global step on this worker."""
+        per_batch = minibatch_time(self.spec, self.gpu, self.policy)
+        switches = max(len(self.ests) - 1, 0) * context_switch_time(self.spec, self.gpu)
+        return len(self.ests) * per_batch + switches

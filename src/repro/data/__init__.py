@@ -1,0 +1,50 @@
+"""Datasets, samplers, and elastic data loading."""
+
+from repro.data.datasets import (
+    Dataset,
+    SyntheticDetectionDataset,
+    SyntheticImageDataset,
+    SyntheticQADataset,
+    SyntheticRatingsDataset,
+    Subset,
+    build_dataset,
+    train_eval_split,
+)
+from repro.data.sampler import BatchPlan, DistributedSampler
+from repro.data.dataloader import (
+    DataWorker,
+    LoaderTiming,
+    QueuingBuffer,
+    SharedDataLoader,
+    batch_rng_state,
+)
+from repro.data.transforms import (
+    compose,
+    default_image_augmentation,
+    gaussian_noise,
+    random_crop,
+    random_horizontal_flip,
+)
+
+__all__ = [
+    "Dataset",
+    "SyntheticImageDataset",
+    "SyntheticDetectionDataset",
+    "SyntheticRatingsDataset",
+    "SyntheticQADataset",
+    "build_dataset",
+    "Subset",
+    "train_eval_split",
+    "DistributedSampler",
+    "BatchPlan",
+    "SharedDataLoader",
+    "DataWorker",
+    "QueuingBuffer",
+    "LoaderTiming",
+    "batch_rng_state",
+    "compose",
+    "default_image_augmentation",
+    "gaussian_noise",
+    "random_crop",
+    "random_horizontal_flip",
+]

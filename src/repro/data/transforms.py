@@ -1,0 +1,65 @@
+"""Data augmentation transforms.
+
+Each transform draws from an explicit ``numpy.random.Generator`` — the
+"data worker RNG" of Fig. 7.  Which generator (at which state) processes
+which mini-batch is exactly what the queuing buffer tracks; feeding the
+same state reproduces the same augmented bytes no matter which physical
+data worker runs the transform.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence
+
+import numpy as np
+
+Transform = Callable[[np.ndarray, np.random.Generator], np.ndarray]
+
+
+def random_horizontal_flip(p: float = 0.5) -> Transform:
+    """Flip the width axis with probability ``p`` (consumes one draw always)."""
+
+    def apply(x: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        coin = rng.random()
+        if coin < p:
+            return np.ascontiguousarray(x[..., ::-1])
+        return x
+
+    return apply
+
+
+def random_crop(padding: int = 1) -> Transform:
+    """Pad then crop back at a random offset (CIFAR-style augmentation)."""
+
+    def apply(x: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        c, h, w = x.shape
+        padded = np.pad(x, ((0, 0), (padding, padding), (padding, padding)))
+        top = int(rng.integers(0, 2 * padding + 1))
+        left = int(rng.integers(0, 2 * padding + 1))
+        return np.ascontiguousarray(padded[:, top : top + h, left : left + w])
+
+    return apply
+
+
+def gaussian_noise(std: float = 0.05) -> Transform:
+    def apply(x: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        return (x + rng.normal(0.0, std, size=x.shape)).astype(np.float32)
+
+    return apply
+
+
+def compose(transforms: Sequence[Transform]) -> Transform:
+    """Apply transforms in order, threading the same generator through."""
+    transform_list: List[Transform] = list(transforms)
+
+    def apply(x: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        for transform in transform_list:
+            x = transform(x, rng)
+        return x
+
+    return apply
+
+
+def default_image_augmentation() -> Transform:
+    """The augmentation stack used by the image workloads in experiments."""
+    return compose([random_crop(padding=1), random_horizontal_flip(0.5), gaussian_noise(0.02)])

@@ -1,0 +1,14 @@
+"""Simulated PyTorch DDP baseline (the bitwise reference for EasyScale)."""
+
+from repro.ddp.ddp import DDPConfig, DDPTrainer, ddp_heter_config, ddp_homo_config, rank_rng
+from repro.ddp.metrics import evaluate_classification, evaluate_workload
+
+__all__ = [
+    "DDPConfig",
+    "DDPTrainer",
+    "ddp_homo_config",
+    "ddp_heter_config",
+    "rank_rng",
+    "evaluate_classification",
+    "evaluate_workload",
+]

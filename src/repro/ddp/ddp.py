@@ -1,0 +1,275 @@
+"""Simulated PyTorch DistributedDataParallel training.
+
+One in-process trainer simulates ``world_size`` synchronized workers:
+
+- each rank has its own RNG bundle (dropout masks), its own sampler shard,
+  and its own augmentation stream — derived exactly like EasyScale derives
+  EST streams, so "DDP with N GPUs" and "EasyScale with nEST = N" consume
+  identical randomness and identical samples;
+- gradients are bucketed (reverse-registration order, rebuilt by arrival
+  order after the first mini-batch unless disabled) and reduced with a
+  ring all-reduce whose float32 association depends on world size and
+  bucket layout — faithful to NCCL;
+- BatchNorm running stats are folded in rank order at global-step
+  boundaries (see :func:`repro.nn.runtime.collect_bn_stats`).
+
+Configurations used in the paper's experiments:
+
+- **DDP-homo** — fixed seeds + deterministic kernels (D0 policy): the
+  reference for homogeneous-consistency experiments (Fig. 9a);
+- **DDP-heter** — additionally hardware-agnostic D2 kernels: the reference
+  for heterogeneous experiments (Fig. 9b);
+- **DDP default** — ``BASELINE_POLICY`` (autotune + atomics): stock
+  PyTorch, reproducible only by accident.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.comm.allreduce import allreduce_mean
+from repro.comm.bucketing import BucketAssignment, build_initial_buckets, rebuild_from_arrival
+from repro.data.dataloader import SharedDataLoader
+from repro.data.datasets import Dataset
+from repro.data.transforms import Transform
+from repro.models.registry import WorkloadSpec
+from repro.nn.module import Module
+from repro.nn.runtime import collect_bn_stats, use_rng
+from repro.optim.optimizer import Optimizer
+from repro.tensor.context import execution_context
+from repro.tensor.kernels import D0_POLICY, D2_POLICY, KernelPolicy
+from repro.utils.rng import RNGBundle, derive_seed
+
+
+@dataclass
+class DDPConfig:
+    """Static configuration of a simulated DDP job."""
+
+    world_size: int
+    seed: int = 0
+    policy: KernelPolicy = D0_POLICY
+    #: device dialect per rank; a single entry is broadcast to all ranks
+    dialects: Sequence[str] = ("v100",)
+    allreduce_algorithm: str = "ring"
+    bucket_capacity_elems: int = 2048
+    #: PyTorch rebuilds buckets by gradient arrival order after the first
+    #: mini-batch; D1 disables this when restoring a recorded mapping
+    rebuild_buckets: bool = True
+    batch_size: int = 8
+    num_data_workers: int = 2
+    #: gradient accumulation: each worker splits its batch into this many
+    #: micro-batches, accumulating gradients in a fixed order before the
+    #: all-reduce (activation memory drops by the same factor)
+    micro_batches: int = 1
+
+    def __post_init__(self) -> None:
+        if self.world_size <= 0:
+            raise ValueError("world_size must be positive")
+        if self.micro_batches <= 0:
+            raise ValueError("micro_batches must be positive")
+        if self.batch_size % self.micro_batches != 0:
+            raise ValueError(
+                f"batch_size {self.batch_size} not divisible into "
+                f"{self.micro_batches} micro-batches"
+            )
+        if len(self.dialects) == 1:
+            self.dialects = tuple(self.dialects) * self.world_size
+        if len(self.dialects) != self.world_size:
+            raise ValueError(
+                f"got {len(self.dialects)} dialects for world size {self.world_size}"
+            )
+
+
+def rank_rng(seed: int, rank: int) -> RNGBundle:
+    """The per-logical-worker RNG bundle (same derivation as EST streams)."""
+    return RNGBundle(derive_seed(seed, "worker", rank))
+
+
+def micro_slices(x: np.ndarray, y: np.ndarray, micro_batches: int):
+    """Split a worker's batch into contiguous micro-batches, in order.
+
+    The slicing (and hence the gradient-accumulation association) is a
+    pure function of the batch and the micro count, so any two stacks
+    configured identically accumulate identically — the prerequisite for
+    gradient accumulation to coexist with the bitwise guarantee.
+    """
+    if micro_batches == 1:
+        yield x, y
+        return
+    n = x.shape[0]
+    if n % micro_batches != 0:
+        raise ValueError(f"batch of {n} not divisible into {micro_batches} micro-batches")
+    size = n // micro_batches
+    for i in range(micro_batches):
+        yield x[i * size : (i + 1) * size], y[i * size : (i + 1) * size]
+
+
+class DDPTrainer:
+    """Synchronized data-parallel training of one workload."""
+
+    def __init__(
+        self,
+        spec: WorkloadSpec,
+        dataset: Dataset,
+        config: DDPConfig,
+        optimizer_factory: Callable[[Module], Optimizer],
+        transform: Optional[Transform] = None,
+    ) -> None:
+        self.spec = spec
+        self.config = config
+        self.model = spec.build_model(RNGBundle(derive_seed(config.seed, "model")))
+        self.optimizer = optimizer_factory(self.model)
+        self.loader = SharedDataLoader(
+            dataset,
+            num_replicas=config.world_size,
+            batch_size=config.batch_size,
+            seed=config.seed,
+            num_workers=config.num_data_workers,
+            transform=transform,
+        )
+        self._rank_rngs = [rank_rng(config.seed, r) for r in range(config.world_size)]
+        self._named_params = dict(self.model.named_parameters())
+        self._param_names_by_id = {id(p): n for n, p in self._named_params.items()}
+        sizes = {n: p.data.size for n, p in self._named_params.items()}
+        self._param_sizes = sizes
+        self.buckets = build_initial_buckets(
+            list(self._named_params), sizes, config.bucket_capacity_elems
+        )
+        self.global_step = 0
+        #: steps executed since the trainer was (re)built — bucket rebuild
+        #: happens after the first one, like a freshly-rendezvoused DDP
+        self._steps_since_start = 0
+        self.loss_history: List[List[float]] = []
+
+    # ------------------------------------------------------------------
+    # one synchronized global step
+    # ------------------------------------------------------------------
+    def step(self, epoch: int, step_in_epoch: int) -> List[float]:
+        """Run one global step; returns the per-rank losses."""
+        from repro.tensor.tensor import leaf_grad_hook
+
+        config = self.config
+        per_rank_grads: List[Dict[str, np.ndarray]] = []
+        per_rank_bn: List[list] = []
+        losses: List[float] = []
+        arrival: List[str] = []
+
+        def on_grad(tensor) -> None:
+            name = self._param_names_by_id.get(id(tensor))
+            if name is not None and name not in arrival:
+                arrival.append(name)
+
+        for rank in range(config.world_size):
+            x, y = self.loader.load(rank, epoch, step_in_epoch)
+            self.model.zero_grad()
+            micro_losses = []
+            with execution_context(config.dialects[rank], config.policy), use_rng(
+                self._rank_rngs[rank]
+            ), collect_bn_stats() as journal:
+                for micro_x, micro_y in micro_slices(x, y, config.micro_batches):
+                    loss = self.spec.forward_loss(self.model, micro_x, micro_y)
+                    if rank == 0 and self._steps_since_start == 0:
+                        with leaf_grad_hook(on_grad):
+                            loss.backward()
+                    else:
+                        loss.backward()
+                    micro_losses.append(loss.item())
+            losses.append(float(np.mean(micro_losses)))
+            scale = np.float32(1.0 / config.micro_batches)
+            grads = {
+                name: (param.grad * scale if config.micro_batches > 1 else param.grad.copy())
+                for name, param in self._named_params.items()
+                if param.grad is not None
+            }
+            per_rank_grads.append(grads)
+            per_rank_bn.append(journal)
+
+        self._synchronize(per_rank_grads)
+        self._fold_bn(per_rank_bn)
+        self.optimizer.step()
+        self.model.zero_grad()
+
+        if self._steps_since_start == 0 and config.rebuild_buckets:
+            missing = [n for n in self._named_params if n not in arrival]
+            self.buckets = rebuild_from_arrival(
+                arrival + missing, self._param_sizes, config.bucket_capacity_elems
+            )
+        self._steps_since_start += 1
+        self.global_step += 1
+        self.loss_history.append(losses)
+        return losses
+
+    def _synchronize(self, per_rank_grads: List[Dict[str, np.ndarray]]) -> None:
+        """Bucket-wise ring all-reduce, averaged gradients written back."""
+        shapes = {n: p.data.shape for n, p in self._named_params.items()}
+        for bucket_idx in range(len(self.buckets.buckets)):
+            bucket_names = self.buckets.buckets[bucket_idx]
+            present = [n for n in bucket_names if n in per_rank_grads[0]]
+            if not present:
+                continue
+            sub = BucketAssignment([present])
+            flats = [sub.flatten_bucket(0, grads) for grads in per_rank_grads]
+            reduced = allreduce_mean(flats, self.config.allreduce_algorithm)
+            for name, grad in sub.unflatten_bucket(0, reduced, shapes).items():
+                self._named_params[name].grad = np.ascontiguousarray(grad)
+
+    def _fold_bn(self, per_rank_journals: List[list]) -> None:
+        """Fold BN batch stats into buffers in rank order (canonical)."""
+        for journal in per_rank_journals:
+            for layer, mean, var in journal:
+                layer.fold_stats(mean, var)
+
+    # ------------------------------------------------------------------
+    # epoch loops
+    # ------------------------------------------------------------------
+    @property
+    def steps_per_epoch(self) -> int:
+        return self.loader.steps_per_epoch
+
+    @property
+    def epoch(self) -> int:
+        return self.global_step // self.steps_per_epoch
+
+    def train_steps(self, num_steps: int) -> List[float]:
+        """Run ``num_steps`` global steps from the trainer's current
+        position (progress persists across calls); returns the last rank's
+        losses."""
+        last_rank_losses = []
+        for _ in range(num_steps):
+            epoch_now = self.global_step // self.steps_per_epoch
+            step_in_epoch = self.global_step % self.steps_per_epoch
+            self.loader.set_epoch(epoch_now)
+            losses = self.step(epoch_now, step_in_epoch)
+            last_rank_losses.append(losses[-1])
+        return last_rank_losses
+
+    def train_epoch(self, epoch: Optional[int] = None) -> List[float]:
+        """Train one full epoch from the current position.
+
+        ``epoch``, if given, must match the trainer's own epoch counter —
+        it exists to catch call-site drift, not to seek.
+        """
+        if epoch is not None and epoch != self.epoch:
+            raise ValueError(
+                f"trainer is at epoch {self.epoch}, cannot train epoch {epoch}"
+            )
+        if self.global_step % self.steps_per_epoch != 0:
+            raise ValueError("train_epoch must start at an epoch boundary")
+        return self.train_steps(self.steps_per_epoch)
+
+
+def ddp_homo_config(world_size: int, seed: int = 0, **kwargs) -> DDPConfig:
+    """Fixed seeds + deterministic kernels (reproducible on one GPU type)."""
+    return DDPConfig(world_size=world_size, seed=seed, policy=D0_POLICY, **kwargs)
+
+
+def ddp_heter_config(
+    world_size: int, dialects: Sequence[str], seed: int = 0, **kwargs
+) -> DDPConfig:
+    """DDP-homo plus hardware-agnostic D2 kernels (heterogeneous reference)."""
+    return DDPConfig(
+        world_size=world_size, seed=seed, policy=D2_POLICY, dialects=tuple(dialects), **kwargs
+    )

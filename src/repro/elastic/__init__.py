@@ -1,0 +1,15 @@
+"""Elastic-training baselines (TorchElastic-like, Pollux-like)."""
+
+from repro.elastic.base import ElasticBaselineTrainer, ScalingStrategy, TrainSegment
+from repro.elastic.torchelastic import TorchElasticScaling
+from repro.elastic.pollux import PolluxScaling
+from repro.elastic.virtualflow import VirtualFlowTrainer
+
+__all__ = [
+    "ElasticBaselineTrainer",
+    "ScalingStrategy",
+    "TrainSegment",
+    "TorchElasticScaling",
+    "PolluxScaling",
+    "VirtualFlowTrainer",
+]

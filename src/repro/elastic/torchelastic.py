@@ -1,0 +1,32 @@
+"""TorchElastic-style scaling: fixed per-worker batch, linear LR rule.
+
+TorchElastic keeps each worker's batch size constant, so the *global*
+batch grows linearly with the worker count; the standard companion recipe
+(Goyal et al., "Accurate, Large Minibatch SGD") scales the learning rate
+linearly with the global batch.  Train the same job on 1 vs 8 GPUs and the
+effective hyper-parameters differ by 8x — accuracy consistency is not even
+attempted.  This is the "TE" baseline of Figs. 2–3.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.elastic.base import ScalingStrategy
+
+
+class TorchElasticScaling(ScalingStrategy):
+    """Linear-scaling rule: ``lr = base_lr * world_size``, fixed worker batch."""
+
+    name = "torchelastic"
+
+    def __init__(self, reference_world: int = 1) -> None:
+        if reference_world <= 0:
+            raise ValueError("reference_world must be positive")
+        self.reference_world = reference_world
+
+    def configure(
+        self, world_size: int, base_lr: float, base_batch: int, feedback: Dict[str, float]
+    ) -> Tuple[float, int]:
+        scale = world_size / self.reference_world
+        return base_lr * scale, base_batch

@@ -1,0 +1,130 @@
+"""Simulated cluster inventory: machines and GPU pools.
+
+Two canonical configurations mirror the paper's testbeds:
+
+- :func:`microbench_cluster` — the 64-GPU cloud cluster of §5 (4 servers x
+  8 V100, 8 servers x 2 P100, 4 servers x 4 T4);
+- :func:`production_cluster` — a parameterized large pool for the §5.3
+  co-location experiment (3,000+ GPUs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.hw.gpu import GPU, GPUType, P100, T4, V100, gpu_type
+
+
+@dataclass
+class Machine:
+    """A server hosting several GPUs of one type."""
+
+    name: str
+    gpus: List[GPU]
+
+    @classmethod
+    def build(cls, name: str, gtype: GPUType, count: int) -> "Machine":
+        return cls(name=name, gpus=[GPU(type=gtype, machine=name) for _ in range(count)])
+
+
+class Cluster:
+    """GPU inventory with per-type allocation tracking."""
+
+    def __init__(self, machines: Iterable[Machine]) -> None:
+        self.machines: List[Machine] = list(machines)
+        self.gpus: List[GPU] = [gpu for machine in self.machines for gpu in machine.gpus]
+        if not self.gpus:
+            raise ValueError("cluster has no GPUs")
+
+    # ------------------------------------------------------------------
+    # inventory queries
+    # ------------------------------------------------------------------
+    def total(self, type_name: Optional[str] = None) -> int:
+        return sum(1 for gpu in self.gpus if type_name is None or gpu.type.name == type_name)
+
+    def free(self, type_name: Optional[str] = None) -> List[GPU]:
+        return [
+            gpu
+            for gpu in self.gpus
+            if gpu.free and (type_name is None or gpu.type.name == type_name)
+        ]
+
+    def free_count(self, type_name: Optional[str] = None) -> int:
+        return len(self.free(type_name))
+
+    def allocated_count(self, type_name: Optional[str] = None) -> int:
+        return self.total(type_name) - self.free_count(type_name)
+
+    def free_by_type(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for gpu in self.gpus:
+            if gpu.free:
+                counts[gpu.type.name] = counts.get(gpu.type.name, 0) + 1
+        return counts
+
+    def type_names(self) -> List[str]:
+        return sorted({gpu.type.name for gpu in self.gpus})
+
+    # ------------------------------------------------------------------
+    # allocation
+    # ------------------------------------------------------------------
+    def allocate(self, job_id: str, type_name: str, count: int) -> List[GPU]:
+        """Grab ``count`` free GPUs of one type for a job (all or nothing)."""
+        available = self.free(type_name)
+        if len(available) < count:
+            raise RuntimeError(
+                f"cannot allocate {count} {type_name} for {job_id}: only {len(available)} free"
+            )
+        taken = available[:count]
+        for gpu in taken:
+            gpu.allocate(job_id)
+        return taken
+
+    def release(self, job_id: str, gpus: Iterable[GPU]) -> None:
+        for gpu in gpus:
+            gpu.release(job_id)
+
+    def release_all(self, job_id: str) -> int:
+        released = 0
+        for gpu in self.gpus:
+            if gpu.owner == job_id:
+                gpu.release(job_id)
+                released += 1
+        return released
+
+    def owned_by(self, job_id: str) -> List[GPU]:
+        return [gpu for gpu in self.gpus if gpu.owner == job_id]
+
+
+def microbench_cluster() -> Cluster:
+    """The paper's 64-GPU evaluation cluster (§5): 32 V100 + 16 P100 + 16 T4."""
+    machines: List[Machine] = []
+    for i in range(4):
+        machines.append(Machine.build(f"v100-node{i}", V100, 8))
+    for i in range(8):
+        machines.append(Machine.build(f"p100-node{i}", P100, 2))
+    for i in range(4):
+        machines.append(Machine.build(f"t4-node{i}", T4, 4))
+    return Cluster(machines)
+
+
+def production_cluster(num_gpus: int = 3000) -> Cluster:
+    """A large heterogeneous pool for the §5.3 co-location experiment.
+
+    Mix skews toward inference-class GPUs (T4) like the paper's serving
+    cluster, with a V100/P100 training-capable share.
+    """
+    if num_gpus < 10:
+        raise ValueError("production cluster needs at least 10 GPUs")
+    n_t4 = num_gpus // 2
+    n_p100 = num_gpus // 4
+    n_v100 = num_gpus - n_t4 - n_p100
+    machines: List[Machine] = []
+    for i in range(0, n_v100, 8):
+        machines.append(Machine.build(f"prod-v100-{i // 8}", V100, min(8, n_v100 - i)))
+    for i in range(0, n_p100, 4):
+        machines.append(Machine.build(f"prod-p100-{i // 4}", P100, min(4, n_p100 - i)))
+    for i in range(0, n_t4, 4):
+        machines.append(Machine.build(f"prod-t4-{i // 4}", T4, min(4, n_t4 - i)))
+    return Cluster(machines)

@@ -1,0 +1,86 @@
+"""Simulated GPU device types and instances.
+
+Device types carry the two properties the paper's experiments depend on:
+
+- a **kernel dialect** (how float32 partial sums associate on that silicon)
+  — consumed by :mod:`repro.tensor.kernels` to recreate heterogeneous
+  non-determinism;
+- a **capacity profile** (memory GB, relative compute) — consumed by the
+  memory model (Fig. 10) and the scheduler's performance model (Eq. 1).
+
+The three types match the evaluation cluster: V100 (32 GB), P100 (16 GB),
+T4 (16 GB).  ``CUDA_CONTEXT_GB`` is the paper's measured ~750 MB per-process
+context cost — the constant that makes naive worker packing so expensive.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional
+
+#: GPU memory consumed by one process's CUDA context (framework + CUDA),
+#: §3.1: "around 750MB per context".
+CUDA_CONTEXT_GB = 0.75
+
+
+@dataclass(frozen=True)
+class GPUType:
+    """A GPU model: dialect for numerics, capacity for scheduling."""
+
+    name: str
+    dialect: str
+    memory_gb: float
+    #: compute capability relative to V100 (used for default throughput
+    #: scaling when a workload lacks a measured profile)
+    relative_speed: float
+
+    def __post_init__(self) -> None:
+        if self.memory_gb <= 0 or self.relative_speed <= 0:
+            raise ValueError(f"invalid GPU type parameters for {self.name}")
+
+
+V100 = GPUType(name="V100", dialect="v100", memory_gb=32.0, relative_speed=1.0)
+P100 = GPUType(name="P100", dialect="p100", memory_gb=16.0, relative_speed=0.45)
+T4 = GPUType(name="T4", dialect="t4", memory_gb=16.0, relative_speed=0.33)
+
+GPU_TYPES: Dict[str, GPUType] = {t.name: t for t in (V100, P100, T4)}
+
+
+def gpu_type(name: str) -> GPUType:
+    try:
+        return GPU_TYPES[name]
+    except KeyError:
+        raise KeyError(f"unknown GPU type {name!r}; options: {sorted(GPU_TYPES)}") from None
+
+
+_gpu_ids = itertools.count()
+
+
+@dataclass
+class GPU:
+    """One physical GPU instance in the simulated cluster."""
+
+    type: GPUType
+    machine: str = "local"
+    gpu_id: int = field(default_factory=lambda: next(_gpu_ids))
+    #: job id currently holding this GPU, or None if free
+    owner: Optional[str] = None
+
+    @property
+    def free(self) -> bool:
+        return self.owner is None
+
+    def allocate(self, job_id: str) -> None:
+        if self.owner is not None:
+            raise RuntimeError(f"GPU {self.gpu_id} already owned by {self.owner}")
+        self.owner = job_id
+
+    def release(self, job_id: str) -> None:
+        if self.owner != job_id:
+            raise RuntimeError(f"GPU {self.gpu_id} owned by {self.owner}, not {job_id}")
+        self.owner = None
+
+    def __repr__(self) -> str:
+        status = self.owner or "free"
+        return f"GPU({self.type.name}#{self.gpu_id}@{self.machine}, {status})"

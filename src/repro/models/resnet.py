@@ -1,0 +1,120 @@
+"""Scaled-down ResNet-18/50 (He et al.) for the image workloads.
+
+Architecturally faithful — residual basic/bottleneck blocks, BN everywhere,
+stride-2 downsampling with projection shortcuts — at widths/depths sized
+for 8x8–16x16 synthetic images so pure-NumPy training is fast.  ResNet18
+drives the motivation experiments (Figs. 2–3), ResNet50 the gamma study
+(Fig. 4) and the consistency/packing micro-benchmarks (Figs. 9–10).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro import nn
+from repro.tensor import ops
+from repro.tensor.tensor import Tensor
+from repro.utils.rng import RNGBundle
+
+
+class BasicBlock(nn.Module):
+    """3x3 + 3x3 residual block (ResNet-18/34 style)."""
+
+    expansion = 1
+
+    def __init__(self, in_ch: int, out_ch: int, stride: int, rng: RNGBundle) -> None:
+        super().__init__()
+        self.conv1 = nn.Conv2d(in_ch, out_ch, 3, rng.spawn("c1"), stride=stride, padding=1, bias=False)
+        self.bn1 = nn.BatchNorm2d(out_ch)
+        self.conv2 = nn.Conv2d(out_ch, out_ch, 3, rng.spawn("c2"), padding=1, bias=False)
+        self.bn2 = nn.BatchNorm2d(out_ch)
+        if stride != 1 or in_ch != out_ch:
+            self.down_conv = nn.Conv2d(in_ch, out_ch, 1, rng.spawn("down"), stride=stride, bias=False)
+            self.down_bn = nn.BatchNorm2d(out_ch)
+        else:
+            self.down_conv = None
+            self.down_bn = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        identity = x
+        out = self.bn1(self.conv1(x)).relu()
+        out = self.bn2(self.conv2(out))
+        if self.down_conv is not None:
+            identity = self.down_bn(self.down_conv(x))
+        return (out + identity).relu()
+
+
+class Bottleneck(nn.Module):
+    """1x1 reduce, 3x3, 1x1 expand residual block (ResNet-50 style)."""
+
+    expansion = 4
+
+    def __init__(self, in_ch: int, width: int, stride: int, rng: RNGBundle) -> None:
+        super().__init__()
+        out_ch = width * self.expansion
+        self.conv1 = nn.Conv2d(in_ch, width, 1, rng.spawn("c1"), bias=False)
+        self.bn1 = nn.BatchNorm2d(width)
+        self.conv2 = nn.Conv2d(width, width, 3, rng.spawn("c2"), stride=stride, padding=1, bias=False)
+        self.bn2 = nn.BatchNorm2d(width)
+        self.conv3 = nn.Conv2d(width, out_ch, 1, rng.spawn("c3"), bias=False)
+        self.bn3 = nn.BatchNorm2d(out_ch)
+        if stride != 1 or in_ch != out_ch:
+            self.down_conv = nn.Conv2d(in_ch, out_ch, 1, rng.spawn("down"), stride=stride, bias=False)
+            self.down_bn = nn.BatchNorm2d(out_ch)
+        else:
+            self.down_conv = None
+            self.down_bn = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        identity = x
+        out = self.bn1(self.conv1(x)).relu()
+        out = self.bn2(self.conv2(out)).relu()
+        out = self.bn3(self.conv3(out))
+        if self.down_conv is not None:
+            identity = self.down_bn(self.down_conv(x))
+        return (out + identity).relu()
+
+
+class ResNet(nn.Module):
+    """Configurable mini ResNet over small synthetic images."""
+
+    def __init__(
+        self,
+        block: type,
+        layers: List[int],
+        widths: List[int],
+        num_classes: int,
+        rng: RNGBundle,
+        in_channels: int = 3,
+    ) -> None:
+        super().__init__()
+        self.stem = nn.Conv2d(in_channels, widths[0], 3, rng.spawn("stem"), padding=1, bias=False)
+        self.stem_bn = nn.BatchNorm2d(widths[0])
+        stages = []
+        in_ch = widths[0]
+        for stage_idx, (count, width) in enumerate(zip(layers, widths)):
+            blocks = []
+            for block_idx in range(count):
+                stride = 2 if (block_idx == 0 and stage_idx > 0) else 1
+                blocks.append(block(in_ch, width, stride, rng.spawn("stage", stage_idx, block_idx)))
+                in_ch = width * block.expansion
+            stages.append(nn.Sequential(*blocks))
+        self.stages = nn.ModuleList(stages)
+        self.fc = nn.Linear(in_ch, num_classes, rng.spawn("fc"))
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.stem_bn(self.stem(x)).relu()
+        for stage in self.stages:
+            out = stage(out)
+        pooled = ops.global_avg_pool(out)
+        return self.fc(pooled)
+
+
+def resnet18_mini(rng: RNGBundle, num_classes: int = 10) -> ResNet:
+    return ResNet(BasicBlock, [2, 2], [8, 16], num_classes, rng)
+
+
+def resnet50_mini(rng: RNGBundle, num_classes: int = 10) -> ResNet:
+    return ResNet(Bottleneck, [2, 2], [4, 8], num_classes, rng)

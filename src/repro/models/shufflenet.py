@@ -1,0 +1,104 @@
+"""Scaled-down ShuffleNetV2 (Ma et al.).
+
+Keeps the defining structure: channel split, a depthwise-separable branch,
+concat, and channel shuffle — so grouped/depthwise convolutions (and their
+vendor-kernel reliance, relevant to D2) are genuinely exercised.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import nn
+from repro.tensor import ops
+from repro.tensor.tensor import Tensor
+from repro.utils.rng import RNGBundle
+
+
+def channel_shuffle(x: Tensor, groups: int) -> Tensor:
+    """Interleave channels across groups (the 'shuffle' in ShuffleNet)."""
+    n, c, h, w = x.shape
+    if c % groups:
+        raise ValueError(f"channels {c} not divisible by groups {groups}")
+    return (
+        x.reshape(n, groups, c // groups, h, w)
+        .transpose(0, 2, 1, 3, 4)
+        .reshape(n, c, h, w)
+    )
+
+
+class ShuffleUnit(nn.Module):
+    """Stride-1 ShuffleNetV2 unit: split → (identity | dw-sep conv) → concat → shuffle."""
+
+    def __init__(self, channels: int, rng: RNGBundle) -> None:
+        super().__init__()
+        if channels % 2:
+            raise ValueError("ShuffleUnit needs an even channel count")
+        half = channels // 2
+        self.pw1 = nn.Conv2d(half, half, 1, rng.spawn("pw1"), bias=False)
+        self.bn1 = nn.BatchNorm2d(half)
+        self.dw = nn.Conv2d(half, half, 3, rng.spawn("dw"), padding=1, groups=half, bias=False)
+        self.bn2 = nn.BatchNorm2d(half)
+        self.pw2 = nn.Conv2d(half, half, 1, rng.spawn("pw2"), bias=False)
+        self.bn3 = nn.BatchNorm2d(half)
+
+    def forward(self, x: Tensor) -> Tensor:
+        left, right = ops.chunk(x, 2, axis=1)
+        out = self.bn1(self.pw1(right)).relu()
+        out = self.bn2(self.dw(out))
+        out = self.bn3(self.pw2(out)).relu()
+        merged = ops.concat([left, out], axis=1)
+        return channel_shuffle(merged, 2)
+
+
+class DownsampleUnit(nn.Module):
+    """Stride-2 unit: both branches convolve and downsample, channels double."""
+
+    def __init__(self, in_ch: int, out_ch: int, rng: RNGBundle) -> None:
+        super().__init__()
+        branch_ch = out_ch // 2
+        self.left_dw = nn.Conv2d(in_ch, in_ch, 3, rng.spawn("ldw"), stride=2, padding=1, groups=in_ch, bias=False)
+        self.left_bn1 = nn.BatchNorm2d(in_ch)
+        self.left_pw = nn.Conv2d(in_ch, branch_ch, 1, rng.spawn("lpw"), bias=False)
+        self.left_bn2 = nn.BatchNorm2d(branch_ch)
+        self.right_pw1 = nn.Conv2d(in_ch, branch_ch, 1, rng.spawn("rpw1"), bias=False)
+        self.right_bn1 = nn.BatchNorm2d(branch_ch)
+        self.right_dw = nn.Conv2d(branch_ch, branch_ch, 3, rng.spawn("rdw"), stride=2, padding=1, groups=branch_ch, bias=False)
+        self.right_bn2 = nn.BatchNorm2d(branch_ch)
+        self.right_pw2 = nn.Conv2d(branch_ch, branch_ch, 1, rng.spawn("rpw2"), bias=False)
+        self.right_bn3 = nn.BatchNorm2d(branch_ch)
+
+    def forward(self, x: Tensor) -> Tensor:
+        left = self.left_bn2(self.left_pw(self.left_bn1(self.left_dw(x)))).relu()
+        right = self.right_bn1(self.right_pw1(x)).relu()
+        right = self.right_bn2(self.right_dw(right))
+        right = self.right_bn3(self.right_pw2(right)).relu()
+        return channel_shuffle(ops.concat([left, right], axis=1), 2)
+
+
+class ShuffleNetV2(nn.Module):
+    def __init__(self, num_classes: int, rng: RNGBundle, in_channels: int = 3) -> None:
+        super().__init__()
+        self.stem = nn.Conv2d(in_channels, 8, 3, rng.spawn("stem"), padding=1, bias=False)
+        self.stem_bn = nn.BatchNorm2d(8)
+        self.stage1 = nn.Sequential(
+            ShuffleUnit(8, rng.spawn("s1a")),
+            ShuffleUnit(8, rng.spawn("s1b")),
+        )
+        self.down = DownsampleUnit(8, 16, rng.spawn("down"))
+        self.stage2 = nn.Sequential(
+            ShuffleUnit(16, rng.spawn("s2a")),
+            ShuffleUnit(16, rng.spawn("s2b")),
+        )
+        self.fc = nn.Linear(16, num_classes, rng.spawn("fc"))
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.stem_bn(self.stem(x)).relu()
+        out = self.stage1(out)
+        out = self.down(out)
+        out = self.stage2(out)
+        return self.fc(ops.global_avg_pool(out))
+
+
+def shufflenet_v2_mini(rng: RNGBundle, num_classes: int = 10) -> ShuffleNetV2:
+    return ShuffleNetV2(num_classes, rng)

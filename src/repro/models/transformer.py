@@ -1,0 +1,127 @@
+"""Transformer workloads: Bert-mini, Electra-mini, SwinTransformer-mini.
+
+These are the paper's "first category" models (Fig. 12): GEMM/attention
+dominated, no conv reliance, hence near-zero D2 overhead and automatic
+eligibility for heterogeneous scheduling.  Swin keeps its defining
+features — patch embedding and window-partitioned attention — at a scale
+suitable for 16x16 synthetic images.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import nn
+from repro.tensor import ops
+from repro.tensor.tensor import Tensor
+from repro.utils.rng import RNGBundle
+
+
+class BertMini(nn.Module):
+    """Token + position embeddings, N encoder layers, [CLS]-style pooler."""
+
+    def __init__(
+        self,
+        vocab_size: int,
+        num_classes: int,
+        rng: RNGBundle,
+        dim: int = 16,
+        depth: int = 2,
+        num_heads: int = 2,
+        max_len: int = 32,
+    ) -> None:
+        super().__init__()
+        self.token_emb = nn.Embedding(vocab_size, dim, rng.spawn("tok"))
+        self.pos_emb = nn.Embedding(max_len, dim, rng.spawn("pos"))
+        self.layers = nn.ModuleList(
+            [
+                nn.TransformerEncoderLayer(dim, num_heads, 2.0, rng.spawn("layer", i), dropout=0.1)
+                for i in range(depth)
+            ]
+        )
+        self.norm = nn.LayerNorm(dim)
+        self.head = nn.Linear(dim, num_classes, rng.spawn("head"))
+
+    def forward(self, tokens: np.ndarray) -> Tensor:
+        tokens = np.asarray(tokens, dtype=np.int64)
+        _, seq = tokens.shape
+        x = self.token_emb(tokens) + self.pos_emb(np.arange(seq))
+        for layer in self.layers:
+            x = layer(x)
+        x = self.norm(x)
+        pooled = x.mean(axis=1)  # mean pooling stands in for [CLS]
+        return self.head(pooled)
+
+
+class ElectraMini(BertMini):
+    """Electra-style discriminator: same trunk, deeper+narrower default.
+
+    (The pre-training objective differs in the original; for the systems
+    experiments what matters is a second transformer with distinct
+    compute/memory shape, matching Table 1's use.)
+    """
+
+    def __init__(self, vocab_size: int, num_classes: int, rng: RNGBundle) -> None:
+        super().__init__(vocab_size, num_classes, rng, dim=12, depth=3, num_heads=2)
+
+
+class SwinMini(nn.Module):
+    """Swin-style hierarchical vision transformer on window-partitioned patches."""
+
+    def __init__(
+        self,
+        num_classes: int,
+        rng: RNGBundle,
+        in_channels: int = 3,
+        dim: int = 16,
+        depth: int = 2,
+        num_heads: int = 2,
+        patch: int = 4,
+        window: int = 2,
+    ) -> None:
+        super().__init__()
+        self.patch = patch
+        self.window = window
+        self.dim = dim
+        self.patch_embed = nn.Conv2d(in_channels, dim, patch, rng.spawn("patch"), stride=patch)
+        self.layers = nn.ModuleList(
+            [
+                nn.TransformerEncoderLayer(dim, num_heads, 2.0, rng.spawn("layer", i), dropout=0.0)
+                for i in range(depth)
+            ]
+        )
+        self.norm = nn.LayerNorm(dim)
+        self.head = nn.Linear(dim, num_classes, rng.spawn("head"))
+
+    def _window_partition(self, x: Tensor) -> Tensor:
+        """(N, C, H, W) → (N * windows, window*window, C) token groups."""
+        n, c, h, w = x.shape
+        ws = self.window
+        if h % ws or w % ws:
+            raise ValueError(f"feature map {h}x{w} not divisible by window {ws}")
+        x = x.reshape(n, c, h // ws, ws, w // ws, ws)
+        x = x.transpose(0, 2, 4, 3, 5, 1)  # (n, h/ws, w/ws, ws, ws, c)
+        return x.reshape(n * (h // ws) * (w // ws), ws * ws, c)
+
+    def forward(self, images: Tensor) -> Tensor:
+        feat = self.patch_embed(images)  # (N, dim, H/p, W/p)
+        tokens = self._window_partition(feat)
+        for layer in self.layers:
+            tokens = layer(tokens)
+        tokens = self.norm(tokens)
+        n = images.shape[0]
+        pooled = tokens.mean(axis=1)  # (N*windows, dim)
+        pooled = pooled.reshape(n, -1, self.dim).mean(axis=1)
+        return self.head(pooled)
+
+
+def bert_mini(rng: RNGBundle, vocab_size: int = 64, num_classes: int = 4) -> BertMini:
+    return BertMini(vocab_size, num_classes, rng)
+
+
+def electra_mini(rng: RNGBundle, vocab_size: int = 64, num_classes: int = 4) -> ElectraMini:
+    return ElectraMini(vocab_size, num_classes, rng)
+
+
+def swin_mini(rng: RNGBundle, num_classes: int = 10) -> SwinMini:
+    return SwinMini(num_classes, rng)

@@ -1,0 +1,46 @@
+"""Scaled-down VGG-19 (Simonyan & Zisserman).
+
+Plain stacked 3x3 convolutions with max-pooling and an MLP classifier —
+the densest conv workload in the suite, which is why it shares the worst
+D2 overhead with ResNet in Fig. 12.
+"""
+
+from __future__ import annotations
+
+from repro import nn
+from repro.tensor import ops
+from repro.tensor.tensor import Tensor
+from repro.utils.rng import RNGBundle
+
+
+class VGG(nn.Module):
+    def __init__(self, num_classes: int, rng: RNGBundle, in_channels: int = 3) -> None:
+        super().__init__()
+        cfg = [(8, 2), (16, 2)]  # (width, convs-per-stage) before each pool
+        layers = []
+        c_in = in_channels
+        idx = 0
+        for width, convs in cfg:
+            for _ in range(convs):
+                layers.append(nn.Conv2d(c_in, width, 3, rng.spawn("conv", idx), padding=1))
+                layers.append(nn.BatchNorm2d(width))
+                layers.append(nn.ReLU())
+                c_in = width
+                idx += 1
+            layers.append(nn.MaxPool2d(2))
+        self.features = nn.Sequential(*layers)
+        self.final_width = c_in
+        self.classifier_fc1 = nn.Linear(c_in, 32, rng.spawn("fc1"))
+        self.drop = nn.Dropout(0.5)
+        self.classifier_fc2 = nn.Linear(32, num_classes, rng.spawn("fc2"))
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.features(x)
+        out = ops.global_avg_pool(out)
+        out = self.classifier_fc1(out).relu()
+        out = self.drop(out)
+        return self.classifier_fc2(out)
+
+
+def vgg19_mini(rng: RNGBundle, num_classes: int = 10) -> VGG:
+    return VGG(num_classes, rng)

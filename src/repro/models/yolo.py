@@ -1,0 +1,66 @@
+"""Scaled-down YOLOv3-style single-box detector.
+
+A darknet-ish conv backbone with a joint head predicting box coordinates
+(regressed with smooth-L1) and an object class (cross-entropy) for the
+synthetic detection dataset.  Exercises the multi-task-loss code path and
+adds another conv-heavy workload for the D2 overhead study.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import nn
+from repro.nn.loss import cross_entropy, smooth_l1
+from repro.tensor import ops
+from repro.tensor.tensor import Tensor
+from repro.utils.rng import RNGBundle
+
+
+class ConvBlock(nn.Module):
+    """Conv + BN + LeakyReLU-ish (plain ReLU here) darknet block."""
+
+    def __init__(self, in_ch: int, out_ch: int, rng: RNGBundle, stride: int = 1) -> None:
+        super().__init__()
+        self.conv = nn.Conv2d(in_ch, out_ch, 3, rng, stride=stride, padding=1, bias=False)
+        self.bn = nn.BatchNorm2d(out_ch)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.bn(self.conv(x)).relu()
+
+
+class YOLOv3Mini(nn.Module):
+    def __init__(self, num_classes: int, rng: RNGBundle, in_channels: int = 3) -> None:
+        super().__init__()
+        self.num_classes = num_classes
+        self.backbone = nn.Sequential(
+            ConvBlock(in_channels, 8, rng.spawn("b0")),
+            ConvBlock(8, 16, rng.spawn("b1"), stride=2),
+            ConvBlock(16, 16, rng.spawn("b2")),
+            ConvBlock(16, 32, rng.spawn("b3"), stride=2),
+        )
+        self.head_box = nn.Linear(32, 3, rng.spawn("box"))  # (cx, cy, size)
+        self.head_cls = nn.Linear(32, num_classes, rng.spawn("cls"))
+
+    def forward(self, x: Tensor) -> Tensor:
+        feat = ops.global_avg_pool(self.backbone(x))
+        box = self.head_box(feat).sigmoid()  # coordinates normalized to [0,1]
+        cls = self.head_cls(feat)
+        return ops.concat([box, cls], axis=1)
+
+    def loss(self, output: Tensor, targets: np.ndarray) -> Tensor:
+        """Joint box-regression + classification loss.
+
+        ``targets`` rows are (cx, cy, size, class) as produced by
+        :class:`repro.data.datasets.SyntheticDetectionDataset`.
+        """
+        targets = np.asarray(targets, dtype=np.float32)
+        box_pred = output[:, :3]
+        cls_pred = output[:, 3:]
+        box_loss = smooth_l1(box_pred, targets[:, :3])
+        cls_loss = cross_entropy(cls_pred, targets[:, 3].astype(np.int64))
+        return box_loss + cls_loss
+
+
+def yolov3_mini(rng: RNGBundle, num_classes: int = 5) -> YOLOv3Mini:
+    return YOLOv3Mini(num_classes, rng)

@@ -1,0 +1,53 @@
+"""Seeded parameter initialization.
+
+Initialization draws from an explicit :class:`~repro.utils.rng.RNGBundle`
+(framework stream), never a hidden global, so that model construction is a
+pure function of the job seed — the D0 prerequisite that "the random seeds
+of RNGs are fixed at the beginning of training".
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+from repro.utils.rng import RNGBundle
+
+
+def _fan_in_out(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    if len(shape) == 2:  # linear: (out, in)
+        fan_out, fan_in = shape
+    elif len(shape) == 4:  # conv: (out, in, kh, kw)
+        receptive = shape[2] * shape[3]
+        fan_in = shape[1] * receptive
+        fan_out = shape[0] * receptive
+    else:
+        fan_in = fan_out = int(np.prod(shape[1:])) or 1
+    return fan_in, fan_out
+
+
+def kaiming_uniform(rng: RNGBundle, shape: Tuple[int, ...], a: float = math.sqrt(5)) -> np.ndarray:
+    """He/Kaiming uniform init (PyTorch's default for Linear/Conv weights)."""
+    fan_in, _ = _fan_in_out(shape)
+    gain = math.sqrt(2.0 / (1.0 + a * a))
+    bound = gain * math.sqrt(3.0 / fan_in)
+    return rng.uniform(shape, -bound, bound)
+
+
+def uniform_fan_in_bias(rng: RNGBundle, shape: Tuple[int, ...], fan_in: int) -> np.ndarray:
+    """PyTorch's default bias init: U(-1/sqrt(fan_in), +1/sqrt(fan_in))."""
+    bound = 1.0 / math.sqrt(fan_in) if fan_in > 0 else 0.0
+    return rng.uniform(shape, -bound, bound)
+
+
+def xavier_uniform(rng: RNGBundle, shape: Tuple[int, ...], gain: float = 1.0) -> np.ndarray:
+    fan_in, fan_out = _fan_in_out(shape)
+    bound = gain * math.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(shape, -bound, bound)
+
+
+def normal_(rng: RNGBundle, shape: Tuple[int, ...], std: float = 0.02) -> np.ndarray:
+    """Truncated-free normal init (transformer embedding convention)."""
+    return rng.normal(shape, 0.0, std)

@@ -1,0 +1,84 @@
+"""Framework-level implicit runtime state: the current RNG bundle.
+
+PyTorch's dropout draws from a process-global generator; the paper calls
+this out as one of the implicit framework states that must be captured for
+determinism.  We model it as a thread-local "current RNG bundle" that the
+training harness (a DDP worker or an EasyScale worker executing an EST)
+installs before running a mini-batch.  Layers that consume randomness
+(Dropout) read it here, so the randomness an EST sees is exactly the
+randomness recorded in its context.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator, List, Optional
+
+from repro.utils.rng import RNGBundle
+
+
+class _RngStack(threading.local):
+    def __init__(self) -> None:
+        self.stack: List[RNGBundle] = []
+
+
+_STACK = _RngStack()
+
+
+class _BNJournalStack(threading.local):
+    def __init__(self) -> None:
+        self.stack: List[list] = []
+
+
+_BN_STACK = _BNJournalStack()
+
+
+def current_bn_journal() -> Optional[list]:
+    """The BatchNorm-stats journal installed by :func:`collect_bn_stats`.
+
+    BatchNorm running statistics are *implicit framework state* (§3.3).  In
+    a data-parallel step every logical worker computes its own batch stats;
+    to keep the resulting buffers independent of the physical execution
+    interleaving, training harnesses install a journal: BN layers append
+    ``(layer, mean, unbiased_var)`` instead of mutating their buffers, and
+    the harness folds the entries in **virtual-rank order** at the end of
+    the global step.
+    """
+    if _BN_STACK.stack:
+        return _BN_STACK.stack[-1]
+    return None
+
+
+@contextmanager
+def collect_bn_stats() -> Iterator[list]:
+    """Divert BatchNorm buffer updates into a journal for deferred folding."""
+    journal: list = []
+    _BN_STACK.stack.append(journal)
+    try:
+        yield journal
+    finally:
+        popped = _BN_STACK.stack.pop()
+        assert popped is journal, "BN journal stack corrupted"
+
+
+def current_rng(required: bool = True) -> Optional[RNGBundle]:
+    """The RNG bundle installed by the innermost :func:`use_rng` scope."""
+    if _STACK.stack:
+        return _STACK.stack[-1]
+    if required:
+        raise RuntimeError(
+            "no RNG bundle installed; wrap training steps in `with use_rng(bundle):`"
+        )
+    return None
+
+
+@contextmanager
+def use_rng(bundle: RNGBundle) -> Iterator[RNGBundle]:
+    """Install ``bundle`` as the framework RNG for the scope."""
+    _STACK.stack.append(bundle)
+    try:
+        yield bundle
+    finally:
+        popped = _STACK.stack.pop()
+        assert popped is bundle, "RNG stack corrupted"

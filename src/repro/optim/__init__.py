@@ -1,0 +1,17 @@
+"""Optimizers and LR schedulers (the reproduction's ``torch.optim``)."""
+
+from repro.optim.optimizer import Optimizer
+from repro.optim.sgd import SGD
+from repro.optim.adam import Adam, AdamW
+from repro.optim.lr_scheduler import CosineAnnealingLR, LRScheduler, MultiStepLR, StepLR
+
+__all__ = [
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "AdamW",
+    "LRScheduler",
+    "StepLR",
+    "MultiStepLR",
+    "CosineAnnealingLR",
+]

@@ -1,0 +1,84 @@
+"""Adam / AdamW optimizers."""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+import numpy as np
+
+from repro.nn.module import Parameter
+from repro.optim.optimizer import Optimizer
+
+
+class Adam(Optimizer):
+    """Adam with bias correction; ``decoupled=True`` gives AdamW."""
+
+    def __init__(
+        self,
+        named_params: Iterable[Tuple[str, Parameter]],
+        lr: float = 1e-3,
+        betas: Tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+        decoupled: bool = False,
+    ) -> None:
+        super().__init__(named_params, lr)
+        if not (0.0 <= betas[0] < 1.0 and 0.0 <= betas[1] < 1.0):
+            raise ValueError(f"betas must be in [0, 1), got {betas}")
+        self.betas = (float(betas[0]), float(betas[1]))
+        self.eps = float(eps)
+        self.weight_decay = float(weight_decay)
+        self.decoupled = decoupled
+        self._step_count = 0
+
+    def step(self) -> None:
+        self._step_count += 1
+        t = self._step_count
+        b1, b2 = np.float32(self.betas[0]), np.float32(self.betas[1])
+        lr = np.float32(self.lr)
+        eps = np.float32(self.eps)
+        wd = np.float32(self.weight_decay)
+        bias1 = np.float32(1.0 - self.betas[0] ** t)
+        bias2 = np.float32(1.0 - self.betas[1] ** t)
+        for name, param in self.named_params:
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay and not self.decoupled:
+                grad = grad + wd * param.data
+            m = self._slot(name, "exp_avg", param.data)
+            v = self._slot(name, "exp_avg_sq", param.data)
+            m = b1 * m + (np.float32(1.0) - b1) * grad
+            v = b2 * v + (np.float32(1.0) - b2) * grad * grad
+            self._set_slot(name, "exp_avg", m)
+            self._set_slot(name, "exp_avg_sq", v)
+            m_hat = m / bias1
+            v_hat = v / bias2
+            update = m_hat / (np.sqrt(v_hat) + eps)
+            if self.weight_decay and self.decoupled:
+                update = update + wd * param.data
+            param.data = param.data - lr * update
+
+    def _extra_state(self):
+        return {
+            "betas": self.betas,
+            "eps": self.eps,
+            "weight_decay": self.weight_decay,
+            "decoupled": self.decoupled,
+            "step_count": self._step_count,
+        }
+
+    def _load_extra_state(self, extra) -> None:
+        if extra:
+            self.betas = tuple(extra["betas"])  # type: ignore[assignment]
+            self.eps = float(extra["eps"])
+            self.weight_decay = float(extra["weight_decay"])
+            self.decoupled = bool(extra["decoupled"])
+            self._step_count = int(extra["step_count"])
+
+
+class AdamW(Adam):
+    """Decoupled weight-decay Adam (transformer default)."""
+
+    def __init__(self, named_params, lr: float = 1e-3, betas=(0.9, 0.999), eps: float = 1e-8, weight_decay: float = 0.01) -> None:
+        super().__init__(named_params, lr, betas, eps, weight_decay, decoupled=True)

@@ -1,0 +1,76 @@
+"""Optimizer base class with bitwise-serializable state.
+
+Optimizer state (momentum buffers, Adam moments) is part of the "parameters"
+third of the on-demand checkpoint (§3.2): one replica per EasyScale worker,
+shared by all ESTs, updated only at global-step boundaries.  States are
+keyed by parameter *name* (not object identity) so a checkpoint written by a
+4-GPU run restores exactly into a 1-GPU run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+import numpy as np
+
+from repro.nn.module import Parameter
+
+
+class Optimizer:
+    """Base: named parameters, step/zero_grad, bitwise state dicts."""
+
+    def __init__(self, named_params: Iterable[Tuple[str, Parameter]], lr: float) -> None:
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.named_params: List[Tuple[str, Parameter]] = list(named_params)
+        if not self.named_params:
+            raise ValueError("optimizer got an empty parameter list")
+        names = [n for n, _ in self.named_params]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate parameter names passed to optimizer")
+        self.lr = float(lr)
+        self.state: Dict[str, Dict[str, np.ndarray]] = {}
+
+    def zero_grad(self) -> None:
+        for _, param in self.named_params:
+            param.grad = None
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, object]:
+        return {
+            "lr": self.lr,
+            "state": {
+                name: {k: np.asarray(v).copy() for k, v in slots.items()}
+                for name, slots in self.state.items()
+            },
+            "extra": self._extra_state(),
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        self.lr = float(state["lr"])
+        self.state = {
+            name: {k: np.asarray(v).copy() for k, v in slots.items()}
+            for name, slots in state["state"].items()  # type: ignore[union-attr]
+        }
+        self._load_extra_state(state.get("extra", {}))
+
+    def _extra_state(self) -> Dict[str, object]:
+        return {}
+
+    def _load_extra_state(self, extra: Dict[str, object]) -> None:
+        pass
+
+    def _slot(self, name: str, key: str, like: np.ndarray) -> np.ndarray:
+        """Get-or-create a state buffer for parameter ``name``."""
+        slots = self.state.setdefault(name, {})
+        if key not in slots:
+            slots[key] = np.zeros_like(like)
+        return slots[key]
+
+    def _set_slot(self, name: str, key: str, value: np.ndarray) -> None:
+        self.state.setdefault(name, {})[key] = value

@@ -1,0 +1,67 @@
+"""SGD with momentum and weight decay (PyTorch update order)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+import numpy as np
+
+from repro.nn.module import Parameter
+from repro.optim.optimizer import Optimizer
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent.
+
+    Follows PyTorch semantics exactly (weight decay folded into the
+    gradient, then momentum buffer update, then parameter update), because
+    the bitwise-equality experiments compare against "what DDP would have
+    produced" and any re-association here would break them.
+    """
+
+    def __init__(
+        self,
+        named_params: Iterable[Tuple[str, Parameter]],
+        lr: float,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+        nesterov: bool = False,
+    ) -> None:
+        super().__init__(named_params, lr)
+        if momentum < 0:
+            raise ValueError(f"momentum must be non-negative, got {momentum}")
+        if nesterov and momentum == 0:
+            raise ValueError("nesterov momentum requires momentum > 0")
+        self.momentum = float(momentum)
+        self.weight_decay = float(weight_decay)
+        self.nesterov = nesterov
+
+    def step(self) -> None:
+        lr = np.float32(self.lr)
+        wd = np.float32(self.weight_decay)
+        mu = np.float32(self.momentum)
+        for name, param in self.named_params:
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + wd * param.data
+            if self.momentum:
+                buf = self._slot(name, "momentum", param.data)
+                buf = mu * buf + grad
+                self._set_slot(name, "momentum", buf)
+                grad = grad + mu * buf if self.nesterov else buf
+            param.data = param.data - lr * grad
+
+    def _extra_state(self):
+        return {
+            "momentum": self.momentum,
+            "weight_decay": self.weight_decay,
+            "nesterov": self.nesterov,
+        }
+
+    def _load_extra_state(self, extra) -> None:
+        if extra:
+            self.momentum = float(extra["momentum"])
+            self.weight_decay = float(extra["weight_decay"])
+            self.nesterov = bool(extra["nesterov"])

@@ -1,0 +1,132 @@
+"""The companion module: a database of scheduling plans per job (§3.4).
+
+For a job with ``maxP`` ESTs and a capability profile ``C_i`` the
+companion enumerates EST-to-GPU-type mappings, scores them with the
+Eq. (1) model, and answers two queries for the intra-job scheduler:
+
+- ``best_plans(available)`` — top-K feasible plans under the currently
+  free GPUs (Role-1/Role-2 input);
+- ``update_capability(type, measured)`` — bias correction: when reported
+  throughput diverges from the estimate, the database re-fits that type's
+  capability and re-scores (the "actively update the database once it has
+  monitored significant biases" behaviour).
+
+Plans balance load by assigning ESTs proportionally to capability, with
+floor/ceil integrality choices enumerated (the "quantum property of EST
+allocation" the paper calls out).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.sched.perfmodel import Plan, ScoredPlan, estimated_throughput
+
+
+class CompanionModule:
+    """Plan database + capability profile for one job."""
+
+    def __init__(
+        self,
+        max_p: int,
+        capability: Mapping[str, float],
+        homogeneous_only: bool = False,
+        bias_threshold: float = 0.25,
+        max_gpus_per_type: int = 16,
+    ) -> None:
+        if max_p <= 0:
+            raise ValueError("maxP must be positive")
+        if not capability:
+            raise ValueError("capability profile is empty")
+        self.max_p = max_p
+        self.capability: Dict[str, float] = dict(capability)
+        self.homogeneous_only = homogeneous_only
+        self.bias_threshold = bias_threshold
+        self.max_gpus_per_type = max_gpus_per_type
+        #: (estimate, measurement) pairs observed, for bias diagnostics
+        self.observations: List[Tuple[str, float, float]] = []
+
+    # ------------------------------------------------------------------
+    # plan enumeration
+    # ------------------------------------------------------------------
+    def _candidate_counts(self, available: Mapping[str, int]) -> Iterable[Dict[str, int]]:
+        """Yield candidate GPU-count vectors under the availability caps."""
+        types = [t for t in sorted(available) if available[t] > 0 and t in self.capability]
+        if not types:
+            return
+        if self.homogeneous_only:
+            for gtype in types:
+                cap = min(available[gtype], self.max_p, self.max_gpus_per_type)
+                for n in range(1, cap + 1):
+                    yield {gtype: n}
+            return
+        ranges = [
+            range(0, min(available[t], self.max_p, self.max_gpus_per_type) + 1) for t in types
+        ]
+        for counts in itertools.product(*ranges):
+            if sum(counts) == 0 or sum(counts) > self.max_p:
+                continue
+            yield {t: c for t, c in zip(types, counts) if c > 0}
+
+    def _ests_for_counts(self, counts: Mapping[str, int]) -> Iterable[Dict[str, int]]:
+        """Proportional-to-capability EST split, floor/ceil enumerated."""
+        types = sorted(counts)
+        total_cap = sum(counts[t] * self.capability[t] for t in types)
+        if total_cap <= 0:
+            return
+        ideal = {t: self.max_p * self.capability[t] / total_cap for t in types}
+        choices = []
+        for t in types:
+            lo = max(1, int(ideal[t]))
+            options = {lo, lo + 1}
+            choices.append(sorted(options))
+        for combo in itertools.product(*choices):
+            yield {t: a for t, a in zip(types, combo)}
+
+    def enumerate_plans(self, available: Mapping[str, int]) -> List[ScoredPlan]:
+        """All feasible scored plans under the given free-GPU counts."""
+        scored: List[ScoredPlan] = []
+        seen = set()
+        for counts in self._candidate_counts(available):
+            for ests in self._ests_for_counts(counts):
+                plan = Plan.build({t: (counts[t], ests[t]) for t in counts}, self.max_p)
+                if not plan.is_feasible:
+                    continue
+                if plan.alloc in seen:
+                    continue
+                seen.add(plan.alloc)
+                throughput = estimated_throughput(plan, self.capability)
+                if throughput <= 0:
+                    continue
+                scored.append(ScoredPlan(plan=plan, throughput=throughput))
+        scored.sort(key=lambda s: (-s.throughput, s.plan.total_gpus))
+        return scored
+
+    def best_plans(self, available: Mapping[str, int], top_k: int = 3) -> List[ScoredPlan]:
+        return self.enumerate_plans(available)[:top_k]
+
+    def best_plan(self, available: Mapping[str, int]) -> Optional[ScoredPlan]:
+        plans = self.best_plans(available, top_k=1)
+        return plans[0] if plans else None
+
+    # ------------------------------------------------------------------
+    # bias correction
+    # ------------------------------------------------------------------
+    def report_measurement(self, gtype: str, estimated: float, measured: float) -> bool:
+        """Record an (estimate, measurement) pair; re-fit on large bias.
+
+        Returns True if the capability profile was updated.
+        """
+        if gtype not in self.capability:
+            raise KeyError(f"unknown GPU type {gtype!r}")
+        self.observations.append((gtype, estimated, measured))
+        if estimated <= 0:
+            return False
+        bias = abs(measured - estimated) / estimated
+        if bias > self.bias_threshold and measured > 0:
+            correction = measured / estimated
+            self.capability[gtype] *= correction
+            return True
+        return False

@@ -1,0 +1,87 @@
+"""Historical capability profiles for companion warm starts (§3.4).
+
+"When a job runs for the first time, the companion module initializes the
+database using historical data."  The history store keeps per-workload
+measured capability profiles (mini-batches/s per GPU type) across job
+lifetimes, persisted as JSON, so a new job's companion starts from what
+the cluster actually delivered last time instead of the registry's static
+estimates — and contributes its own measurements back on completion.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Mapping, Optional
+
+
+class HistoryStore:
+    """Per-workload capability profiles with JSON persistence."""
+
+    def __init__(self) -> None:
+        self._profiles: Dict[str, Dict[str, float]] = {}
+        #: how many jobs contributed to each profile (for weighted merge)
+        self._counts: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def lookup(self, workload: str) -> Optional[Dict[str, float]]:
+        """The stored capability profile, or None on a cold start."""
+        profile = self._profiles.get(workload)
+        return dict(profile) if profile else None
+
+    def capability_for(
+        self, workload: str, default: Mapping[str, float]
+    ) -> Dict[str, float]:
+        """Warm-start profile: history where available, default elsewhere."""
+        merged = dict(default)
+        merged.update(self._profiles.get(workload, {}))
+        return merged
+
+    def jobs_seen(self, workload: str) -> int:
+        return self._counts.get(workload, 0)
+
+    # ------------------------------------------------------------------
+    # contribution
+    # ------------------------------------------------------------------
+    def record(self, workload: str, measured: Mapping[str, float]) -> None:
+        """Fold one job's measured per-type capability into the history.
+
+        Uses a running mean per GPU type, so outlier jobs don't overwrite
+        the profile.
+        """
+        for gtype, value in measured.items():
+            if value <= 0:
+                raise ValueError(f"measured capability must be positive, got {value}")
+        count = self._counts.get(workload, 0)
+        profile = self._profiles.setdefault(workload, {})
+        for gtype, value in measured.items():
+            if gtype in profile:
+                profile[gtype] = (profile[gtype] * count + float(value)) / (count + 1)
+            else:
+                profile[gtype] = float(value)
+        self._counts[workload] = count + 1
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def save(self, path) -> None:
+        payload = {"profiles": self._profiles, "counts": self._counts}
+        path = os.fspath(path)
+        tmp = f"{path}.tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        os.replace(tmp, path)
+
+    @classmethod
+    def load(cls, path) -> "HistoryStore":
+        store = cls()
+        with open(path, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+        store._profiles = {
+            wl: {g: float(v) for g, v in prof.items()}
+            for wl, prof in payload.get("profiles", {}).items()
+        }
+        store._counts = {wl: int(c) for wl, c in payload.get("counts", {}).items()}
+        return store

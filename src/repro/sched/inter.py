@@ -1,0 +1,94 @@
+"""Inter-job (cluster) scheduler (§3.4): greedy proposal arbitration.
+
+The cluster scheduler evaluates the resource proposals submitted by all
+intra-job schedulers against the free-resource table and grants greedily:
+
+- higher **speedup per GPU** first (most cluster-wide throughput per
+  granted device);
+- ties broken toward the proposal with **more GPUs** (drain free pools
+  faster);
+- a job receives at most one grant per round (its intra-job scheduler
+  re-proposes after rescheduling).
+
+Free resources fluctuate because EasyScale co-locates with non-elastic
+high-priority jobs (online serving): :meth:`InterJobScheduler.reclaim`
+revokes GPUs from elastic jobs when serving demand spikes, smallest
+speedup-per-GPU victims first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.sched.intra import ResourceProposal
+
+
+@dataclass(frozen=True)
+class Grant:
+    job_id: str
+    gtype: str
+    gpus: int
+
+
+class InterJobScheduler:
+    """Greedy speedup-per-GPU arbitration over submitted proposals."""
+
+    def __init__(self) -> None:
+        self.grant_log: List[Grant] = []
+
+    def arbitrate(
+        self,
+        proposals: Sequence[ResourceProposal],
+        free: Mapping[str, int],
+    ) -> List[Grant]:
+        """Grant proposals against the free table; one grant per job/round."""
+        remaining: Dict[str, int] = {k: int(v) for k, v in free.items()}
+        ranked = sorted(proposals, key=lambda p: (-p.speedup_per_gpu, -p.extra_gpus))
+        granted: List[Grant] = []
+        granted_jobs = set()
+        for proposal in ranked:
+            if proposal.job_id in granted_jobs:
+                continue
+            if proposal.speedup_per_gpu <= 0:
+                continue
+            available = remaining.get(proposal.gtype, 0)
+            if proposal.extra_gpus > available:
+                continue
+            remaining[proposal.gtype] = available - proposal.extra_gpus
+            grant = Grant(proposal.job_id, proposal.gtype, proposal.extra_gpus)
+            granted.append(grant)
+            granted_jobs.add(proposal.job_id)
+            self.grant_log.append(grant)
+        return granted
+
+    @staticmethod
+    def reclaim(
+        demand: Mapping[str, int],
+        holdings: Mapping[str, Mapping[str, int]],
+        priorities: Optional[Mapping[str, float]] = None,
+    ) -> List[Grant]:
+        """Revoke GPUs from elastic jobs to satisfy serving ``demand``.
+
+        ``holdings[job][gtype]`` is what each elastic job currently holds;
+        ``priorities[job]`` (higher = keep longer) defaults to holdings
+        size, so the cheapest-to-shrink jobs shed GPUs first.  Returns
+        negative grants (revocations).
+        """
+        revocations: List[Grant] = []
+        for gtype, needed in demand.items():
+            if needed <= 0:
+                continue
+            victims = sorted(
+                (job for job in holdings if holdings[job].get(gtype, 0) > 0),
+                key=lambda j: (priorities or {}).get(j, sum(holdings[j].values())),
+            )
+            left = needed
+            for job in victims:
+                if left <= 0:
+                    break
+                take = min(holdings[job].get(gtype, 0), left)
+                if take > 0:
+                    revocations.append(Grant(job_id=job, gtype=gtype, gpus=-take))
+                    left -= take
+        return revocations

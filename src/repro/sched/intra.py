@@ -1,0 +1,183 @@
+"""Intra-job scheduler (§3.4): EST-to-GPU mapping and resource proposals.
+
+Three roles, verbatim from the paper:
+
+- **Role-1** — under the job's current GPUs, query the companion database
+  and apply the top-1 configuration (highest estimated throughput);
+- **Role-2** — explore scale-out: for incremental homogeneous GPU chunks,
+  compute the estimated speedup and submit the top-K as resource
+  proposals to the inter-job scheduler;
+- **Role-3** — when a scheduling decision arrives, scale in/out
+  immediately, reschedule ESTs (Role-1 again), and generate new proposals
+  (Role-2 again).  If measured throughput regresses after a grant, fall
+  back to the previous allocation and release the new GPUs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.engine import WorkerAssignment
+from repro.hw.gpu import gpu_type
+from repro.sched.companion import CompanionModule
+from repro.sched.perfmodel import Plan, ScoredPlan, estimated_throughput
+
+
+@dataclass(frozen=True)
+class ResourceProposal:
+    """A scale-out request: 'give job X ``extra`` more GPUs of ``gtype``'."""
+
+    job_id: str
+    gtype: str
+    extra_gpus: int
+    current_throughput: float
+    proposed_throughput: float
+    proposed_plan: Plan
+
+    @property
+    def speedup(self) -> float:
+        if self.current_throughput <= 0:
+            return float("inf") if self.proposed_throughput > 0 else 0.0
+        return self.proposed_throughput / self.current_throughput
+
+    @property
+    def speedup_per_gpu(self) -> float:
+        gain = self.proposed_throughput - self.current_throughput
+        return gain / self.extra_gpus if self.extra_gpus > 0 else 0.0
+
+
+def plan_to_assignment(plan: Plan) -> WorkerAssignment:
+    """Concretize a plan into per-worker EST lists.
+
+    ESTs (virtual ranks 0..maxP-1) are dealt to GPUs in plan order, each
+    GPU taking up to its ``A_i`` quota; over-provisioned slots beyond maxP
+    simply go unused, and a GPU left with zero ESTs is dropped (its grant
+    is wasted capacity the waste term already charged for).
+    """
+    gpus = []
+    est_map: List[List[int]] = []
+    cursor = 0
+    for gtype_name, n, a in plan.alloc:
+        for _ in range(n):
+            take = min(a, plan.max_p - cursor)
+            if take <= 0:
+                continue
+            gpus.append(gpu_type(_canonical(gtype_name)))
+            est_map.append(list(range(cursor, cursor + take)))
+            cursor += take
+    if cursor != plan.max_p:
+        raise ValueError(
+            f"plan capacity {plan.n_est_capacity} failed to place {plan.max_p} ESTs"
+        )
+    return WorkerAssignment(gpus=tuple(gpus), est_map=tuple(tuple(s) for s in est_map))
+
+
+def _canonical(name: str) -> str:
+    return {"v100": "V100", "p100": "P100", "t4": "T4"}.get(name.lower(), name)
+
+
+class IntraJobScheduler:
+    """Per-job scheduling agent backed by a companion module."""
+
+    def __init__(
+        self,
+        job_id: str,
+        companion: CompanionModule,
+        # chunk sizes explored for scale-out proposals; the larger chunks
+        # matter because EST integrality creates plateaus (e.g. going from
+        # 8 to 12 GPUs for a 16-EST job adds only over-provisioning waste,
+        # while 8 -> 16 doubles throughput)
+        scaleout_chunks: Sequence[int] = (1, 2, 4, 8, 16),
+        top_k: int = 3,
+    ) -> None:
+        self.job_id = job_id
+        self.companion = companion
+        self.scaleout_chunks = tuple(scaleout_chunks)
+        self.top_k = top_k
+        self.current_plan: Optional[Plan] = None
+        self._previous_plan: Optional[Plan] = None
+
+    # ------------------------------------------------------------------
+    # Role-1
+    # ------------------------------------------------------------------
+    def apply_best_plan(self, owned: Mapping[str, int]) -> Optional[ScoredPlan]:
+        """Pick the best configuration for the GPUs the job currently owns."""
+        if sum(owned.values()) == 0:
+            self._previous_plan, self.current_plan = self.current_plan, None
+            return None
+        best = self.companion.best_plan(owned)
+        if best is None:
+            self._previous_plan, self.current_plan = self.current_plan, None
+            return None
+        self._previous_plan = self.current_plan
+        self.current_plan = best.plan
+        return best
+
+    def current_assignment(self) -> Optional[WorkerAssignment]:
+        if self.current_plan is None:
+            return None
+        return plan_to_assignment(self.current_plan)
+
+    def current_throughput(self) -> float:
+        if self.current_plan is None:
+            return 0.0
+        return estimated_throughput(self.current_plan, self.companion.capability)
+
+    # ------------------------------------------------------------------
+    # Role-2
+    # ------------------------------------------------------------------
+    def propose(
+        self, owned: Mapping[str, int], cluster_free: Mapping[str, int]
+    ) -> List[ResourceProposal]:
+        """Generate scale-out proposals with incremental homogeneous GPUs."""
+        current_tp = self.current_throughput()
+        proposals: List[ResourceProposal] = []
+        for gtype, free in sorted(cluster_free.items()):
+            if gtype not in self.companion.capability or free <= 0:
+                continue
+            for chunk in self.scaleout_chunks:
+                if chunk > free:
+                    break
+                hypothetical = dict(owned)
+                hypothetical[gtype] = hypothetical.get(gtype, 0) + chunk
+                best = self.companion.best_plan(hypothetical)
+                if best is None:
+                    continue
+                if best.throughput <= current_tp * 1.001:
+                    continue  # no meaningful speedup: don't hoard GPUs
+                proposals.append(
+                    ResourceProposal(
+                        job_id=self.job_id,
+                        gtype=gtype,
+                        extra_gpus=chunk,
+                        current_throughput=current_tp,
+                        proposed_throughput=best.throughput,
+                        proposed_plan=best.plan,
+                    )
+                )
+        proposals.sort(key=lambda p: (-p.speedup_per_gpu, -p.extra_gpus))
+        return proposals[: self.top_k]
+
+    # ------------------------------------------------------------------
+    # Role-3
+    # ------------------------------------------------------------------
+    def on_decision(self, owned: Mapping[str, int]) -> Optional[WorkerAssignment]:
+        """React to a grant/revocation: re-plan on the new ownership."""
+        best = self.apply_best_plan(owned)
+        return plan_to_assignment(best.plan) if best else None
+
+    def on_slowdown(self, measured: float, estimated: float) -> bool:
+        """Fallback check after a reconfiguration (Role-3 tail).
+
+        Returns True when the job should revert to its previous plan —
+        i.e. the measured throughput came in below the previous plan's.
+        """
+        if self._previous_plan is None:
+            return False
+        previous_tp = estimated_throughput(self._previous_plan, self.companion.capability)
+        if measured < previous_tp:
+            self.current_plan = self._previous_plan
+            self._previous_plan = None
+            return True
+        return False

@@ -1,0 +1,131 @@
+"""The analytical performance model of §3.4 (Equations 1a–1d).
+
+A *plan* allocates ``N_i`` GPUs of type ``i``, each hosting ``A_i`` ESTs.
+With per-GPU workload capability ``C_i`` (mini-batches/second), the model
+computes:
+
+- ``nEST = Σ N_i·A_i  ≥ maxP``                                   (1a)
+- ``f_overload = max_{i, N_i>0} A_i / C_i``                       (1b)
+  — the slowest GPU's time to finish its local steps; Sync-SGD makes it
+  the global step time, so everyone else idles against it;
+- ``waste = Σ_{i, N_i>0} N_i·(C_i − A_i/f_overload)
+           + (nEST − maxP)/f_overload``                           (1c)
+  — capability stranded by load imbalance, plus over-provisioned EST
+  slots that exist only to satisfy integrality;
+- ``throughput = Σ N_i·C_i − waste``                              (1d)
+
+A perfectly balanced homogeneous plan has zero waste and throughput equal
+to the aggregate capability; mixing a slow GPU type with too many ESTs
+drives ``f_overload`` up and strands the fast GPUs' capability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Tuple
+
+
+@dataclass(frozen=True)
+class Plan:
+    """An EST-to-GPU-type mapping: ``alloc[type] = (N_i, A_i)``."""
+
+    alloc: Tuple[Tuple[str, int, int], ...]  # (gpu_type, N_i, A_i), sorted
+    max_p: int
+
+    @classmethod
+    def build(cls, alloc: Mapping[str, Tuple[int, int]], max_p: int) -> "Plan":
+        if max_p <= 0:
+            raise ValueError("maxP must be positive")
+        entries = []
+        for gtype, (n, a) in sorted(alloc.items()):
+            if n < 0 or a < 0:
+                raise ValueError(f"negative allocation for {gtype}")
+            if n > 0 and a == 0:
+                raise ValueError(f"{gtype}: GPUs allocated but zero ESTs per GPU")
+            if n > 0:
+                entries.append((gtype, n, a))
+        if not entries:
+            raise ValueError("plan allocates no GPUs")
+        return cls(alloc=tuple(entries), max_p=max_p)
+
+    @property
+    def n_est_capacity(self) -> int:
+        """Eq. (1a): total EST slots across all allocated GPUs."""
+        return sum(n * a for _, n, a in self.alloc)
+
+    @property
+    def total_gpus(self) -> int:
+        return sum(n for _, n, _ in self.alloc)
+
+    def gpus_of(self, gtype: str) -> int:
+        for name, n, _ in self.alloc:
+            if name == gtype:
+                return n
+        return 0
+
+    def ests_per_gpu(self, gtype: str) -> int:
+        for name, _, a in self.alloc:
+            if name == gtype:
+                return a
+        return 0
+
+    @property
+    def is_feasible(self) -> bool:
+        return self.n_est_capacity >= self.max_p
+
+    @property
+    def is_homogeneous(self) -> bool:
+        return len(self.alloc) == 1
+
+
+def overload_factor(plan: Plan, capability: Mapping[str, float]) -> float:
+    """Eq. (1b): the bottleneck GPU's seconds-per-global-step."""
+    worst = 0.0
+    for gtype, n, a in plan.alloc:
+        c = capability[gtype]
+        if c <= 0:
+            raise ValueError(f"capability of {gtype} must be positive, got {c}")
+        worst = max(worst, a / c)
+    if worst <= 0:
+        raise ValueError("plan has no work assigned")
+    return worst
+
+
+def waste(plan: Plan, capability: Mapping[str, float]) -> float:
+    """Eq. (1c): stranded capability from imbalance + over-provisioning."""
+    if not plan.is_feasible:
+        raise ValueError(
+            f"infeasible plan: capacity {plan.n_est_capacity} < maxP {plan.max_p}"
+        )
+    f = overload_factor(plan, capability)
+    imbalance = sum(
+        n * (capability[gtype] - a / f) for gtype, n, a in plan.alloc
+    )
+    over_provision = (plan.n_est_capacity - plan.max_p) / f
+    return imbalance + over_provision
+
+
+def estimated_throughput(plan: Plan, capability: Mapping[str, float]) -> float:
+    """Eq. (1d): aggregate mini-batches/second after subtracting waste."""
+    aggregate = sum(n * capability[gtype] for gtype, n, _ in plan.alloc)
+    return aggregate - waste(plan, capability)
+
+
+@dataclass(frozen=True)
+class ScoredPlan:
+    plan: Plan
+    throughput: float
+
+    @property
+    def throughput_per_gpu(self) -> float:
+        return self.throughput / plan_gpus(self.plan)
+
+
+def plan_gpus(plan: Plan) -> int:
+    """Total GPUs a plan allocates (convenience for scoring)."""
+    return plan.total_gpus
+
+
+def score_plan(plan: Plan, capability: Mapping[str, float]) -> ScoredPlan:
+    """Attach the Eq. (1d) throughput estimate to a plan."""
+    return ScoredPlan(plan=plan, throughput=estimated_throughput(plan, capability))

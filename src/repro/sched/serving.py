@@ -1,0 +1,153 @@
+"""Online-serving co-location simulation (Figs. 1 and 16, §5.3).
+
+The production cluster serves online inference with a strong diurnal
+pattern: the gap between idle and peak GPU demand reaches ~2,000 GPUs
+(Fig. 1).  EasyScale jobs run as non-production (best-effort) tenants on
+the idle GPUs: when serving demand spikes they *scale in within seconds*
+(on-demand checkpoint, no failure), and when servers leave they fill the
+freed GPUs back up within minutes.
+
+:func:`simulate_colocation` replays two days at minute granularity —
+day 1 without EasyScale, day 2 with it — and reports the paper's headline
+production metrics: GPU allocation-ratio uplift (+17.1%), average SM
+utilization uplift (+62.1 points of relative improvement), preemption
+count (~362/day) with zero job failures, and sub-5-minute refill.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.utils.rng import derive_seed
+
+MINUTES_PER_DAY = 1440
+
+
+@dataclass
+class ServingLoadModel:
+    """Diurnal serving demand in GPUs over minutes."""
+
+    total_gpus: int = 3000
+    base_fraction: float = 0.35
+    peak_fraction: float = 0.85
+    noise_fraction: float = 0.03
+    #: minute of peak demand (e.g. 820 ≈ 13:40 local)
+    peak_minute: int = 820
+    seed: int = 0
+
+    def demand(self, minute: float) -> int:
+        """Serving GPUs needed at a given absolute minute."""
+        phase = 2 * np.pi * ((minute - self.peak_minute) % MINUTES_PER_DAY) / MINUTES_PER_DAY
+        mid = (self.base_fraction + self.peak_fraction) / 2
+        amp = (self.peak_fraction - self.base_fraction) / 2
+        level = mid + amp * np.cos(phase)
+        rng = np.random.Generator(
+            np.random.PCG64(derive_seed(self.seed, "serving", int(minute)))
+        )
+        noisy = level + float(rng.normal(0, self.noise_fraction))
+        gpus = int(round(np.clip(noisy, 0.0, 1.0) * self.total_gpus))
+        return min(gpus, self.total_gpus)
+
+    def series(self, minutes: int = 2 * MINUTES_PER_DAY) -> np.ndarray:
+        return np.array([self.demand(m) for m in range(minutes)], dtype=np.int64)
+
+
+@dataclass
+class ColocationStats:
+    """Per-minute series + summary of the two-day experiment."""
+
+    minutes: np.ndarray
+    serving_alloc: np.ndarray
+    training_alloc: np.ndarray
+    utilization: np.ndarray
+    preemptions_day2: int
+    failures_day2: int
+    scale_in_latency_s: float
+    refill_minutes: float
+
+    @property
+    def total_alloc(self) -> np.ndarray:
+        return self.serving_alloc + self.training_alloc
+
+    def day_slice(self, day: int) -> slice:
+        return slice(day * MINUTES_PER_DAY, (day + 1) * MINUTES_PER_DAY)
+
+    def alloc_ratio(self, day: int, total_gpus: int) -> float:
+        sl = self.day_slice(day)
+        return float(self.total_alloc[sl].mean() / total_gpus)
+
+    def mean_utilization(self, day: int) -> float:
+        sl = self.day_slice(day)
+        return float(self.utilization[sl].mean())
+
+
+def simulate_colocation(
+    total_gpus: int = 3000,
+    seed: int = 0,
+    serving_sm_util: float = 0.22,
+    training_sm_util: float = 0.92,
+    scale_in_latency_s: float = 4.0,
+    refill_minutes: float = 4.0,
+    training_demand_gpus: int = 900,
+    sla_headroom_gpus: int = 32,
+    gpus_per_job: int = 8,
+) -> ColocationStats:
+    """Replay day-1 (serving only) and day-2 (serving + EasyScale).
+
+    SM utilization is modelled per GPU class: serving GPUs run at low
+    average utilization (over-provisioned for latency SLAs), training GPUs
+    near saturation — the source of the paper's utilization uplift.
+    ``training_demand_gpus`` caps how many idle GPUs the elastic tenant
+    can productively use at once (its own job backlog);
+    ``sla_headroom_gpus`` is the free buffer the elastic tenant always
+    leaves for instantaneous serving bursts, so minute-level noise does not
+    cause churn; preemptions are counted per affected job (~``gpus_per_job``
+    GPUs each).
+    """
+    load = ServingLoadModel(total_gpus=total_gpus, seed=seed)
+    minutes = np.arange(2 * MINUTES_PER_DAY)
+    serving = load.series(2 * MINUTES_PER_DAY)
+
+    training = np.zeros_like(serving)
+    utilization = np.zeros(2 * MINUTES_PER_DAY, dtype=np.float64)
+    preemptions = 0
+    current_training = 0
+
+    for m in range(2 * MINUTES_PER_DAY):
+        day2 = m >= MINUTES_PER_DAY
+        idle = total_gpus - serving[m]
+        if day2:
+            target = min(max(idle - sla_headroom_gpus, 0), training_demand_gpus)
+            if idle < current_training:
+                # hard conflict with serving: scale in immediately
+                # (within seconds); one preemption per affected job
+                shed = current_training - idle
+                preemptions += max(1, int(np.ceil(shed / gpus_per_job)))
+                current_training = idle
+            elif target < current_training:
+                # soft pressure (headroom shrank): shed without preemption
+                # accounting — jobs scale in at the next step boundary
+                current_training = target
+            elif target > current_training:
+                # refill gradually: full backlog restored in refill_minutes
+                ramp = max(1, int(np.ceil((target - current_training) / refill_minutes)))
+                current_training = min(target, current_training + ramp)
+        else:
+            current_training = 0
+        training[m] = current_training
+        busy_util = serving[m] * serving_sm_util + training[m] * training_sm_util
+        utilization[m] = busy_util / max(serving[m] + training[m], 1)
+
+    return ColocationStats(
+        minutes=minutes,
+        serving_alloc=serving,
+        training_alloc=training,
+        utilization=utilization,
+        preemptions_day2=preemptions,
+        failures_day2=0,  # elastic jobs scale in; Sync-SGD never aborts
+        scale_in_latency_s=scale_in_latency_s,
+        refill_minutes=refill_minutes,
+    )

@@ -1,0 +1,233 @@
+"""Discrete-event cluster simulator for the trace experiments (§5.2).
+
+The simulator advances time between *decision points* — job arrivals,
+predicted completions, and periodic scheduling rounds — accruing each
+running job's progress at its current estimated throughput in between.
+Scheduling itself is delegated to a pluggable :class:`SchedulingPolicy`
+(YARN-CS gang scheduling, or the EasyScale intra-/inter-job scheduler
+pair), so the three bars of Fig. 14 run the identical trace through
+identical machinery.
+
+Reconfiguration is not free: a job whose allocation changed pauses for
+``reconfig_delay`` seconds (on-demand checkpoint + restart), matching the
+paper's "scale in seconds" granularity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.hw.cluster import Cluster
+from repro.sched.trace import TraceJob
+from repro.utils.events import EventLog
+
+
+@dataclass
+class JobRuntime:
+    """Mutable per-job state inside the simulator."""
+
+    job: TraceJob
+    remaining_work: float
+    owned: Dict[str, int] = field(default_factory=dict)
+    status: str = "pending"  # pending | running | done
+    rate: float = 0.0
+    start_time: Optional[float] = None
+    completion_time: Optional[float] = None
+    #: progress paused until this time (checkpoint/restart cost)
+    reconfig_until: float = 0.0
+    #: policy-private state (e.g. the intra-job scheduler)
+    agent: object = None
+
+    @property
+    def total_owned(self) -> int:
+        return sum(self.owned.values())
+
+    def advance(self, t_from: float, t_to: float) -> None:
+        """Accrue progress over [t_from, t_to) at the current rate."""
+        if self.status != "running" or self.rate <= 0:
+            return
+        effective_from = max(t_from, self.reconfig_until)
+        dt = t_to - effective_from
+        if dt > 0:
+            self.remaining_work = max(0.0, self.remaining_work - self.rate * dt)
+
+    def predicted_completion(self, now: float) -> Optional[float]:
+        if self.status != "running" or self.rate <= 0:
+            return None
+        start = max(now, self.reconfig_until)
+        return start + self.remaining_work / self.rate
+
+
+class SchedulingPolicy:
+    """Reallocates GPUs at every decision point."""
+
+    name = "abstract"
+
+    def on_job_arrival(self, sim: "ClusterSimulator", runtime: JobRuntime) -> None:
+        """Hook for per-job setup (e.g. build an intra-job scheduler)."""
+
+    def reschedule(self, sim: "ClusterSimulator", now: float) -> None:
+        raise NotImplementedError
+
+
+@dataclass
+class SimResult:
+    """Outcome of one simulated trace run."""
+
+    policy: str
+    jobs: List[JobRuntime]
+    events: EventLog
+    makespan: float
+    #: (time, total allocated GPUs) step series
+    allocation_timeline: List[Tuple[float, int]]
+
+    @property
+    def completed(self) -> List[JobRuntime]:
+        return [j for j in self.jobs if j.status == "done"]
+
+    @property
+    def average_jct(self) -> float:
+        finished = self.completed
+        if not finished:
+            return float("inf")
+        return sum(j.completion_time - j.job.arrival_time for j in finished) / len(finished)
+
+    @property
+    def jcts(self) -> List[float]:
+        return [
+            j.completion_time - j.job.arrival_time for j in self.completed
+        ]
+
+
+class ClusterSimulator:
+    """Run one trace under one policy on one cluster."""
+
+    WORK_EPS = 1e-6
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        jobs: Sequence[TraceJob],
+        policy: SchedulingPolicy,
+        reconfig_delay: float = 15.0,
+        round_interval: float = 120.0,
+    ) -> None:
+        if reconfig_delay < 0 or round_interval <= 0:
+            raise ValueError("invalid simulator timing parameters")
+        self.cluster = cluster
+        self.policy = policy
+        self.reconfig_delay = reconfig_delay
+        self.round_interval = round_interval
+        self.runtimes = [
+            JobRuntime(job=j, remaining_work=j.total_work)
+            for j in sorted(jobs, key=lambda j: j.arrival_time)
+        ]
+        self.events = EventLog()
+        self.now = 0.0
+        self._timeline: List[Tuple[float, int]] = []
+
+    # ------------------------------------------------------------------
+    # allocation helpers used by policies
+    # ------------------------------------------------------------------
+    def grant(self, runtime: JobRuntime, gtype: str, count: int) -> None:
+        """Allocate ``count`` GPUs of a type to a job (with restart cost)."""
+        canonical = _canonical(gtype)
+        self.cluster.allocate(runtime.job.job_id, canonical, count)
+        runtime.owned[gtype] = runtime.owned.get(gtype, 0) + count
+        runtime.reconfig_until = self.now + self.reconfig_delay
+        if runtime.status == "pending":
+            runtime.status = "running"
+            runtime.start_time = self.now
+        self.events.emit(
+            self.now, "scale_out", job=runtime.job.job_id, gtype=gtype, gpus=count
+        )
+
+    def revoke(self, runtime: JobRuntime, gtype: str, count: int) -> None:
+        canonical = _canonical(gtype)
+        held = runtime.owned.get(gtype, 0)
+        if count > held:
+            raise ValueError(f"cannot revoke {count} {gtype} from {runtime.job.job_id}")
+        gpus = [g for g in self.cluster.owned_by(runtime.job.job_id) if g.type.name == canonical]
+        self.cluster.release(runtime.job.job_id, gpus[:count])
+        runtime.owned[gtype] = held - count
+        runtime.reconfig_until = self.now + self.reconfig_delay
+        self.events.emit(
+            self.now, "scale_in", job=runtime.job.job_id, gtype=gtype, gpus=count
+        )
+
+    def release_all(self, runtime: JobRuntime) -> None:
+        self.cluster.release_all(runtime.job.job_id)
+        runtime.owned = {}
+
+    def free_by_type(self) -> Dict[str, int]:
+        return {k.lower(): v for k, v in self.cluster.free_by_type().items()}
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+    def run(self, max_time: float = 10_000_000.0) -> SimResult:
+        pending_arrivals = list(self.runtimes)
+        arrived: List[JobRuntime] = []
+
+        while True:
+            candidates: List[float] = []
+            if pending_arrivals:
+                candidates.append(max(pending_arrivals[0].job.arrival_time, self.now))
+            for runtime in arrived:
+                eta = runtime.predicted_completion(self.now)
+                if eta is not None:
+                    candidates.append(eta)
+            if any(r.status == "running" for r in arrived):
+                next_round = (int(self.now / self.round_interval) + 1) * self.round_interval
+                candidates.append(next_round)
+            if not candidates:
+                break
+            t_next = min(candidates)
+            if t_next > max_time:
+                break
+
+            for runtime in arrived:
+                runtime.advance(self.now, t_next)
+            self.now = t_next
+
+            while pending_arrivals and pending_arrivals[0].job.arrival_time <= self.now:
+                runtime = pending_arrivals.pop(0)
+                arrived.append(runtime)
+                self.events.emit(self.now, "job_submit", job=runtime.job.job_id)
+                self.policy.on_job_arrival(self, runtime)
+
+            for runtime in arrived:
+                if runtime.status == "running" and runtime.remaining_work <= self.WORK_EPS:
+                    runtime.status = "done"
+                    runtime.completion_time = self.now
+                    runtime.rate = 0.0
+                    released = runtime.total_owned
+                    self.release_all(runtime)
+                    self.events.emit(
+                        self.now, "job_done", job=runtime.job.job_id, released=released
+                    )
+
+            self.policy.reschedule(self, self.now)
+            self._timeline.append((self.now, self.cluster.allocated_count()))
+
+            if not pending_arrivals and all(
+                r.status == "done" for r in arrived
+            ):
+                break
+
+        makespan = max(
+            (r.completion_time for r in self.runtimes if r.completion_time is not None),
+            default=0.0,
+        )
+        return SimResult(
+            policy=self.policy.name,
+            jobs=self.runtimes,
+            events=self.events,
+            makespan=makespan,
+            allocation_timeline=self._timeline,
+        )
+
+
+def _canonical(name: str) -> str:
+    return {"v100": "V100", "p100": "P100", "t4": "T4"}.get(name.lower(), name)

@@ -1,0 +1,69 @@
+"""Execution context: which simulated device + kernel policy ops run under.
+
+EasyScale workers set the context before running an EST's mini-batch; the
+autograd ops read it to pick kernel variants.  The context is a simple
+thread-local stack so nested scopes (e.g. an evaluation pass inside a
+training loop) compose, mirroring how a CUDA device + cuDNN flags scope a
+real PyTorch region.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.tensor.kernels import D0_POLICY, KernelPolicy, VENDOR_DIALECTS
+
+
+@dataclass(frozen=True)
+class ExecContext:
+    """An immutable (device dialect, kernel policy) pair."""
+
+    dialect: str = "v100"
+    policy: KernelPolicy = D0_POLICY
+
+    def __post_init__(self) -> None:
+        if self.dialect not in VENDOR_DIALECTS:
+            raise ValueError(
+                f"unknown device dialect {self.dialect!r}; expected one of {VENDOR_DIALECTS}"
+            )
+
+
+_DEFAULT = ExecContext()
+
+
+class _ContextStack(threading.local):
+    def __init__(self) -> None:
+        self.stack: List[ExecContext] = []
+
+
+_STACK = _ContextStack()
+
+
+def current_context() -> ExecContext:
+    """The innermost active context (a deterministic V100/D0 default if none)."""
+    if _STACK.stack:
+        return _STACK.stack[-1]
+    return _DEFAULT
+
+
+@contextmanager
+def execution_context(
+    dialect: str = "v100", policy: KernelPolicy = D0_POLICY
+) -> Iterator[ExecContext]:
+    """Scope ops to a simulated device dialect + kernel policy.
+
+    Example::
+
+        with execution_context("p100", D2_POLICY):
+            loss = model(batch).sum()
+    """
+    ctx = ExecContext(dialect=dialect, policy=policy)
+    _STACK.stack.append(ctx)
+    try:
+        yield ctx
+    finally:
+        popped = _STACK.stack.pop()
+        assert popped is ctx, "execution context stack corrupted"

@@ -1,0 +1,362 @@
+"""Higher-level autograd operations: conv, pooling, softmax, embedding, ...
+
+These build on :class:`repro.tensor.Tensor`.  Two routing decisions matter
+for the paper's determinism story:
+
+- ``conv2d`` lowers to im2col + the registry GEMM, so convolutions inherit
+  the executing device's vendor dialect — this is why conv-heavy models pay
+  the big D2 penalty in Fig. 12 (the agnostic GEMM replaces the vendor one).
+- ``embedding`` backward dispatches through :func:`repro.tensor.kernels.scatter_add`,
+  which is the "atomic vs deterministic kernel" switch D0 controls.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple, Union
+
+import numpy as np
+from numpy.lib.stride_tricks import as_strided
+
+from repro.tensor import kernels
+from repro.tensor.context import current_context
+from repro.tensor.tensor import Tensor
+from repro.utils.rng import RNGBundle
+
+
+# ---------------------------------------------------------------------------
+# reductions over multiple axes
+# ---------------------------------------------------------------------------
+
+
+def sum_over(x: Tensor, axes: Union[int, Tuple[int, ...]], keepdims: bool = False) -> Tensor:
+    """Sum over one or several axes (chained single-axis registry reductions)."""
+    if isinstance(axes, int):
+        axes = (axes,)
+    out = x
+    for axis in sorted(axes, reverse=True):
+        out = out.sum(axis=axis, keepdims=keepdims)
+    return out
+
+
+def mean_over(x: Tensor, axes: Union[int, Tuple[int, ...]], keepdims: bool = False) -> Tensor:
+    if isinstance(axes, int):
+        axes = (axes,)
+    count = 1
+    for axis in axes:
+        count *= x.shape[axis]
+    return sum_over(x, axes, keepdims=keepdims) * (1.0 / count)
+
+
+# ---------------------------------------------------------------------------
+# softmax family
+# ---------------------------------------------------------------------------
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically-stable log-softmax (max subtracted as a constant)."""
+    shift = Tensor(np.max(x.data, axis=axis, keepdims=True))
+    shifted = x - shift
+    log_z = shifted.exp().sum(axis=axis if axis >= 0 else x.ndim + axis, keepdims=True).log()
+    return shifted - log_z
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    return log_softmax(x, axis=axis).exp()
+
+
+def gather_rows(x: Tensor, indices: np.ndarray) -> Tensor:
+    """Pick ``x[i, indices[i]]`` for each row ``i`` (cross-entropy gather)."""
+    indices = np.asarray(indices, dtype=np.int64)
+    rows = np.arange(x.shape[0])
+    out = x._make(x.data[rows, indices], (x,))
+
+    def _backward() -> None:
+        if x.requires_grad:
+            grad = np.zeros_like(x.data)
+            grad[rows, indices] = out.grad
+            x._accumulate(grad)
+
+    out._backward = _backward
+    return out
+
+
+# ---------------------------------------------------------------------------
+# shape ops
+# ---------------------------------------------------------------------------
+
+
+def concat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    datas = [t.data for t in tensors]
+    out_data = np.concatenate(datas, axis=axis)
+    parents = tuple(tensors)
+    out = tensors[0]._make(out_data, parents)
+    sizes = [d.shape[axis] for d in datas]
+    offsets = np.cumsum([0] + sizes)
+
+    def _backward() -> None:
+        for tensor, start, end in zip(tensors, offsets[:-1], offsets[1:]):
+            if tensor.requires_grad:
+                slicer = [slice(None)] * out_data.ndim
+                slicer[axis] = slice(int(start), int(end))
+                tensor._accumulate(out.grad[tuple(slicer)])
+
+    out._backward = _backward
+    return out
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    expanded = [t.reshape(*t.shape[:axis], 1, *t.shape[axis:]) for t in tensors]
+    return concat(expanded, axis=axis)
+
+
+def chunk(x: Tensor, chunks: int, axis: int = 1) -> Tuple[Tensor, ...]:
+    """Split into equal chunks along ``axis`` (ShuffleNet branch split)."""
+    size = x.shape[axis]
+    if size % chunks != 0:
+        raise ValueError(f"axis of size {size} not divisible into {chunks} chunks")
+    step = size // chunks
+    parts = []
+    for i in range(chunks):
+        slicer = [slice(None)] * x.ndim
+        slicer[axis] = slice(i * step, (i + 1) * step)
+        parts.append(x[tuple(slicer)])
+    return tuple(parts)
+
+
+def pad2d(x: Tensor, pad: int) -> Tensor:
+    """Zero-pad the last two (spatial) axes symmetrically."""
+    if pad == 0:
+        return x
+    widths = [(0, 0)] * (x.ndim - 2) + [(pad, pad), (pad, pad)]
+    out = x._make(np.pad(x.data, widths), (x,))
+
+    def _backward() -> None:
+        if x.requires_grad:
+            slicer = [slice(None)] * (x.ndim - 2) + [slice(pad, -pad), slice(pad, -pad)]
+            x._accumulate(out.grad[tuple(slicer)])
+
+    out._backward = _backward
+    return out
+
+
+def flatten(x: Tensor, start_dim: int = 1) -> Tensor:
+    lead = x.shape[:start_dim]
+    rest = int(np.prod(x.shape[start_dim:]))
+    return x.reshape(*lead, rest)
+
+
+# ---------------------------------------------------------------------------
+# im2col / conv2d
+# ---------------------------------------------------------------------------
+
+
+def _conv_geometry(h: int, w: int, kh: int, kw: int, stride: int, pad: int) -> Tuple[int, int]:
+    out_h = (h + 2 * pad - kh) // stride + 1
+    out_w = (w + 2 * pad - kw) // stride + 1
+    if out_h <= 0 or out_w <= 0:
+        raise ValueError(
+            f"conv output would be empty: input {h}x{w}, kernel {kh}x{kw}, "
+            f"stride {stride}, pad {pad}"
+        )
+    return out_h, out_w
+
+
+def _im2col_forward(
+    x: np.ndarray, kh: int, kw: int, stride: int, pad: int
+) -> Tuple[np.ndarray, Tuple[int, int]]:
+    n, c, h, w = x.shape
+    out_h, out_w = _conv_geometry(h, w, kh, kw, stride, pad)
+    xp = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+    sn, sc, sh, sw = xp.strides
+    windows = as_strided(
+        xp,
+        shape=(n, c, out_h, out_w, kh, kw),
+        strides=(sn, sc, sh * stride, sw * stride, sh, sw),
+        writeable=False,
+    )
+    # (n, c*kh*kw, out_h*out_w)
+    cols = windows.transpose(0, 1, 4, 5, 2, 3).reshape(n, c * kh * kw, out_h * out_w)
+    return np.ascontiguousarray(cols), (out_h, out_w)
+
+
+def _col2im(
+    cols: np.ndarray,
+    x_shape: Tuple[int, int, int, int],
+    kh: int,
+    kw: int,
+    stride: int,
+    pad: int,
+    out_h: int,
+    out_w: int,
+) -> np.ndarray:
+    n, c, h, w = x_shape
+    grad_padded = np.zeros((n, c, h + 2 * pad, w + 2 * pad), dtype=np.float32)
+    cols6 = cols.reshape(n, c, kh, kw, out_h, out_w)
+    for ki in range(kh):
+        for kj in range(kw):
+            grad_padded[
+                :, :, ki : ki + out_h * stride : stride, kj : kj + out_w * stride : stride
+            ] += cols6[:, :, ki, kj]
+    if pad:
+        return grad_padded[:, :, pad:-pad, pad:-pad]
+    return grad_padded
+
+
+def im2col(x: Tensor, kh: int, kw: int, stride: int = 1, pad: int = 0) -> Tuple[Tensor, Tuple[int, int]]:
+    """Autograd im2col: windows flattened for GEMM-based convolution."""
+    cols_data, (out_h, out_w) = _im2col_forward(x.data, kh, kw, stride, pad)
+    out = x._make(cols_data, (x,))
+
+    def _backward() -> None:
+        if x.requires_grad:
+            x._accumulate(_col2im(out.grad, x.data.shape, kh, kw, stride, pad, out_h, out_w))
+
+    out._backward = _backward
+    return out, (out_h, out_w)
+
+
+def conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Optional[Tensor] = None,
+    stride: int = 1,
+    padding: int = 0,
+    groups: int = 1,
+) -> Tensor:
+    """2-D convolution as im2col + registry GEMM.
+
+    ``groups`` supports depthwise/grouped convs (ShuffleNetV2).  Because the
+    contraction is a registry matmul, the output bits depend on the device
+    dialect unless the active policy is hardware-agnostic (D2).
+    """
+    n, c_in, _, _ = x.shape
+    c_out, c_in_g, kh, kw = weight.shape
+    if c_in % groups or c_out % groups:
+        raise ValueError("channels must be divisible by groups")
+    if c_in_g != c_in // groups:
+        raise ValueError(
+            f"weight expects {c_in_g} input channels per group, input has {c_in // groups}"
+        )
+
+    if groups == 1:
+        cols, (out_h, out_w) = im2col(x, kh, kw, stride, padding)
+        w2d = weight.reshape(c_out, c_in_g * kh * kw)
+        out = w2d.matmul(cols)  # (n, c_out, out_h*out_w) via broadcasting
+        out = out.reshape(n, c_out, out_h, out_w)
+    else:
+        group_outs = []
+        out_h = out_w = None
+        x_groups = chunk(x, groups, axis=1)
+        w_groups = chunk(weight, groups, axis=0)
+        for xg, wg in zip(x_groups, w_groups):
+            cols, (out_h, out_w) = im2col(xg, kh, kw, stride, padding)
+            w2d = wg.reshape(c_out // groups, c_in_g * kh * kw)
+            og = w2d.matmul(cols).reshape(n, c_out // groups, out_h, out_w)
+            group_outs.append(og)
+        out = concat(group_outs, axis=1)
+
+    if bias is not None:
+        out = out + bias.reshape(1, c_out, 1, 1)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# pooling
+# ---------------------------------------------------------------------------
+
+
+def max_pool2d(x: Tensor, kernel_size: int, stride: Optional[int] = None, padding: int = 0) -> Tensor:
+    stride = stride or kernel_size
+    n, c, h, w = x.shape
+    out_h, out_w = _conv_geometry(h, w, kernel_size, kernel_size, stride, padding)
+    xp = np.pad(x.data, ((0, 0), (0, 0), (padding, padding), (padding, padding)), constant_values=-np.inf)
+    hp, wp = xp.shape[2], xp.shape[3]
+    sn, sc, sh, sw = xp.strides
+    windows = as_strided(
+        xp,
+        shape=(n, c, out_h, out_w, kernel_size, kernel_size),
+        strides=(sn, sc, sh * stride, sw * stride, sh, sw),
+        writeable=False,
+    ).reshape(n, c, out_h, out_w, kernel_size * kernel_size)
+    arg = windows.argmax(axis=-1)
+    out_data = np.take_along_axis(windows, arg[..., None], axis=-1)[..., 0]
+    out = x._make(out_data.astype(np.float32), (x,))
+
+    # flat index of each window max within the padded input
+    ki, kj = arg // kernel_size, arg % kernel_size
+    base_i = (np.arange(out_h) * stride)[None, None, :, None]
+    base_j = (np.arange(out_w) * stride)[None, None, None, :]
+    flat = (base_i + ki) * wp + (base_j + kj)
+
+    def _backward() -> None:
+        if not x.requires_grad:
+            return
+        grad_flat = np.zeros((n, c, hp * wp), dtype=np.float32)
+        n_idx = np.arange(n)[:, None, None, None]
+        c_idx = np.arange(c)[None, :, None, None]
+        np.add.at(grad_flat, (n_idx, c_idx, flat), out.grad)
+        grad = grad_flat.reshape(n, c, hp, wp)
+        if padding:
+            grad = grad[:, :, padding:-padding, padding:-padding]
+        x._accumulate(grad)
+
+    out._backward = _backward
+    return out
+
+
+def avg_pool2d(x: Tensor, kernel_size: int, stride: Optional[int] = None) -> Tensor:
+    stride = stride or kernel_size
+    cols, (out_h, out_w) = im2col(x, kernel_size, kernel_size, stride, 0)
+    n, c = x.shape[0], x.shape[1]
+    k2 = kernel_size * kernel_size
+    cols = cols.reshape(n, c, k2, out_h * out_w)
+    pooled = cols.mean(axis=2)
+    return pooled.reshape(n, c, out_h, out_w)
+
+
+def global_avg_pool(x: Tensor) -> Tensor:
+    """Adaptive average pool to 1x1, squeezed to (N, C)."""
+    return mean_over(x, (2, 3))
+
+
+# ---------------------------------------------------------------------------
+# embedding
+# ---------------------------------------------------------------------------
+
+
+def embedding(weight: Tensor, indices: np.ndarray) -> Tensor:
+    """Row lookup with policy-dependent scatter-add backward."""
+    indices = np.asarray(indices, dtype=np.int64)
+    out = weight._make(weight.data[indices], (weight,))
+    ctx = current_context()
+
+    def _backward() -> None:
+        if weight.requires_grad:
+            grad = np.zeros_like(weight.data)
+            flat_idx = indices.reshape(-1)
+            flat_grad = out.grad.reshape(-1, weight.data.shape[1])
+            kernels.scatter_add(grad, flat_idx, flat_grad, policy=ctx.policy)
+            weight._accumulate(grad)
+
+    out._backward = _backward
+    return out
+
+
+# ---------------------------------------------------------------------------
+# dropout
+# ---------------------------------------------------------------------------
+
+
+def dropout(x: Tensor, p: float, rng: RNGBundle, training: bool = True) -> Tensor:
+    """Inverted dropout drawing its mask from the *framework* RNG stream.
+
+    The draw advances ``rng.framework``; because EST contexts checkpoint the
+    full stream state, a resumed EST reproduces the identical mask sequence.
+    """
+    if not 0.0 <= p < 1.0:
+        raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+    if not training or p == 0.0:
+        return x
+    keep = 1.0 - p
+    mask = rng.bernoulli_mask(x.shape, keep) / np.float32(keep)
+    return x * Tensor(mask)

@@ -1,0 +1,104 @@
+"""Stable serialization for checkpoints.
+
+On-demand checkpoints (§3.2 "Adapting to elasticity") must round-trip the
+EST contexts, the extra states, and the parameters without perturbing a
+single bit — otherwise resuming after a scale event would break D1/D2
+determinism.  We serialize with :mod:`pickle` (arrays pass through NumPy's
+own reducer, which preserves dtype/bytes exactly) but keep the *structure*
+a plain nested dict so tests can introspect it and hypothesis can fuzz the
+round-trip.
+"""
+
+from __future__ import annotations
+
+import io
+import pickle
+from typing import Any, Dict, Mapping, Tuple
+
+import numpy as np
+
+
+def state_dict_to_bytes(state: Mapping[str, Any]) -> bytes:
+    """Serialize a (possibly nested) state dict to bytes."""
+    buf = io.BytesIO()
+    pickle.dump(dict(state), buf, protocol=pickle.HIGHEST_PROTOCOL)
+    return buf.getvalue()
+
+
+def state_dict_from_bytes(data: bytes) -> Dict[str, Any]:
+    """Inverse of :func:`state_dict_to_bytes`."""
+    return pickle.load(io.BytesIO(data))
+
+
+def flatten_state_dict(state: Mapping[str, Any], prefix: str = "") -> Dict[str, Any]:
+    """Flatten nested dicts into dotted keys (``opt.momentum.conv1.weight``).
+
+    Leaves (arrays, scalars, tuples) are kept as-is.  Useful for diffing two
+    checkpoints and for the fingerprint helpers.
+    """
+    flat: Dict[str, Any] = {}
+    for key, value in state.items():
+        name = f"{prefix}.{key}" if prefix else str(key)
+        if isinstance(value, Mapping):
+            flat.update(flatten_state_dict(value, name))
+        else:
+            flat[name] = value
+    return flat
+
+
+def unflatten_state_dict(flat: Mapping[str, Any]) -> Dict[str, Any]:
+    """Inverse of :func:`flatten_state_dict` (best effort; keys split on dots)."""
+    nested: Dict[str, Any] = {}
+    for dotted, value in flat.items():
+        parts = dotted.split(".")
+        node = nested
+        for part in parts[:-1]:
+            node = node.setdefault(part, {})
+            if not isinstance(node, dict):
+                raise ValueError(f"key conflict while unflattening at {dotted!r}")
+        node[parts[-1]] = value
+    return nested
+
+
+def deep_equal(a: Any, b: Any) -> bool:
+    """Structural equality that treats NumPy arrays bitwise.
+
+    ``np.array_equal`` would call float equality (NaN != NaN); checkpoints
+    must instead compare raw bytes, since optimizer states can legitimately
+    hold NaN/Inf sentinels and bitwise identity is the contract.
+    """
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        if not (isinstance(a, np.ndarray) and isinstance(b, np.ndarray)):
+            return False
+        return (
+            a.dtype == b.dtype
+            and a.shape == b.shape
+            and np.ascontiguousarray(a).tobytes() == np.ascontiguousarray(b).tobytes()
+        )
+    if isinstance(a, Mapping) and isinstance(b, Mapping):
+        return set(a) == set(b) and all(deep_equal(a[k], b[k]) for k in a)
+    if isinstance(a, (list, tuple)) and isinstance(b, (list, tuple)):
+        return len(a) == len(b) and all(deep_equal(x, y) for x, y in zip(a, b))
+    return bool(a == b)
+
+
+def sizeof_state(state: Any) -> int:
+    """Approximate in-memory footprint (bytes) of a nested state.
+
+    The Fig. 10/11 benchmarks use this to report how small EST contexts are
+    compared to full model replicas — the quantitative basis of the paper's
+    "lightweight context switching" claim.
+    """
+    if isinstance(state, np.ndarray):
+        return int(state.nbytes)
+    if isinstance(state, Mapping):
+        return sum(sizeof_state(v) for v in state.values())
+    if isinstance(state, (list, tuple)):
+        return sum(sizeof_state(v) for v in state)
+    if isinstance(state, bytes):
+        return len(state)
+    if isinstance(state, (int, float, bool)) or state is None:
+        return 8
+    if isinstance(state, str):
+        return len(state)
+    return len(pickle.dumps(state))

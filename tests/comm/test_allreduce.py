@@ -1,0 +1,102 @@
+"""All-reduce: association faithfulness, world-size sensitivity."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.comm.allreduce import (
+    allreduce_mean,
+    ring_allreduce_sum,
+    sequential_allreduce_sum,
+    tree_allreduce_sum,
+)
+
+
+def _grads(world, n=4097, seed=0):
+    rng = np.random.default_rng(seed)
+    return [rng.normal(size=n).astype(np.float32) for _ in range(world)]
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("fn", [ring_allreduce_sum, tree_allreduce_sum, sequential_allreduce_sum])
+    @pytest.mark.parametrize("world", [1, 2, 3, 5, 8])
+    def test_close_to_true_sum(self, fn, world):
+        grads = _grads(world)
+        ref = np.sum([g.astype(np.float64) for g in grads], axis=0)
+        np.testing.assert_allclose(fn(grads), ref, rtol=1e-4, atol=1e-4)
+
+    def test_mean_divides(self):
+        grads = _grads(4)
+        total = ring_allreduce_sum(grads)
+        np.testing.assert_array_equal(
+            allreduce_mean(grads, "ring"), total / np.float32(4)
+        )
+
+    def test_single_rank_identity(self):
+        g = _grads(1)
+        np.testing.assert_array_equal(ring_allreduce_sum(g), g[0])
+
+    def test_empty_world_rejected(self):
+        with pytest.raises(ValueError):
+            ring_allreduce_sum([])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ring_allreduce_sum([np.zeros(3, np.float32), np.zeros(4, np.float32)])
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(KeyError):
+            allreduce_mean(_grads(2), "butterfly")
+
+
+class TestAssociationSensitivity:
+    def test_deterministic_for_fixed_world(self):
+        a = ring_allreduce_sum(_grads(4, seed=3))
+        b = ring_allreduce_sum(_grads(4, seed=3))
+        assert a.tobytes() == b.tobytes()
+
+    def test_world_size_changes_bits(self):
+        """The same 8 gradient shards reduced as 8 ranks vs pre-combined
+        into 4 ranks give different float32 bits (the elastic hazard)."""
+        grads8 = _grads(8, n=8192, seed=1)
+        # combine pairs: what "the same data on 4 GPUs" would contribute
+        grads4 = [grads8[2 * i] + grads8[2 * i + 1] for i in range(4)]
+        out8 = ring_allreduce_sum(grads8)
+        out4 = ring_allreduce_sum(grads4)
+        assert out8.tobytes() != out4.tobytes()
+        np.testing.assert_allclose(out8, out4, rtol=1e-4, atol=1e-4)
+
+    def test_layout_changes_bits(self):
+        """Permuting the flat buffer (bucket rebuild) permutes chunk
+        boundaries and flips bits after undoing the permutation."""
+        grads = _grads(4, n=8192, seed=2)
+        perm = np.random.default_rng(0).permutation(8192)
+        inv = np.argsort(perm)
+        direct = ring_allreduce_sum(grads)
+        permuted = ring_allreduce_sum([g[perm] for g in grads])[inv]
+        assert direct.tobytes() != permuted.tobytes()
+        np.testing.assert_allclose(direct, permuted, rtol=1e-4, atol=1e-4)
+
+    def test_algorithms_disagree_bitwise(self):
+        grads = _grads(5, n=4096, seed=4)
+        outs = {
+            ring_allreduce_sum(grads).tobytes(),
+            tree_allreduce_sum(grads).tobytes(),
+            sequential_allreduce_sum(grads).tobytes(),
+        }
+        assert len(outs) >= 2
+
+    @given(world=st.integers(1, 7), seed=st.integers(0, 50))
+    @settings(max_examples=30, deadline=None)
+    def test_ring_reduction_property(self, world, seed):
+        grads = _grads(world, n=257, seed=seed)
+        out = ring_allreduce_sum(grads)
+        ref = np.sum([g.astype(np.float64) for g in grads], axis=0)
+        assert out.shape == (257,)
+        np.testing.assert_allclose(out, ref, rtol=1e-3, atol=1e-3)
+
+    def test_small_buffer_with_large_world(self):
+        # more ranks than elements: some chunks are empty
+        grads = [np.float32([1.0, 2.0]) for _ in range(5)]
+        np.testing.assert_allclose(ring_allreduce_sum(grads), [5.0, 10.0])

@@ -1,0 +1,105 @@
+"""Gradient bucketing: initial order, rebuild, flatten round trips."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.comm.bucketing import (
+    BucketAssignment,
+    build_initial_buckets,
+    rebuild_from_arrival,
+)
+
+
+def _sizes(names, size=10):
+    return {n: size for n in names}
+
+
+class TestInitialBuckets:
+    def test_reverse_registration_order(self):
+        names = ["a", "b", "c", "d"]
+        buckets = build_initial_buckets(names, _sizes(names), capacity_elems=100)
+        assert buckets.buckets == [["d", "c", "b", "a"]]
+
+    def test_capacity_splits(self):
+        names = ["a", "b", "c", "d"]
+        buckets = build_initial_buckets(names, _sizes(names, 10), capacity_elems=20)
+        assert buckets.buckets == [["d", "c"], ["b", "a"]]
+
+    def test_oversized_param_gets_own_bucket(self):
+        sizes = {"big": 100, "small": 5}
+        buckets = build_initial_buckets(["small", "big"], sizes, capacity_elems=20)
+        assert buckets.buckets == [["big"], ["small"]]
+
+    def test_bad_capacity(self):
+        with pytest.raises(ValueError):
+            build_initial_buckets(["a"], {"a": 1}, capacity_elems=0)
+
+
+class TestRebuild:
+    def test_arrival_order_respected(self):
+        names = ["a", "b", "c"]
+        rebuilt = rebuild_from_arrival(["b", "c", "a"], _sizes(names), capacity_elems=100)
+        assert rebuilt.buckets == [["b", "c", "a"]]
+
+    def test_missing_param_rejected(self):
+        with pytest.raises(ValueError):
+            rebuild_from_arrival(["a"], {"a": 1, "b": 1})
+
+    def test_rebuild_differs_from_initial(self):
+        names = ["a", "b", "c"]
+        initial = build_initial_buckets(names, _sizes(names), 100)
+        rebuilt = rebuild_from_arrival(["a", "c", "b"], _sizes(names), 100)
+        assert initial.buckets != rebuilt.buckets
+
+
+class TestAssignment:
+    def test_duplicate_rejected(self):
+        with pytest.raises(ValueError):
+            BucketAssignment([["a"], ["a"]])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            BucketAssignment([[]])
+
+    def test_flatten_unflatten_roundtrip(self):
+        rng = np.random.default_rng(0)
+        grads = {
+            "w": rng.normal(size=(3, 4)).astype(np.float32),
+            "b": rng.normal(size=(4,)).astype(np.float32),
+        }
+        assignment = BucketAssignment([["b", "w"]])
+        flat = assignment.flatten_bucket(0, grads)
+        assert flat.shape == (16,)
+        out = assignment.unflatten_bucket(0, flat, {"w": (3, 4), "b": (4,)})
+        np.testing.assert_array_equal(out["w"], grads["w"])
+        np.testing.assert_array_equal(out["b"], grads["b"])
+
+    def test_unflatten_size_mismatch(self):
+        assignment = BucketAssignment([["w"]])
+        with pytest.raises(ValueError):
+            assignment.unflatten_bucket(0, np.zeros(5, np.float32), {"w": (2, 2)})
+
+    def test_state_roundtrip(self):
+        assignment = BucketAssignment([["b", "w"], ["c"]])
+        restored = BucketAssignment.from_state(assignment.to_state())
+        assert restored.buckets == assignment.buckets
+
+    @given(
+        n_params=st.integers(1, 12),
+        capacity=st.integers(1, 50),
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_every_param_in_exactly_one_bucket(self, n_params, capacity, seed):
+        rng = np.random.default_rng(seed)
+        names = [f"p{i}" for i in range(n_params)]
+        sizes = {n: int(rng.integers(1, 30)) for n in names}
+        buckets = build_initial_buckets(names, sizes, capacity)
+        flat = buckets.all_names
+        assert sorted(flat) == sorted(names)
+        # capacity respected except for single oversized params
+        for bucket in buckets.buckets:
+            total = sum(sizes[n] for n in bucket)
+            assert total <= capacity or len(bucket) == 1

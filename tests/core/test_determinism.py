@@ -1,0 +1,82 @@
+"""Determinism levels and the D2-eligibility model scan."""
+
+import pytest
+
+from repro.core.determinism import (
+    DeterminismConfig,
+    allowed_gpu_heterogeneity,
+    determinism_from_label,
+    scan_model,
+)
+from repro.models import get_workload
+from repro.tensor.kernels import BASELINE_POLICY, D0_POLICY, D2_POLICY
+from repro.utils.rng import RNGBundle
+
+
+class TestLabels:
+    @pytest.mark.parametrize(
+        "label,static,elastic,heter",
+        [
+            ("D0", True, False, False),
+            ("D1", True, True, False),
+            ("D0+D2", True, False, True),
+            ("D1+D2", True, True, True),
+            ("baseline", False, False, False),
+        ],
+    )
+    def test_parse(self, label, static, elastic, heter):
+        config = determinism_from_label(label)
+        assert (config.static, config.elastic, config.heterogeneous) == (
+            static,
+            elastic,
+            heter,
+        )
+        assert config.label.lower() == label.lower()
+
+    def test_unknown_label(self):
+        with pytest.raises(KeyError):
+            determinism_from_label("D3")
+
+    def test_d1_requires_d0(self):
+        with pytest.raises(ValueError):
+            DeterminismConfig(static=False, elastic=True)
+
+
+class TestPolicies:
+    def test_kernel_policy_mapping(self):
+        assert determinism_from_label("D0").kernel_policy == D0_POLICY
+        assert determinism_from_label("D1").kernel_policy == D0_POLICY
+        assert determinism_from_label("D1+D2").kernel_policy == D2_POLICY
+        assert determinism_from_label("baseline").kernel_policy == BASELINE_POLICY
+
+    def test_bucket_recording_is_d1(self):
+        assert determinism_from_label("D1").record_bucket_mapping
+        assert not determinism_from_label("D0").record_bucket_mapping
+        assert not determinism_from_label("D0+D2").record_bucket_mapping
+
+
+class TestScan:
+    def test_conv_models_flagged(self):
+        for name in ("resnet50", "vgg19", "shufflenetv2", "yolov3"):
+            model = get_workload(name).build_model(RNGBundle(0))
+            report = scan_model(model)
+            assert report.relies_on_vendor_kernels
+            assert not report.d2_recommended
+            assert len(report.vendor_kernel_modules) > 0
+
+    def test_gemm_models_pass(self):
+        for name in ("neumf", "bert", "electra"):
+            model = get_workload(name).build_model(RNGBundle(0))
+            assert scan_model(model).d2_recommended
+
+    def test_swin_has_patch_conv(self):
+        # Swin's patch embedding is a conv: the scan is structural, so it
+        # flags it even though the paper groups Swin with the cheap models
+        model = get_workload("swintransformer").build_model(RNGBundle(0))
+        report = scan_model(model)
+        assert report.vendor_kernel_modules == ["patch_embed"]
+
+    def test_heterogeneity_gate(self):
+        model = get_workload("bert").build_model(RNGBundle(0))
+        assert allowed_gpu_heterogeneity(model, determinism_from_label("D1+D2"))
+        assert not allowed_gpu_heterogeneity(model, determinism_from_label("D1"))

@@ -1,0 +1,89 @@
+"""Disk persistence of on-demand checkpoints."""
+
+import os
+
+import pytest
+
+from repro.core import Checkpoint, EasyScaleEngine, EasyScaleJobConfig, WorkerAssignment
+from repro.hw import V100
+from repro.models import get_workload
+from repro.utils.fingerprint import fingerprint_state_dict
+
+from tests.conftest import sgd_factory
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return get_workload("resnet18")
+
+
+@pytest.fixture(scope="module")
+def dataset(spec):
+    return spec.build_dataset(128, seed=3)
+
+
+def make_engine(spec, dataset):
+    config = EasyScaleJobConfig(num_ests=2, seed=8, batch_size=8)
+    return EasyScaleEngine(
+        spec, dataset, config, sgd_factory(), WorkerAssignment.balanced([V100] * 2, 2)
+    )
+
+
+class TestDiskRoundTrip:
+    def test_save_load_bitwise(self, spec, dataset, tmp_path):
+        from repro.utils.serialization import deep_equal
+
+        engine = make_engine(spec, dataset)
+        engine.train_steps(3)
+        path = tmp_path / "job.ckpt"
+        ckpt = engine.checkpoint()
+        ckpt.save(path)
+        restored = Checkpoint.load(path)
+        # the pickle byte stream is not canonical, but every tensor and
+        # state entry must round-trip bitwise
+        assert deep_equal(restored.params, ckpt.params)
+        assert deep_equal(restored.est_contexts, ckpt.est_contexts)
+        assert deep_equal(restored.extra, ckpt.extra)
+        assert restored.meta == ckpt.meta
+
+    def test_resume_from_disk_continues_bitwise(self, spec, dataset, tmp_path):
+        continuous = make_engine(spec, dataset)
+        continuous.train_steps(6)
+
+        engine = make_engine(spec, dataset)
+        engine.train_steps(3)
+        path = tmp_path / "job.ckpt"
+        engine.checkpoint().save(path)
+        resumed = EasyScaleEngine.from_checkpoint(
+            spec,
+            dataset,
+            Checkpoint.load(path),
+            sgd_factory(),
+            WorkerAssignment.balanced([V100], 2),
+        )
+        resumed.train_steps(3)
+        assert fingerprint_state_dict(resumed.model.state_dict()) == fingerprint_state_dict(
+            continuous.model.state_dict()
+        )
+
+    def test_atomic_write_leaves_no_tmp(self, spec, dataset, tmp_path):
+        engine = make_engine(spec, dataset)
+        path = tmp_path / "job.ckpt"
+        engine.checkpoint().save(path)
+        assert path.exists()
+        assert not (tmp_path / "job.ckpt.tmp").exists()
+
+    def test_overwrite_is_safe(self, spec, dataset, tmp_path):
+        engine = make_engine(spec, dataset)
+        path = tmp_path / "job.ckpt"
+        engine.checkpoint().save(path)
+        engine.train_steps(1)
+        engine.checkpoint().save(path)  # second save replaces the first
+        restored = Checkpoint.load(path)
+        assert restored.extra["global_step"] == 1
+
+    def test_corrupt_file_rejected(self, tmp_path):
+        path = tmp_path / "bad.ckpt"
+        path.write_bytes(b"not a checkpoint")
+        with pytest.raises(Exception):
+            Checkpoint.load(path)

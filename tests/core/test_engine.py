@@ -1,0 +1,174 @@
+"""EasyScaleEngine: assignments, stepping, epochs, checkpoints."""
+
+import numpy as np
+import pytest
+
+from repro.core import EasyScaleEngine, EasyScaleJobConfig, WorkerAssignment
+from repro.hw import P100, V100
+from repro.models import get_workload
+from repro.optim import StepLR
+
+from tests.conftest import sgd_factory
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return get_workload("resnet18")
+
+
+@pytest.fixture(scope="module")
+def dataset(spec):
+    return spec.build_dataset(128, seed=3)
+
+
+def make_engine(spec, dataset, num_ests=4, gpus=None, **cfg_kwargs):
+    config = EasyScaleJobConfig(num_ests=num_ests, seed=5, batch_size=8, **cfg_kwargs)
+    assignment = WorkerAssignment.balanced(gpus or [V100] * 2, num_ests)
+    return EasyScaleEngine(spec, dataset, config, sgd_factory(), assignment)
+
+
+class TestWorkerAssignment:
+    def test_balanced_split(self):
+        a = WorkerAssignment.balanced([V100] * 3, 7)
+        assert [len(s) for s in a.est_map] == [3, 2, 2]
+        assert a.num_ests == 7 and a.num_workers == 3
+
+    def test_named_builder(self):
+        a = WorkerAssignment.named(["V100", "P100"], 4)
+        assert a.gpus[1].name == "P100"
+
+    def test_coverage_validation(self):
+        with pytest.raises(ValueError):
+            WorkerAssignment(gpus=[V100], est_map=[[0, 2]])  # gap
+        with pytest.raises(ValueError):
+            WorkerAssignment(gpus=[V100, V100], est_map=[[0, 1]])  # len mismatch
+        with pytest.raises(ValueError):
+            WorkerAssignment(gpus=[V100, V100], est_map=[[0, 1], []])  # empty worker
+
+    def test_more_workers_than_ests_rejected(self):
+        with pytest.raises(ValueError):
+            WorkerAssignment.balanced([V100] * 5, 4)
+
+
+class TestStepping:
+    def test_losses_ordered_by_vrank(self, spec, dataset):
+        engine = make_engine(spec, dataset)
+        losses = engine.run_global_step()
+        assert len(losses) == 4
+        assert all(np.isfinite(l) for l in losses)
+
+    def test_epoch_advances(self, spec, dataset):
+        engine = make_engine(spec, dataset)
+        steps = engine.steps_per_epoch
+        engine.train_steps(steps)
+        assert engine.epoch == 1 and engine.step_in_epoch == 0
+
+    def test_scheduler_steps_at_epoch_boundary(self, spec, dataset):
+        config = EasyScaleJobConfig(num_ests=4, seed=5, batch_size=8)
+        engine = EasyScaleEngine(
+            spec,
+            dataset,
+            config,
+            sgd_factory(),
+            WorkerAssignment.balanced([V100] * 2, 4),
+            scheduler_factory=lambda opt: StepLR(opt, step_size=1, gamma=0.5),
+        )
+        lr0 = engine.optimizer.lr
+        engine.train_steps(engine.steps_per_epoch)
+        assert engine.optimizer.lr == pytest.approx(lr0 * 0.5)
+
+    def test_sim_time_accumulates(self, spec, dataset):
+        engine = make_engine(spec, dataset)
+        engine.train_steps(2)
+        assert engine.sim_time > 0
+
+    def test_train_epochs(self, spec, dataset):
+        engine = make_engine(spec, dataset)
+        engine.train_epochs(1)
+        assert engine.epoch == 1
+
+    def test_assignment_must_match_config(self, spec, dataset):
+        config = EasyScaleJobConfig(num_ests=4, seed=5)
+        with pytest.raises(ValueError):
+            EasyScaleEngine(
+                spec, dataset, config, sgd_factory(), WorkerAssignment.balanced([V100], 3)
+            )
+
+
+class TestCheckpointing:
+    def test_checkpoint_contents(self, spec, dataset):
+        engine = make_engine(spec, dataset)
+        engine.train_steps(2)
+        ckpt = engine.checkpoint()
+        assert ckpt.num_ests == 4
+        assert ckpt.extra["global_step"] == 2
+        assert ckpt.meta["workload"] == "resnet18"
+        assert ckpt.extra["bucket_mapping"] is not None  # D1 default
+
+    def test_d0_checkpoint_has_no_mapping(self, spec, dataset):
+        from repro.core import determinism_from_label
+
+        engine = make_engine(spec, dataset, determinism=determinism_from_label("D0"))
+        engine.train_steps(1)
+        assert engine.checkpoint().extra["bucket_mapping"] is None
+
+    def test_resume_rejects_wrong_workload(self, spec, dataset):
+        engine = make_engine(spec, dataset)
+        ckpt = engine.checkpoint()
+        other = get_workload("vgg19")
+        with pytest.raises((ValueError, KeyError)):
+            EasyScaleEngine.from_checkpoint(
+                other,
+                other.build_dataset(64, seed=1),
+                ckpt,
+                sgd_factory(),
+                WorkerAssignment.balanced([V100], 4),
+            )
+
+    def test_resume_restores_progress(self, spec, dataset):
+        engine = make_engine(spec, dataset)
+        engine.train_steps(3)
+        resumed = engine.reconfigure(WorkerAssignment.balanced([V100], 4))
+        assert resumed.global_step == 3
+        assert resumed.epoch == engine.epoch
+        assert resumed.config.batch_size == engine.config.batch_size
+
+    def test_heterogeneous_assignment_builds(self, spec, dataset):
+        engine = make_engine(spec, dataset, gpus=[V100, P100])
+        engine.train_steps(1)
+        assert engine.workers[1].gpu.name == "P100"
+
+
+class TestEvaluate:
+    def test_evaluate_returns_metric_and_logs(self, spec, dataset):
+        from repro.data.datasets import train_eval_split
+        from repro.utils.telemetry import RunLog
+
+        full = spec.build_dataset(160, seed=2)
+        train, evalset = train_eval_split(full, 96)
+        log = RunLog()
+        config = EasyScaleJobConfig(num_ests=2, seed=5, batch_size=8)
+        engine = EasyScaleEngine(
+            spec, train, config, sgd_factory(), WorkerAssignment.balanced([V100] * 2, 2),
+            telemetry=log,
+        )
+        engine.train_steps(2)
+        score = engine.evaluate(evalset, num_samples=64)
+        assert 0.0 <= score <= 1.0
+        records = log.of_kind("eval")
+        assert len(records) == 1
+        assert records[0].data["value"] == score
+
+    def test_evaluate_does_not_perturb_training(self, spec, dataset):
+        from repro.utils.fingerprint import fingerprint_state_dict
+
+        a = make_engine(spec, dataset)
+        a.train_steps(2)
+        a.evaluate(dataset, num_samples=32)
+        a.train_steps(2)
+
+        b = make_engine(spec, dataset)
+        b.train_steps(4)
+        assert fingerprint_state_dict(a.model.state_dict()) == fingerprint_state_dict(
+            b.model.state_dict()
+        )

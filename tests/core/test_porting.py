@@ -1,0 +1,130 @@
+"""PortedTrainingSession: custom-loop elasticity with the full guarantee."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import WorkerAssignment, determinism_from_label
+from repro.core.porting import PortedTrainingSession
+from repro.data import SharedDataLoader, SyntheticImageDataset
+from repro.hw import P100, V100
+from repro.nn.loss import cross_entropy
+from repro.optim import SGD
+from repro.tensor import Tensor
+from repro.tensor.ops import flatten
+from repro.utils.fingerprint import fingerprint_state_dict
+from repro.utils.rng import RNGBundle
+
+SEED = 3
+NUM_ESTS = 4
+
+
+class TinyNet(nn.Module):
+    def __init__(self, rng):
+        super().__init__()
+        self.conv = nn.Conv2d(3, 4, 3, rng.spawn("c"), padding=1)
+        self.bn = nn.BatchNorm2d(4)
+        self.drop = nn.Dropout(0.3)
+        self.head = nn.Linear(4 * 8 * 8, 10, rng.spawn("h"))
+
+    def forward(self, x):
+        h = self.drop(self.bn(self.conv(x)).relu())
+        return self.head(flatten(h))
+
+
+def build_session(assignment, determinism="D1"):
+    model = TinyNet(RNGBundle(SEED))
+    opt = SGD(model.named_parameters(), lr=0.05, momentum=0.9)
+    return PortedTrainingSession(
+        model=model,
+        optimizer=opt,
+        num_ests=NUM_ESTS,
+        seed=SEED,
+        assignment=assignment,
+        determinism=determinism_from_label(determinism),
+    )
+
+
+@pytest.fixture(scope="module")
+def loader():
+    dataset = SyntheticImageDataset(192, seed=SEED)
+    return SharedDataLoader(dataset, num_replicas=NUM_ESTS, batch_size=8, seed=SEED)
+
+
+def drive(session, loader, steps):
+    def step_fn(batch):
+        x, y = batch
+        loss = cross_entropy(session.model(Tensor(x)), y.astype(np.int64))
+        loss.backward()
+        return loss
+
+    out = []
+    for _ in range(steps):
+        out.append(session.global_step_with(step_fn, lambda v, s: loader.load(v, 0, s)))
+    return out
+
+
+class TestPortedSession:
+    def test_reassignment_preserves_bits(self, loader):
+        fixed = build_session(WorkerAssignment.balanced([V100] * 2, NUM_ESTS))
+        drive(fixed, loader, 6)
+
+        elastic = build_session(WorkerAssignment.balanced([V100] * 2, NUM_ESTS))
+        drive(elastic, loader, 3)
+        elastic.reassign(WorkerAssignment.balanced([V100], NUM_ESTS))
+        drive(elastic, loader, 3)
+        assert fingerprint_state_dict(elastic.model.state_dict()) == fingerprint_state_dict(
+            fixed.model.state_dict()
+        )
+
+    def test_heterogeneous_needs_d2(self, loader):
+        homo = build_session(WorkerAssignment.balanced([V100] * 2, NUM_ESTS), "D1")
+        drive(homo, loader, 4)
+        mixed = build_session(WorkerAssignment.balanced([V100, P100], NUM_ESTS), "D1")
+        drive(mixed, loader, 4)
+        assert fingerprint_state_dict(homo.model.state_dict()) != fingerprint_state_dict(
+            mixed.model.state_dict()
+        )
+
+        homo_d2 = build_session(WorkerAssignment.balanced([V100] * 2, NUM_ESTS), "D1+D2")
+        drive(homo_d2, loader, 4)
+        mixed_d2 = build_session(WorkerAssignment.balanced([V100, P100], NUM_ESTS), "D1+D2")
+        drive(mixed_d2, loader, 4)
+        assert fingerprint_state_dict(homo_d2.model.state_dict()) == fingerprint_state_dict(
+            mixed_d2.model.state_dict()
+        )
+
+    def test_checkpoint_restore_roundtrip(self, loader):
+        reference = build_session(WorkerAssignment.balanced([V100] * 2, NUM_ESTS))
+        drive(reference, loader, 5)
+
+        session = build_session(WorkerAssignment.balanced([V100] * 2, NUM_ESTS))
+        drive(session, loader, 2)
+        ckpt = session.checkpoint()
+
+        fresh = build_session(WorkerAssignment.balanced([V100], NUM_ESTS))
+        fresh.restore(ckpt)
+        assert fresh.global_step == 2
+        drive(fresh, loader, 3)
+        assert fingerprint_state_dict(fresh.model.state_dict()) == fingerprint_state_dict(
+            reference.model.state_dict()
+        )
+
+    def test_losses_per_vrank(self, loader):
+        session = build_session(WorkerAssignment.balanced([V100] * 2, NUM_ESTS))
+        losses = drive(session, loader, 1)[0]
+        assert len(losses) == NUM_ESTS
+        assert all(np.isfinite(l) for l in losses)
+
+    def test_validation(self, loader):
+        session = build_session(WorkerAssignment.balanced([V100] * 2, NUM_ESTS))
+        with pytest.raises(ValueError):
+            session.reassign(WorkerAssignment.balanced([V100], 2))
+        with pytest.raises(ValueError):
+            PortedTrainingSession(
+                model=TinyNet(RNGBundle(0)),
+                optimizer=SGD([("w", nn.Parameter(np.zeros(1, np.float32)))], lr=0.1),
+                num_ests=4,
+                seed=0,
+                assignment=WorkerAssignment.balanced([V100], 2),
+            )

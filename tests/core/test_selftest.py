@@ -1,0 +1,24 @@
+"""Installation self-test: all checks pass in a healthy environment."""
+
+from repro.core.selftest import SelfTestReport, run_selftest
+
+
+class TestSelfTest:
+    def test_all_checks_pass(self):
+        report = run_selftest()
+        assert report.passed, f"failed checks: {[k for k, v in report.checks.items() if not v]}"
+        assert len(report.checks) == 5
+
+    def test_lines_format(self):
+        report = run_selftest()
+        lines = report.lines()
+        assert len(lines) == 5
+        assert all(line.endswith("PASS") for line in lines)
+
+    def test_empty_report_not_passed(self):
+        assert not SelfTestReport().passed
+
+    def test_failed_check_fails_report(self):
+        report = SelfTestReport(checks={"a": True, "b": False})
+        assert not report.passed
+        assert any(line.endswith("FAIL") for line in report.lines())

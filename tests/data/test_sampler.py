@@ -1,0 +1,103 @@
+"""Distributed sampler: partition properties over virtual ranks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.sampler import BatchPlan, DistributedSampler
+
+
+class TestPartition:
+    @given(
+        n=st.integers(2, 200),
+        replicas=st.integers(1, 8),
+        seed=st.integers(0, 1000),
+        epoch=st.integers(0, 5),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_disjoint_and_complete(self, n, replicas, seed, epoch):
+        shards = []
+        for rank in range(replicas):
+            s = DistributedSampler(n, replicas, rank, seed=seed)
+            s.set_epoch(epoch)
+            shards.append(s.indices())
+        lengths = {len(s) for s in shards}
+        assert len(lengths) == 1  # equal shares
+        all_indices = np.concatenate(shards)
+        # padded with wrap-around: every dataset index appears >= 1 time
+        assert set(all_indices.tolist()) == set(range(n)) or n < replicas or set(
+            all_indices.tolist()
+        ) <= set(range(n))
+        # non-padded portion is a permutation: counts differ by at most 1
+        counts = np.bincount(all_indices, minlength=n)
+        assert counts.max() - counts.min() <= 1
+
+    def test_rank_independent_of_worker_count_elsewhere(self):
+        # EST 1 of 4 sees the same stream no matter what other ESTs do
+        a = DistributedSampler(100, 4, 1, seed=3)
+        b = DistributedSampler(100, 4, 1, seed=3)
+        np.testing.assert_array_equal(a.indices(), b.indices())
+
+    def test_epoch_changes_order(self):
+        s = DistributedSampler(50, 2, 0, seed=3)
+        s.set_epoch(0)
+        e0 = s.indices().copy()
+        s.set_epoch(1)
+        e1 = s.indices()
+        assert not np.array_equal(e0, e1)
+
+    def test_no_shuffle_is_strided(self):
+        s = DistributedSampler(10, 2, 1, shuffle=False)
+        np.testing.assert_array_equal(s.indices(), [1, 3, 5, 7, 9])
+
+    def test_padding_wraps(self):
+        s0 = DistributedSampler(5, 2, 0, shuffle=False)
+        s1 = DistributedSampler(5, 2, 1, shuffle=False)
+        assert len(s0) == len(s1) == 3
+        combined = sorted(np.concatenate([s0.indices(), s1.indices()]).tolist())
+        assert combined == [0, 0, 1, 2, 3, 4]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DistributedSampler(10, 0, 0)
+        with pytest.raises(ValueError):
+            DistributedSampler(10, 2, 2)
+        with pytest.raises(ValueError):
+            DistributedSampler(0, 1, 0)
+
+    def test_iter_protocol(self):
+        s = DistributedSampler(6, 3, 0, shuffle=False)
+        assert list(s) == [0, 3]
+        assert len(s) == 2
+
+
+class TestBatchPlan:
+    def test_steps_per_epoch_drop_last(self):
+        s = DistributedSampler(103, 4, 0, seed=1)  # 26 samples per rank
+        plan = BatchPlan(s, batch_size=8)
+        assert plan.steps_per_epoch == 3  # 26 // 8
+
+    def test_batches_partition_rank_stream(self):
+        s = DistributedSampler(64, 2, 0, seed=1)
+        plan = BatchPlan(s, batch_size=8)
+        batches = plan.batches()
+        flat = np.concatenate(batches)
+        np.testing.assert_array_equal(flat, s.indices()[: len(flat)])
+
+    def test_epoch_cache_invalidation(self):
+        s = DistributedSampler(64, 2, 0, seed=1)
+        plan = BatchPlan(s, batch_size=8)
+        b_e0 = plan.batch(0).copy()
+        s.set_epoch(1)
+        b_e1 = plan.batch(0)
+        assert not np.array_equal(b_e0, b_e1)
+
+    def test_step_bounds(self):
+        plan = BatchPlan(DistributedSampler(32, 2, 0), batch_size=8)
+        with pytest.raises(IndexError):
+            plan.batch(2)
+
+    def test_bad_batch_size(self):
+        with pytest.raises(ValueError):
+            BatchPlan(DistributedSampler(32, 2, 0), batch_size=0)

@@ -1,0 +1,56 @@
+"""Subset views and train/eval splits."""
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import Subset, SyntheticImageDataset, train_eval_split
+
+
+@pytest.fixture
+def base():
+    return SyntheticImageDataset(50, seed=3)
+
+
+class TestSubset:
+    def test_view_semantics(self, base):
+        sub = Subset(base, range(10, 20))
+        assert len(sub) == 10
+        x_sub, y_sub = sub[0]
+        x_base, y_base = base[10]
+        assert x_sub.tobytes() == x_base.tobytes() and y_sub == y_base
+
+    def test_arbitrary_indices(self, base):
+        sub = Subset(base, [5, 3, 40])
+        assert sub[2][0].tobytes() == base[40][0].tobytes()
+
+    def test_bounds_checked_at_construction(self, base):
+        with pytest.raises(IndexError):
+            Subset(base, [0, 50])
+
+    def test_bounds_checked_at_access(self, base):
+        sub = Subset(base, range(5))
+        with pytest.raises(IndexError):
+            sub[5]
+
+    def test_empty_rejected(self, base):
+        with pytest.raises(ValueError):
+            Subset(base, [])
+
+
+class TestTrainEvalSplit:
+    def test_disjoint_and_exhaustive(self, base):
+        train, evalset = train_eval_split(base, 30)
+        assert len(train) == 30 and len(evalset) == 20
+        assert set(train.indices).isdisjoint(evalset.indices)
+        assert sorted(train.indices + evalset.indices) == list(range(50))
+
+    def test_shared_prototypes(self, base):
+        # the whole point: both splits draw from the same class structure
+        train, evalset = train_eval_split(base, 30)
+        assert train.dataset is evalset.dataset
+
+    def test_invalid_sizes(self, base):
+        with pytest.raises(ValueError):
+            train_eval_split(base, 0)
+        with pytest.raises(ValueError):
+            train_eval_split(base, 50)

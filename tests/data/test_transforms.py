@@ -1,0 +1,73 @@
+"""Augmentation transforms: RNG-state determinism and semantics."""
+
+import numpy as np
+import pytest
+
+from repro.data.transforms import (
+    compose,
+    default_image_augmentation,
+    gaussian_noise,
+    random_crop,
+    random_horizontal_flip,
+)
+
+
+def _gen(seed=0):
+    return np.random.Generator(np.random.PCG64(seed))
+
+
+def _img(seed=0):
+    return _gen(seed).normal(size=(3, 8, 8)).astype(np.float32)
+
+
+class TestFlip:
+    def test_always_flips_at_p1(self):
+        x = _img()
+        out = random_horizontal_flip(1.0)(x, _gen(1))
+        np.testing.assert_array_equal(out, x[..., ::-1])
+
+    def test_never_flips_at_p0(self):
+        x = _img()
+        out = random_horizontal_flip(0.0)(x, _gen(1))
+        np.testing.assert_array_equal(out, x)
+
+    def test_consumes_draw_even_when_not_flipping(self):
+        # RNG stream position must not depend on the coin's outcome
+        g1, g2 = _gen(5), _gen(5)
+        random_horizontal_flip(0.0)(_img(), g1)
+        random_horizontal_flip(1.0)(_img(), g2)
+        assert g1.random() == g2.random()
+
+
+class TestCrop:
+    def test_preserves_shape(self):
+        out = random_crop(2)(_img(), _gen(0))
+        assert out.shape == (3, 8, 8)
+
+    def test_deterministic_given_state(self):
+        a = random_crop(1)(_img(), _gen(7))
+        b = random_crop(1)(_img(), _gen(7))
+        assert a.tobytes() == b.tobytes()
+
+
+class TestNoise:
+    def test_noise_magnitude(self):
+        x = np.zeros((3, 32, 32), np.float32)
+        out = gaussian_noise(0.1)(x, _gen(0))
+        assert out.std() == pytest.approx(0.1, rel=0.1)
+        assert out.dtype == np.float32
+
+
+class TestCompose:
+    def test_threading_order_matters(self):
+        t1 = compose([random_crop(1), gaussian_noise(0.1)])
+        t2 = compose([gaussian_noise(0.1), random_crop(1)])
+        a = t1(_img(), _gen(3))
+        b = t2(_img(), _gen(3))
+        assert a.tobytes() != b.tobytes()
+
+    def test_default_stack_deterministic(self):
+        t = default_image_augmentation()
+        a = t(_img(), _gen(9))
+        b = t(_img(), _gen(9))
+        assert a.tobytes() == b.tobytes()

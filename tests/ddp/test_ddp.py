@@ -1,0 +1,127 @@
+"""DDP baseline: determinism contracts and non-determinism sources."""
+
+import numpy as np
+import pytest
+
+from repro.ddp import DDPConfig, DDPTrainer, ddp_heter_config, ddp_homo_config, rank_rng
+from repro.models import get_workload
+from repro.utils.fingerprint import fingerprint_state_dict
+
+from tests.conftest import sgd_factory
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return get_workload("resnet18")
+
+
+@pytest.fixture(scope="module")
+def dataset(spec):
+    return spec.build_dataset(256, seed=9)
+
+
+def train(spec, dataset, config, steps=4):
+    trainer = DDPTrainer(spec, dataset, config, sgd_factory())
+    trainer.train_steps(steps)
+    return trainer
+
+
+class TestStaticDeterminism:
+    def test_same_world_same_bits(self, spec, dataset):
+        a = train(spec, dataset, ddp_homo_config(2, seed=5, batch_size=8))
+        b = train(spec, dataset, ddp_homo_config(2, seed=5, batch_size=8))
+        assert fingerprint_state_dict(a.model.state_dict()) == fingerprint_state_dict(
+            b.model.state_dict()
+        )
+
+    def test_seed_changes_bits(self, spec, dataset):
+        a = train(spec, dataset, ddp_homo_config(2, seed=5, batch_size=8))
+        b = train(spec, dataset, ddp_homo_config(2, seed=6, batch_size=8))
+        assert fingerprint_state_dict(a.model.state_dict()) != fingerprint_state_dict(
+            b.model.state_dict()
+        )
+
+    def test_losses_deterministic(self, spec, dataset):
+        a = train(spec, dataset, ddp_homo_config(2, seed=5, batch_size=8))
+        b = train(spec, dataset, ddp_homo_config(2, seed=5, batch_size=8))
+        assert a.loss_history == b.loss_history
+
+
+class TestElasticNonDeterminism:
+    def test_world_size_changes_bits(self, spec, dataset):
+        """Fixed DDP with different GPU counts — the motivation problem."""
+        a = train(spec, dataset, ddp_homo_config(2, seed=5, batch_size=8), steps=4)
+        b = train(spec, dataset, ddp_homo_config(4, seed=5, batch_size=8), steps=2)
+        assert fingerprint_state_dict(a.model.state_dict()) != fingerprint_state_dict(
+            b.model.state_dict()
+        )
+
+    def test_bucket_rebuild_happens_after_first_step(self, spec, dataset):
+        trainer = DDPTrainer(
+            spec, dataset, ddp_homo_config(2, seed=5, batch_size=8), sgd_factory()
+        )
+        initial = [list(b) for b in trainer.buckets.buckets]
+        trainer.train_steps(1)
+        rebuilt = [list(b) for b in trainer.buckets.buckets]
+        assert initial != rebuilt  # arrival order != reverse registration
+        trainer.train_steps(1)
+        assert [list(b) for b in trainer.buckets.buckets] == rebuilt  # only once
+
+    def test_rebuild_disabled(self, spec, dataset):
+        config = ddp_homo_config(2, seed=5, batch_size=8, rebuild_buckets=False)
+        trainer = DDPTrainer(spec, dataset, config, sgd_factory())
+        initial = [list(b) for b in trainer.buckets.buckets]
+        trainer.train_steps(2)
+        assert [list(b) for b in trainer.buckets.buckets] == initial
+
+    def test_bucket_layout_affects_bits(self, spec, dataset):
+        # world >= 3 needed: with 2 ranks every reduction is a single
+        # commutative a+b regardless of chunking, so layout cannot matter
+        a = train(spec, dataset, ddp_homo_config(3, seed=5, batch_size=8))
+        b = train(
+            spec, dataset, ddp_homo_config(3, seed=5, batch_size=8, rebuild_buckets=False)
+        )
+        assert fingerprint_state_dict(a.model.state_dict()) != fingerprint_state_dict(
+            b.model.state_dict()
+        )
+
+
+class TestHeterogeneousNonDeterminism:
+    def test_dialect_mix_changes_bits_without_d2(self, spec, dataset):
+        homo = train(spec, dataset, ddp_homo_config(2, seed=5, batch_size=8))
+        mixed = train(
+            spec,
+            dataset,
+            DDPConfig(world_size=2, seed=5, batch_size=8, dialects=("v100", "p100")),
+        )
+        assert fingerprint_state_dict(homo.model.state_dict()) != fingerprint_state_dict(
+            mixed.model.state_dict()
+        )
+
+    def test_d2_kernels_make_dialect_mix_irrelevant(self, spec, dataset):
+        a = train(spec, dataset, ddp_heter_config(2, ("v100", "v100"), seed=5, batch_size=8))
+        b = train(spec, dataset, ddp_heter_config(2, ("v100", "p100"), seed=5, batch_size=8))
+        assert fingerprint_state_dict(a.model.state_dict()) == fingerprint_state_dict(
+            b.model.state_dict()
+        )
+
+
+class TestConfig:
+    def test_dialect_broadcast(self):
+        config = DDPConfig(world_size=3, dialects=("t4",))
+        assert config.dialects == ("t4", "t4", "t4")
+
+    def test_dialect_count_mismatch(self):
+        with pytest.raises(ValueError):
+            DDPConfig(world_size=3, dialects=("v100", "p100"))
+
+    def test_world_size_positive(self):
+        with pytest.raises(ValueError):
+            DDPConfig(world_size=0)
+
+    def test_rank_rng_matches_est_rng(self):
+        from repro.core.est import est_rng
+
+        a = rank_rng(42, 3)
+        b = est_rng(42, 3)
+        assert np.array_equal(a.normal((5,)), b.normal((5,)))

@@ -1,0 +1,77 @@
+"""Evaluation metrics: accuracy computation, per-class vectors."""
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import SyntheticImageDataset
+from repro.ddp.metrics import evaluate_classification, evaluate_workload
+from repro.models import get_workload
+from repro.nn.module import Module, Parameter
+from repro.tensor.tensor import Tensor
+from repro.utils.rng import RNGBundle
+
+
+class Oracle(Module):
+    """Classifier that reads the label back out of the prototype pattern."""
+
+    def __init__(self, dataset):
+        super().__init__()
+        self.weight = Parameter(np.zeros(1, np.float32))  # modules need a param
+        self.prototypes = dataset.prototypes
+
+    def forward(self, x: Tensor) -> Tensor:
+        flat = x.data.reshape(x.shape[0], -1)
+        protos = self.prototypes.reshape(len(self.prototypes), -1)
+        dists = ((flat[:, None, :] - protos[None, :, :]) ** 2).sum(axis=2)
+        return Tensor(-dists)
+
+
+class Constant(Module):
+    def __init__(self, num_classes, pick=0):
+        super().__init__()
+        self.weight = Parameter(np.zeros(1, np.float32))
+        self.num_classes = num_classes
+        self.pick = pick
+
+    def forward(self, x: Tensor) -> Tensor:
+        logits = np.zeros((x.shape[0], self.num_classes), np.float32)
+        logits[:, self.pick] = 1.0
+        return Tensor(logits)
+
+
+class TestEvaluateClassification:
+    def test_oracle_high_accuracy(self):
+        ds = SyntheticImageDataset(100, num_classes=4, noise_scale=0.3, seed=1)
+        acc, per_class = evaluate_classification(Oracle(ds), ds, num_classes=4)
+        assert acc > 0.8
+        assert per_class.shape == (4,)
+        assert per_class.mean() > 0.7
+
+    def test_constant_predictor_per_class(self):
+        ds = SyntheticImageDataset(40, num_classes=4, seed=1)
+        acc, per_class = evaluate_classification(Constant(4, pick=2), ds, num_classes=4)
+        assert acc == pytest.approx(0.25)
+        assert per_class[2] == 1.0
+        assert per_class[0] == per_class[1] == per_class[3] == 0.0
+
+    def test_restores_training_mode(self):
+        ds = SyntheticImageDataset(16, num_classes=4)
+        model = Constant(4)
+        model.train()
+        evaluate_classification(model, ds)
+        assert model.training
+
+    def test_num_samples_cap(self):
+        ds = SyntheticImageDataset(100, num_classes=4)
+        acc, _ = evaluate_classification(Constant(4), ds, num_samples=8)
+        assert acc in (0.0, 0.25, 1.0) or 0 <= acc <= 1
+
+
+class TestEvaluateWorkload:
+    @pytest.mark.parametrize("name", ["resnet18", "neumf", "yolov3", "bert"])
+    def test_untrained_models_in_unit_range(self, name):
+        spec = get_workload(name)
+        model = spec.build_model(RNGBundle(0))
+        ds = spec.build_dataset(64, seed=1)
+        score = evaluate_workload(spec, model, ds, num_samples=32)
+        assert 0.0 <= score <= 1.0

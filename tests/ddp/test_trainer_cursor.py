@@ -1,0 +1,63 @@
+"""DDP trainer progress cursor: split calls must equal one long call."""
+
+import pytest
+
+from repro.ddp import DDPTrainer, ddp_homo_config
+from repro.models import get_workload
+from repro.utils.fingerprint import fingerprint_state_dict
+
+from tests.conftest import sgd_factory
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return get_workload("resnet18")
+
+
+@pytest.fixture(scope="module")
+def dataset(spec):
+    return spec.build_dataset(128, seed=3)
+
+
+def make(spec, dataset):
+    return DDPTrainer(
+        spec, dataset, ddp_homo_config(2, seed=5, batch_size=8), sgd_factory()
+    )
+
+
+class TestCursor:
+    def test_split_calls_equal_one_call(self, spec, dataset):
+        whole = make(spec, dataset)
+        whole.train_steps(6)
+
+        split = make(spec, dataset)
+        split.train_steps(2)
+        split.train_steps(3)
+        split.train_steps(1)
+        assert fingerprint_state_dict(split.model.state_dict()) == fingerprint_state_dict(
+            whole.model.state_dict()
+        )
+
+    def test_epoch_property_tracks_steps(self, spec, dataset):
+        trainer = make(spec, dataset)
+        steps = trainer.steps_per_epoch
+        trainer.train_steps(steps)
+        assert trainer.epoch == 1
+
+    def test_epoch_crossing_inside_train_steps(self, spec, dataset):
+        trainer = make(spec, dataset)
+        steps = trainer.steps_per_epoch
+        losses = trainer.train_steps(steps + 2)
+        assert len(losses) == steps + 2
+        assert trainer.epoch == 1
+
+    def test_train_epoch_drift_detected(self, spec, dataset):
+        trainer = make(spec, dataset)
+        with pytest.raises(ValueError):
+            trainer.train_epoch(3)  # trainer is at epoch 0
+
+    def test_train_epoch_requires_boundary(self, spec, dataset):
+        trainer = make(spec, dataset)
+        trainer.train_steps(1)
+        with pytest.raises(ValueError):
+            trainer.train_epoch()

@@ -1,0 +1,89 @@
+"""VirtualFlow baseline: fixed global batch, approximate consistency."""
+
+import numpy as np
+import pytest
+
+from repro.elastic import VirtualFlowTrainer
+from repro.models import get_workload
+from repro.utils.fingerprint import fingerprint_state_dict, max_abs_diff
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return get_workload("resnet18")
+
+
+@pytest.fixture(scope="module")
+def dataset(spec):
+    return spec.build_dataset(128, seed=3)
+
+
+def run(spec, dataset, devices, steps=4, virtual=4):
+    trainer = VirtualFlowTrainer(spec, dataset, num_virtual_nodes=virtual, seed=5)
+    trainer.train_steps(steps, num_devices=devices)
+    return trainer
+
+
+class TestDeviceMapping:
+    def test_contiguous_balanced(self, spec, dataset):
+        trainer = VirtualFlowTrainer(spec, dataset, num_virtual_nodes=5, seed=1)
+        assert trainer._device_map(2) == [[0, 1, 2], [3, 4]]
+        assert trainer._device_map(5) == [[0], [1], [2], [3], [4]]
+
+    def test_invalid_device_count(self, spec, dataset):
+        trainer = VirtualFlowTrainer(spec, dataset, num_virtual_nodes=4, seed=1)
+        with pytest.raises(ValueError):
+            trainer._device_map(0)
+        with pytest.raises(ValueError):
+            trainer._device_map(5)
+
+    def test_invalid_virtual_nodes(self, spec, dataset):
+        with pytest.raises(ValueError):
+            VirtualFlowTrainer(spec, dataset, num_virtual_nodes=0)
+
+
+class TestConsistency:
+    def test_reproducible_for_fixed_schedule(self, spec, dataset):
+        a = run(spec, dataset, devices=2)
+        b = run(spec, dataset, devices=2)
+        assert fingerprint_state_dict(a.model.state_dict()) == fingerprint_state_dict(
+            b.model.state_dict()
+        )
+
+    def test_device_count_changes_bits_but_not_much(self, spec, dataset):
+        """VirtualFlow's gap: fixed hyper-parameters give *approximate*
+        consistency — bits differ across device counts (the paper notes a
+        0.4% accuracy degradation), unlike EasyScale's exact match."""
+        a = run(spec, dataset, devices=4)
+        b = run(spec, dataset, devices=1)
+        assert fingerprint_state_dict(a.model.state_dict()) != fingerprint_state_dict(
+            b.model.state_dict()
+        )
+        # but numerically close: the global batch is unchanged
+        gap = max_abs_diff(a.model.state_dict(), b.model.state_dict())
+        assert 0 < gap < 1e-2
+
+    def test_closer_than_torchelastic(self, spec, dataset):
+        """VirtualFlow's fixed global batch keeps it far closer across
+        scales than hyper-parameter-rescaling baselines."""
+        from repro.elastic import ElasticBaselineTrainer, TorchElasticScaling, TrainSegment
+
+        vf_gap = max_abs_diff(
+            run(spec, dataset, devices=4).model.state_dict(),
+            run(spec, dataset, devices=1).model.state_dict(),
+        )
+
+        def te(world):
+            trainer = ElasticBaselineTrainer(
+                spec, dataset, TorchElasticScaling(), seed=5, base_batch=8
+            )
+            trainer.run_schedule([TrainSegment(world, 1)])
+            return trainer.model.state_dict()
+
+        te_gap = max_abs_diff(te(4), te(1))
+        assert vf_gap < te_gap
+
+    def test_losses_recorded(self, spec, dataset):
+        trainer = run(spec, dataset, devices=2, steps=3)
+        assert len(trainer.loss_history) == 3
+        assert all(np.isfinite(l) for l in trainer.loss_history)

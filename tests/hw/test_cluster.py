@@ -1,0 +1,93 @@
+"""Cluster inventory: composition, allocation bookkeeping."""
+
+import pytest
+
+from repro.hw import Cluster, Machine, P100, T4, V100, microbench_cluster, production_cluster
+from repro.hw.gpu import GPU, gpu_type
+
+
+class TestGPUTypes:
+    def test_lookup(self):
+        assert gpu_type("V100").dialect == "v100"
+        with pytest.raises(KeyError):
+            gpu_type("A100")
+
+    def test_memory_profile(self):
+        assert V100.memory_gb == 32.0
+        assert P100.memory_gb == 16.0 and T4.memory_gb == 16.0
+
+    def test_gpu_allocate_release(self):
+        gpu = GPU(type=V100)
+        gpu.allocate("job-a")
+        with pytest.raises(RuntimeError):
+            gpu.allocate("job-b")
+        with pytest.raises(RuntimeError):
+            gpu.release("job-b")
+        gpu.release("job-a")
+        assert gpu.free
+
+
+class TestMicrobenchCluster:
+    def test_paper_composition(self):
+        cluster = microbench_cluster()
+        assert cluster.total() == 64
+        assert cluster.total("V100") == 32
+        assert cluster.total("P100") == 16
+        assert cluster.total("T4") == 16
+
+    def test_machine_shapes(self):
+        cluster = microbench_cluster()
+        by_prefix = {}
+        for machine in cluster.machines:
+            prefix = machine.name.rsplit("-", 1)[0]
+            by_prefix.setdefault(prefix, []).append(len(machine.gpus))
+        assert by_prefix["v100"] == [8, 8, 8, 8]
+        assert by_prefix["p100"] == [2] * 8
+        assert by_prefix["t4"] == [4] * 4
+
+
+class TestAllocation:
+    def test_allocate_and_release(self):
+        cluster = microbench_cluster()
+        taken = cluster.allocate("job", "V100", 5)
+        assert len(taken) == 5
+        assert cluster.free_count("V100") == 27
+        assert cluster.allocated_count() == 5
+        cluster.release("job", taken[:2])
+        assert cluster.free_count("V100") == 29
+        assert cluster.release_all("job") == 3
+        assert cluster.allocated_count() == 0
+
+    def test_all_or_nothing(self):
+        cluster = microbench_cluster()
+        with pytest.raises(RuntimeError):
+            cluster.allocate("job", "P100", 17)
+        assert cluster.free_count("P100") == 16
+
+    def test_free_by_type(self):
+        cluster = microbench_cluster()
+        cluster.allocate("j", "T4", 10)
+        assert cluster.free_by_type() == {"V100": 32, "P100": 16, "T4": 6}
+
+    def test_owned_by(self):
+        cluster = microbench_cluster()
+        cluster.allocate("a", "V100", 2)
+        cluster.allocate("b", "V100", 3)
+        assert len(cluster.owned_by("a")) == 2
+
+    def test_empty_cluster_rejected(self):
+        with pytest.raises(ValueError):
+            Cluster([])
+
+
+class TestProductionCluster:
+    def test_size_and_mix(self):
+        cluster = production_cluster(1000)
+        assert cluster.total() == 1000
+        assert cluster.total("T4") == 500
+        assert cluster.total("P100") == 250
+        assert cluster.total("V100") == 250
+
+    def test_minimum_size(self):
+        with pytest.raises(ValueError):
+            production_cluster(5)

@@ -1,0 +1,63 @@
+"""Memory model: the Fig. 10 OOM regimes, flat EasyScale footprint."""
+
+import pytest
+
+from repro.hw import (
+    OutOfMemoryError,
+    P100,
+    T4,
+    V100,
+    check_fits,
+    easyscale_memory_gb,
+    max_easyscale_ests,
+    max_packed_workers,
+    packing_memory_gb,
+)
+from repro.models import get_workload
+
+
+class TestPackingOOMPoints:
+    """Paper: on a 32 GB V100, worker packing OOMs after 8 workers for
+    ResNet50 (bs=32) and after 2 workers for ShuffleNetV2 (bs=512)."""
+
+    def test_resnet50_packs_8_not_9(self):
+        spec = get_workload("resnet50")
+        assert max_packed_workers(spec, V100, batch_size=32) == 8
+
+    def test_shufflenet_packs_2_not_3(self):
+        spec = get_workload("shufflenetv2")
+        assert max_packed_workers(spec, V100, batch_size=512) == 2
+
+    def test_packing_memory_linear(self):
+        spec = get_workload("resnet50")
+        one = packing_memory_gb(spec, 1, 32)
+        four = packing_memory_gb(spec, 4, 32)
+        assert four == pytest.approx(4 * one)
+
+
+class TestEasyScaleFootprint:
+    def test_nearly_flat_in_ests(self):
+        spec = get_workload("resnet50")
+        m1 = easyscale_memory_gb(spec, 1, 32)
+        m16 = easyscale_memory_gb(spec, 16, 32)
+        assert (m16 - m1) / m1 < 0.15  # only tiny per-EST staging overhead
+
+    def test_easyscale_hosts_many_more_workers(self):
+        spec = get_workload("resnet50")
+        assert max_easyscale_ests(spec, V100, 32) > 4 * max_packed_workers(spec, V100, 32)
+
+    def test_large_model_may_not_fit_small_gpu(self):
+        spec = get_workload("shufflenetv2")  # huge activations at bs 1024
+        assert max_easyscale_ests(spec, P100, 1024) == 0
+
+    def test_check_fits_raises(self):
+        with pytest.raises(OutOfMemoryError):
+            check_fits(17.0, T4)
+        check_fits(15.0, T4)  # no raise
+
+    def test_validation(self):
+        spec = get_workload("resnet50")
+        with pytest.raises(ValueError):
+            packing_memory_gb(spec, 0)
+        with pytest.raises(ValueError):
+            easyscale_memory_gb(spec, 0)

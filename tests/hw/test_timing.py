@@ -1,0 +1,87 @@
+"""Timing model: D1/D2 overheads (Fig. 12), context switching (Fig. 11)."""
+
+import pytest
+
+from repro.hw import (
+    P100,
+    T4,
+    V100,
+    context_switch_time,
+    easyscale_aggregate_throughput,
+    easyscale_step_time,
+    minibatch_time,
+    packing_aggregate_throughput,
+)
+from repro.hw.timing import CTX_SWITCH_FRACTION, D2_CONV_OVERHEAD
+from repro.models import WORKLOADS, get_workload
+from repro.tensor.kernels import D0_POLICY, D2_POLICY
+
+
+class TestDeterminismOverheads:
+    def test_d1_under_one_percent(self):
+        spec = get_workload("resnet50")
+        base = 1.0 / spec.throughput["v100"]
+        d1 = minibatch_time(spec, V100, D0_POLICY)
+        assert (d1 - base) / base < 0.01
+
+    def test_d2_heavy_for_conv_models(self):
+        for name in ("resnet50", "vgg19", "shufflenetv2", "yolov3"):
+            spec = get_workload(name)
+            d1 = minibatch_time(spec, V100, D0_POLICY)
+            d2 = minibatch_time(spec, V100, D2_POLICY)
+            assert d2 / d1 == pytest.approx(1 + D2_CONV_OVERHEAD, rel=1e-6)
+
+    def test_d2_cheap_for_gemm_models(self):
+        for name in ("neumf", "bert", "electra", "swintransformer"):
+            spec = get_workload(name)
+            d1 = minibatch_time(spec, V100, D0_POLICY)
+            d2 = minibatch_time(spec, V100, D2_POLICY)
+            assert d2 / d1 < 1.01
+
+    def test_gpu_speed_ordering(self):
+        spec = get_workload("bert")
+        assert (
+            minibatch_time(spec, V100) < minibatch_time(spec, P100) < minibatch_time(spec, T4)
+        )
+
+
+class TestContextSwitch:
+    def test_fraction_bounded_by_paper_max(self):
+        for name, frac in CTX_SWITCH_FRACTION.items():
+            assert 0 < frac <= 0.019  # Electra's 1.9% is the paper's worst case
+
+    def test_electra_is_worst(self):
+        worst = max(CTX_SWITCH_FRACTION, key=CTX_SWITCH_FRACTION.get)
+        assert worst == "electra"
+
+    def test_switch_time_scales_with_batch_time(self):
+        spec = get_workload("resnet50")
+        assert context_switch_time(spec, T4) > context_switch_time(spec, V100)
+
+
+class TestAggregateThroughput:
+    def test_easyscale_flat_per_est(self):
+        spec = get_workload("resnet50")
+        t1 = easyscale_aggregate_throughput(spec, V100, 1)
+        t8 = easyscale_aggregate_throughput(spec, V100, 8)
+        assert t8 == pytest.approx(t1, rel=0.02)  # flat modulo switch cost
+
+    def test_packing_gain_capped_at_11_percent(self):
+        spec = get_workload("resnet50")
+        base = packing_aggregate_throughput(spec, V100, 1)
+        many = packing_aggregate_throughput(spec, V100, 16)
+        assert 1.0 < many / base <= 1.11 + 1e-9
+
+    def test_step_time_composition(self):
+        spec = get_workload("bert")
+        t = easyscale_step_time(spec, V100, 4)
+        per = minibatch_time(spec, V100)
+        sw = context_switch_time(spec, V100)
+        assert t == pytest.approx(4 * per + 3 * sw)
+
+    def test_validation(self):
+        spec = get_workload("bert")
+        with pytest.raises(ValueError):
+            easyscale_step_time(spec, V100, 0)
+        with pytest.raises(ValueError):
+            packing_aggregate_throughput(spec, V100, 0)

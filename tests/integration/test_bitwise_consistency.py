@@ -1,0 +1,221 @@
+"""The paper's headline claims, asserted end-to-end.
+
+Every test here trains real models through the full stack and compares
+final parameters (and optimizer state) **bitwise** against the DDP
+reference — the property the whole system exists to provide.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    EasyScaleEngine,
+    EasyScaleJobConfig,
+    WorkerAssignment,
+    determinism_from_label,
+)
+from repro.ddp import DDPTrainer, ddp_heter_config, ddp_homo_config
+from repro.hw import P100, T4, V100
+from repro.models import get_workload
+from repro.utils.fingerprint import fingerprint_state_dict
+from repro.utils.serialization import deep_equal
+
+from tests.conftest import sgd_factory
+
+SEED = 5
+STEPS = 6
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return get_workload("resnet18")
+
+
+@pytest.fixture(scope="module")
+def dataset(spec):
+    return spec.build_dataset(256, seed=9)
+
+
+@pytest.fixture(scope="module")
+def ddp_reference(spec, dataset):
+    """DDP-homo with 4 fixed workers, the bitwise target."""
+    trainer = DDPTrainer(
+        spec, dataset, ddp_homo_config(4, seed=SEED, batch_size=8), sgd_factory()
+    )
+    trainer.train_steps(STEPS)
+    return trainer
+
+
+def easyscale(spec, dataset, determinism="D1", num_ests=4):
+    config = EasyScaleJobConfig(
+        num_ests=num_ests,
+        seed=SEED,
+        batch_size=8,
+        determinism=determinism_from_label(determinism),
+    )
+    return EasyScaleEngine(
+        spec,
+        dataset,
+        config,
+        sgd_factory(),
+        WorkerAssignment.balanced([V100] * num_ests, num_ests),
+    )
+
+
+class TestD1Elasticity:
+    def test_static_four_workers_match_ddp(self, spec, dataset, ddp_reference):
+        engine = easyscale(spec, dataset)
+        engine.train_steps(STEPS)
+        assert fingerprint_state_dict(engine.model.state_dict()) == fingerprint_state_dict(
+            ddp_reference.model.state_dict()
+        )
+
+    def test_scale_in_4_2_1_matches_ddp(self, spec, dataset, ddp_reference):
+        engine = easyscale(spec, dataset)
+        engine.train_steps(2)
+        engine = engine.reconfigure(WorkerAssignment.balanced([V100] * 2, 4))
+        engine.train_steps(2)
+        engine = engine.reconfigure(WorkerAssignment.balanced([V100], 4))
+        engine.train_steps(2)
+        assert fingerprint_state_dict(engine.model.state_dict()) == fingerprint_state_dict(
+            ddp_reference.model.state_dict()
+        )
+        assert deep_equal(
+            engine.optimizer.state_dict(), ddp_reference.optimizer.state_dict()
+        )
+
+    def test_scale_out_1_to_4_matches_ddp(self, spec, dataset, ddp_reference):
+        engine = EasyScaleEngine(
+            spec,
+            dataset,
+            EasyScaleJobConfig(num_ests=4, seed=SEED, batch_size=8),
+            sgd_factory(),
+            WorkerAssignment.balanced([V100], 4),
+        )
+        engine.train_steps(3)
+        engine = engine.reconfigure(WorkerAssignment.balanced([V100] * 4, 4))
+        engine.train_steps(STEPS - 3)
+        assert fingerprint_state_dict(engine.model.state_dict()) == fingerprint_state_dict(
+            ddp_reference.model.state_dict()
+        )
+
+    def test_losses_match_ddp_stepwise(self, spec, dataset, ddp_reference):
+        engine = easyscale(spec, dataset)
+        engine.train_steps(STEPS)
+        easyscale_last = [row[-1] for row in engine.loss_history]
+        ddp_last = [row[-1] for row in ddp_reference.loss_history]
+        assert easyscale_last == ddp_last
+
+    def test_uneven_est_distribution_matches(self, spec, dataset, ddp_reference):
+        # 3 workers hosting 2/1/1 ESTs: mapping should not matter at all
+        assignment = WorkerAssignment(
+            gpus=(V100, V100, V100), est_map=((0, 1), (2,), (3,))
+        )
+        config = EasyScaleJobConfig(num_ests=4, seed=SEED, batch_size=8)
+        engine = EasyScaleEngine(spec, dataset, config, sgd_factory(), assignment)
+        engine.train_steps(STEPS)
+        assert fingerprint_state_dict(engine.model.state_dict()) == fingerprint_state_dict(
+            ddp_reference.model.state_dict()
+        )
+
+    @given(
+        split1=st.integers(1, 4),
+        split2=st.integers(1, 4),
+        boundary=st.integers(1, 5),
+    )
+    @settings(max_examples=6, deadline=None)
+    def test_any_scale_schedule_matches(self, spec, dataset, ddp_reference, split1, split2, boundary):
+        """Property: any two-phase worker-count schedule is bitwise clean."""
+        engine = easyscale(spec, dataset)
+        engine = engine.reconfigure(WorkerAssignment.balanced([V100] * split1, 4))
+        engine.train_steps(boundary)
+        engine = engine.reconfigure(WorkerAssignment.balanced([V100] * split2, 4))
+        engine.train_steps(STEPS - boundary)
+        assert fingerprint_state_dict(engine.model.state_dict()) == fingerprint_state_dict(
+            ddp_reference.model.state_dict()
+        )
+
+
+class TestD0Divergence:
+    def test_d0_diverges_after_scale_event(self, spec, dataset, ddp_reference):
+        engine = easyscale(spec, dataset, determinism="D0")
+        engine.train_steps(3)
+        engine = engine.reconfigure(WorkerAssignment.balanced([V100] * 2, 4))
+        engine.train_steps(STEPS - 3)
+        assert fingerprint_state_dict(engine.model.state_dict()) != fingerprint_state_dict(
+            ddp_reference.model.state_dict()
+        )
+
+    def test_d0_fine_without_scale_events(self, spec, dataset, ddp_reference):
+        engine = easyscale(spec, dataset, determinism="D0")
+        engine.train_steps(STEPS)
+        assert fingerprint_state_dict(engine.model.state_dict()) == fingerprint_state_dict(
+            ddp_reference.model.state_dict()
+        )
+
+
+class TestD2Heterogeneity:
+    @pytest.fixture(scope="class")
+    def ddp_heter_reference(self, spec, dataset):
+        trainer = DDPTrainer(
+            spec,
+            dataset,
+            ddp_heter_config(4, ["v100"] * 4, seed=SEED, batch_size=8),
+            sgd_factory(),
+        )
+        trainer.train_steps(STEPS)
+        return trainer
+
+    def test_d1d2_heterogeneous_stages_match(self, spec, dataset, ddp_heter_reference):
+        config = EasyScaleJobConfig(
+            num_ests=4,
+            seed=SEED,
+            batch_size=8,
+            determinism=determinism_from_label("D1+D2"),
+        )
+        engine = EasyScaleEngine(
+            spec, dataset, config, sgd_factory(), WorkerAssignment.balanced([V100] * 4, 4)
+        )
+        engine.train_steps(2)
+        engine = engine.reconfigure(WorkerAssignment.balanced([V100] * 2, 4))
+        engine.train_steps(2)
+        engine = engine.reconfigure(WorkerAssignment.balanced([V100, P100, P100], 4))
+        engine.train_steps(1)
+        engine = engine.reconfigure(WorkerAssignment.balanced([T4], 4))
+        engine.train_steps(1)
+        assert fingerprint_state_dict(engine.model.state_dict()) == fingerprint_state_dict(
+            ddp_heter_reference.model.state_dict()
+        )
+
+    def test_d1_alone_breaks_on_heterogeneous_gpus(self, spec, dataset, ddp_reference):
+        engine = easyscale(spec, dataset, determinism="D1")
+        engine.train_steps(3)
+        engine = engine.reconfigure(WorkerAssignment.balanced([V100, P100], 4))
+        engine.train_steps(STEPS - 3)
+        assert fingerprint_state_dict(engine.model.state_dict()) != fingerprint_state_dict(
+            ddp_reference.model.state_dict()
+        )
+
+
+class TestOtherWorkloads:
+    @pytest.mark.parametrize("name", ["neumf", "bert"])
+    def test_bitwise_consistency_generalizes(self, name):
+        spec = get_workload(name)
+        dataset = spec.build_dataset(128, seed=2)
+        ddp = DDPTrainer(
+            spec, dataset, ddp_homo_config(2, seed=3, batch_size=4), sgd_factory(lr=0.01)
+        )
+        ddp.train_steps(4)
+
+        config = EasyScaleJobConfig(num_ests=2, seed=3, batch_size=4)
+        engine = EasyScaleEngine(
+            spec, dataset, config, sgd_factory(lr=0.01), WorkerAssignment.balanced([V100] * 2, 2)
+        )
+        engine.train_steps(2)
+        engine = engine.reconfigure(WorkerAssignment.balanced([V100], 2))
+        engine.train_steps(2)
+        assert fingerprint_state_dict(engine.model.state_dict()) == fingerprint_state_dict(
+            ddp.model.state_dict()
+        )

@@ -1,0 +1,112 @@
+"""Checkpoint round trips through bytes, mid-training, across allocations."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Checkpoint,
+    EasyScaleEngine,
+    EasyScaleJobConfig,
+    WorkerAssignment,
+)
+from repro.hw import P100, V100
+from repro.models import get_workload
+from repro.optim import StepLR
+from repro.utils.fingerprint import fingerprint_state_dict
+
+from tests.conftest import sgd_factory
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return get_workload("resnet18")
+
+
+@pytest.fixture(scope="module")
+def dataset(spec):
+    return spec.build_dataset(192, seed=4)
+
+
+def make_engine(spec, dataset, gpus=2, scheduler=False):
+    config = EasyScaleJobConfig(num_ests=4, seed=8, batch_size=8)
+    return EasyScaleEngine(
+        spec,
+        dataset,
+        config,
+        sgd_factory(),
+        WorkerAssignment.balanced([V100] * gpus, 4),
+        scheduler_factory=(lambda opt: StepLR(opt, 1, 0.5)) if scheduler else None,
+    )
+
+
+class TestByteRoundTrip:
+    def test_resume_through_bytes_is_bitwise(self, spec, dataset):
+        continuous = make_engine(spec, dataset)
+        continuous.train_steps(6)
+
+        interrupted = make_engine(spec, dataset)
+        interrupted.train_steps(3)
+        blob = interrupted.checkpoint().to_bytes()
+        restored = EasyScaleEngine.from_checkpoint(
+            spec,
+            dataset,
+            Checkpoint.from_bytes(blob),
+            sgd_factory(),
+            WorkerAssignment.balanced([V100] * 2, 4),
+        )
+        restored.train_steps(3)
+        assert fingerprint_state_dict(restored.model.state_dict()) == fingerprint_state_dict(
+            continuous.model.state_dict()
+        )
+
+    def test_checkpoint_is_snapshot_not_view(self, spec, dataset):
+        engine = make_engine(spec, dataset)
+        engine.train_steps(1)
+        ckpt = engine.checkpoint()
+        digest = fingerprint_state_dict(ckpt.params["model"])
+        engine.train_steps(2)  # mutate the live model
+        assert fingerprint_state_dict(ckpt.params["model"]) == digest
+
+    def test_scheduler_state_travels(self, spec, dataset):
+        engine = make_engine(spec, dataset, scheduler=True)
+        engine.train_steps(engine.steps_per_epoch + 1)  # past one epoch
+        lr_before = engine.optimizer.lr
+        restored = engine.reconfigure(WorkerAssignment.balanced([V100], 4))
+        assert restored.optimizer.lr == pytest.approx(lr_before)
+        assert restored.scheduler.last_epoch == engine.scheduler.last_epoch
+
+    def test_epoch_boundary_checkpoint(self, spec, dataset):
+        continuous = make_engine(spec, dataset)
+        steps = continuous.steps_per_epoch
+        continuous.train_steps(steps + 2)
+
+        interrupted = make_engine(spec, dataset)
+        interrupted.train_steps(steps)  # exactly at the boundary
+        resumed = interrupted.reconfigure(WorkerAssignment.balanced([V100] * 4, 4))
+        resumed.train_steps(2)
+        assert fingerprint_state_dict(resumed.model.state_dict()) == fingerprint_state_dict(
+            continuous.model.state_dict()
+        )
+
+    def test_repeated_reconfigurations(self, spec, dataset):
+        continuous = make_engine(spec, dataset)
+        continuous.train_steps(5)
+
+        engine = make_engine(spec, dataset)
+        for gpus in (1, 3, 2, 4, 1):
+            engine = engine.reconfigure(WorkerAssignment.balanced([V100] * gpus, 4))
+            engine.train_steps(1)
+        assert fingerprint_state_dict(engine.model.state_dict()) == fingerprint_state_dict(
+            continuous.model.state_dict()
+        )
+
+    def test_bn_buffers_travel(self, spec, dataset):
+        continuous = make_engine(spec, dataset)
+        continuous.train_steps(4)
+        interrupted = make_engine(spec, dataset)
+        interrupted.train_steps(2)
+        restored = interrupted.reconfigure(WorkerAssignment.balanced([V100], 4))
+        restored.train_steps(2)
+        a = {k: v for k, v in continuous.model.state_dict().items() if "running" in k}
+        b = {k: v for k, v in restored.model.state_dict().items() if "running" in k}
+        assert a and fingerprint_state_dict(a) == fingerprint_state_dict(b)

@@ -1,0 +1,118 @@
+"""Property: the EST-to-worker placement never affects the result.
+
+The decoupling claim at its strongest: *any* partition of the virtual
+ranks onto *any* mix of workers (same GPU type under D1; any types under
+D1+D2) trains the identical model.  Hypothesis draws placements.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import EasyScaleEngine, EasyScaleJobConfig, WorkerAssignment, determinism_from_label
+from repro.hw import P100, T4, V100
+from repro.models import get_workload
+from repro.utils.fingerprint import fingerprint_state_dict
+
+from tests.conftest import sgd_factory
+
+SEED = 5
+NUM_ESTS = 4
+STEPS = 3
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return get_workload("resnet18")
+
+
+@pytest.fixture(scope="module")
+def dataset(spec):
+    return spec.build_dataset(128, seed=3)
+
+
+@pytest.fixture(scope="module")
+def reference_digest(spec, dataset):
+    config = EasyScaleJobConfig(num_ests=NUM_ESTS, seed=SEED, batch_size=8)
+    engine = EasyScaleEngine(
+        spec, dataset, config, sgd_factory(), WorkerAssignment.balanced([V100] * 4, 4)
+    )
+    engine.train_steps(STEPS)
+    return fingerprint_state_dict(engine.model.state_dict())
+
+
+@pytest.fixture(scope="module")
+def reference_digest_d2(spec, dataset):
+    config = EasyScaleJobConfig(
+        num_ests=NUM_ESTS, seed=SEED, batch_size=8,
+        determinism=determinism_from_label("D1+D2"),
+    )
+    engine = EasyScaleEngine(
+        spec, dataset, config, sgd_factory(), WorkerAssignment.balanced([V100] * 4, 4)
+    )
+    engine.train_steps(STEPS)
+    return fingerprint_state_dict(engine.model.state_dict())
+
+
+def partitions_of_four():
+    """Strategy: a partition of vranks {0,1,2,3} into 1-4 ordered groups."""
+
+    @st.composite
+    def build(draw):
+        vranks = list(range(NUM_ESTS))
+        perm = draw(st.permutations(vranks))
+        num_workers = draw(st.integers(1, NUM_ESTS))
+        cuts = sorted(
+            draw(
+                st.lists(
+                    st.integers(1, NUM_ESTS - 1),
+                    min_size=num_workers - 1,
+                    max_size=num_workers - 1,
+                    unique=True,
+                )
+            )
+        )
+        groups = []
+        prev = 0
+        for cut in cuts + [NUM_ESTS]:
+            groups.append(tuple(perm[prev:cut]))
+            prev = cut
+        return tuple(g for g in groups if g)
+
+    return build()
+
+
+class TestPlacementInvariance:
+    @given(est_map=partitions_of_four())
+    @settings(max_examples=8, deadline=None)
+    def test_any_homogeneous_placement_matches(
+        self, spec, dataset, reference_digest, est_map
+    ):
+        assignment = WorkerAssignment(gpus=tuple([V100] * len(est_map)), est_map=est_map)
+        config = EasyScaleJobConfig(num_ests=NUM_ESTS, seed=SEED, batch_size=8)
+        engine = EasyScaleEngine(spec, dataset, config, sgd_factory(), assignment)
+        engine.train_steps(STEPS)
+        assert (
+            fingerprint_state_dict(engine.model.state_dict()) == reference_digest
+        ), f"placement {est_map} changed the result"
+
+    @given(
+        est_map=partitions_of_four(),
+        gpu_picks=st.lists(st.sampled_from([V100, P100, T4]), min_size=4, max_size=4),
+    )
+    @settings(max_examples=8, deadline=None)
+    def test_any_heterogeneous_placement_matches_under_d2(
+        self, spec, dataset, reference_digest_d2, est_map, gpu_picks
+    ):
+        gpus = tuple(gpu_picks[: len(est_map)])
+        assignment = WorkerAssignment(gpus=gpus, est_map=est_map)
+        config = EasyScaleJobConfig(
+            num_ests=NUM_ESTS, seed=SEED, batch_size=8,
+            determinism=determinism_from_label("D1+D2"),
+        )
+        engine = EasyScaleEngine(spec, dataset, config, sgd_factory(), assignment)
+        engine.train_steps(STEPS)
+        assert (
+            fingerprint_state_dict(engine.model.state_dict()) == reference_digest_d2
+        ), f"placement {est_map} on {[g.name for g in gpus]} changed the result"

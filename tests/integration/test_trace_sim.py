@@ -1,0 +1,80 @@
+"""End-to-end trace experiment: the Fig. 14/15 shape on a small trace."""
+
+import pytest
+
+from repro.hw import microbench_cluster
+from repro.sched import (
+    ClusterSimulator,
+    EasyScalePolicy,
+    YarnCapacityScheduler,
+    generate_trace,
+)
+
+TRACE = dict(
+    num_jobs=30,
+    seed=4,
+    mean_interarrival_s=45,
+    mean_duration_s=1200,
+    burst_fraction=0.5,
+    type_weights={"v100": 0.3, "p100": 0.4, "t4": 0.3},
+    demand=[(1, 0.3), (2, 0.2), (4, 0.2), (8, 0.18), (16, 0.12)],
+    duration_sigma=1.1,
+    max_duration_factor=20,
+)
+
+
+@pytest.fixture(scope="module")
+def results():
+    jobs = generate_trace(**TRACE)
+    out = {}
+    for policy in (YarnCapacityScheduler(), EasyScalePolicy(False), EasyScalePolicy(True)):
+        out[policy.name] = ClusterSimulator(microbench_cluster(), jobs, policy).run()
+    return out
+
+
+class TestCompletion:
+    def test_all_policies_finish_all_jobs(self, results):
+        for name, result in results.items():
+            assert len(result.completed) == TRACE["num_jobs"], name
+
+    def test_no_gpus_leak(self, results):
+        for name, result in results.items():
+            # timeline ends with everything released
+            assert result.allocation_timeline[-1][1] == 0, name
+
+
+class TestPaperShape:
+    def test_easyscale_beats_yarn_jct(self, results):
+        yarn = results["yarn-cs"].average_jct
+        homo = results["easyscale-homo"].average_jct
+        heter = results["easyscale-heter"].average_jct
+        assert homo < yarn / 2  # paper: 8.3x; shape: decisively better
+        assert heter < yarn / 2  # paper: 13.2x
+
+    def test_easyscale_beats_yarn_makespan(self, results):
+        yarn = results["yarn-cs"].makespan
+        assert results["easyscale-homo"].makespan < yarn
+        assert results["easyscale-heter"].makespan < yarn
+
+    def test_heter_allocates_at_least_as_much_as_homo(self, results):
+        """Fig. 15: the heterogeneous policy's allocation dominates."""
+
+        def avg_alloc(result):
+            timeline = result.allocation_timeline
+            if len(timeline) < 2:
+                return 0.0
+            total = 0.0
+            for (t0, a), (t1, _) in zip(timeline, timeline[1:]):
+                total += a * (t1 - t0)
+            return total / (timeline[-1][0] - timeline[0][0])
+
+        homo = avg_alloc(results["easyscale-homo"])
+        heter = avg_alloc(results["easyscale-heter"])
+        assert heter >= homo * 0.95  # allow small scheduling noise
+
+    def test_events_are_consistent(self, results):
+        for result in results.values():
+            submits = len(result.events.of_kind("job_submit"))
+            dones = len(result.events.of_kind("job_done"))
+            assert submits == TRACE["num_jobs"]
+            assert dones == TRACE["num_jobs"]

@@ -1,0 +1,129 @@
+"""The eight workload models: forward/backward, structure, registry."""
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    TABLE1,
+    WORKLOADS,
+    channel_shuffle,
+    get_workload,
+    resnet18_mini,
+    swin_mini,
+)
+from repro.nn import use_rng
+from repro.tensor import Tensor, execution_context
+from repro.utils.rng import RNGBundle
+
+from tests.tensor.test_autograd import _rand
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+class TestAllWorkloads:
+    def test_forward_backward_produces_grads(self, name):
+        spec = get_workload(name)
+        rng = RNGBundle(1)
+        model = spec.build_model(rng.spawn("m"))
+        ds = spec.build_dataset(32, seed=2)
+        xs, ys = zip(*[ds[i] for i in range(4)])
+        x, y = np.stack(xs), np.asarray(ys)
+        with execution_context("v100"), use_rng(rng.spawn("r")):
+            loss = spec.forward_loss(model, x, y)
+            loss.backward()
+        assert np.isfinite(loss.item())
+        grads = [p.grad for p in model.parameters()]
+        assert all(g is not None for g in grads)
+        assert any(np.abs(g).sum() > 0 for g in grads)
+
+    def test_build_deterministic(self, name):
+        spec = get_workload(name)
+        a = spec.build_model(RNGBundle(9))
+        b = spec.build_model(RNGBundle(9))
+        for (na, pa), (nb, pb) in zip(a.named_parameters(), b.named_parameters()):
+            assert na == nb
+            assert pa.data.tobytes() == pb.data.tobytes()
+
+    def test_state_dict_roundtrip(self, name):
+        spec = get_workload(name)
+        model = spec.build_model(RNGBundle(1))
+        fresh = spec.build_model(RNGBundle(2))
+        fresh.load_state_dict(model.state_dict())
+        for (_, pa), (_, pb) in zip(model.named_parameters(), fresh.named_parameters()):
+            assert pa.data.tobytes() == pb.data.tobytes()
+
+
+class TestChannelShuffle:
+    def test_interleaves(self):
+        x = Tensor(np.arange(8, dtype=np.float32).reshape(1, 8, 1, 1))
+        out = channel_shuffle(x, 2).data.reshape(-1)
+        np.testing.assert_array_equal(out, [0, 4, 1, 5, 2, 6, 3, 7])
+
+    def test_inverse_property(self):
+        x = Tensor(_rand((2, 12, 3, 3), 1))
+        once = channel_shuffle(x, 3)
+        # shuffling with the complementary group count inverts
+        back = channel_shuffle(once, 4)
+        np.testing.assert_array_equal(back.data, x.data)
+
+    def test_indivisible_raises(self):
+        with pytest.raises(ValueError):
+            channel_shuffle(Tensor(_rand((1, 5, 2, 2))), 2)
+
+
+class TestSpecificArchitectures:
+    def test_resnet_output_shape(self):
+        model = resnet18_mini(RNGBundle(0), num_classes=7)
+        out = model(Tensor(_rand((3, 3, 8, 8), 1)))
+        assert out.shape == (3, 7)
+
+    def test_swin_window_partition(self):
+        model = swin_mini(RNGBundle(0))
+        out = model(Tensor(_rand((2, 3, 16, 16), 1)))
+        assert out.shape == (2, 10)
+
+    def test_swin_rejects_bad_geometry(self):
+        model = swin_mini(RNGBundle(0))
+        with pytest.raises(ValueError):
+            model(Tensor(_rand((1, 3, 12, 12), 1)))  # 3x3 patches, window 2
+
+    def test_yolo_loss_combines_terms(self):
+        spec = get_workload("yolov3")
+        model = spec.build_model(RNGBundle(1))
+        ds = spec.build_dataset(8, seed=1)
+        xs, ys = zip(*[ds[i] for i in range(4)])
+        with execution_context("v100"), use_rng(RNGBundle(2)):
+            out = model(Tensor(np.stack(xs)))
+            loss = model.loss(out, np.stack(ys))
+        assert out.shape[1] == 3 + 5  # box + classes
+        assert loss.item() > 0
+
+    def test_neumf_forward_dtype(self):
+        spec = get_workload("neumf")
+        model = spec.build_model(RNGBundle(1))
+        pairs = np.array([[0, 1], [2, 3]], dtype=np.int64)
+        with execution_context("v100"), use_rng(RNGBundle(2)):
+            out = model(pairs)
+        assert out.shape == (2,)
+
+
+class TestRegistry:
+    def test_table1_membership(self):
+        assert len(TABLE1) == 8
+        assert set(TABLE1) <= set(WORKLOADS)
+
+    def test_unknown_workload(self):
+        with pytest.raises(KeyError):
+            get_workload("alexnet")
+
+    def test_throughput_ordering(self):
+        # V100 fastest, T4 slowest, on every workload
+        for spec in WORKLOADS.values():
+            assert spec.throughput["v100"] > spec.throughput["p100"] > spec.throughput["t4"]
+
+    def test_conv_heavy_flags(self):
+        conv = {n for n, s in WORKLOADS.items() if s.conv_heavy}
+        assert conv == {"shufflenetv2", "resnet18", "resnet50", "vgg19", "yolov3"}
+
+    def test_worker_memory_scales_with_batch(self):
+        spec = get_workload("resnet50")
+        assert spec.worker_memory_gb(64) > spec.worker_memory_gb(32)

@@ -1,0 +1,51 @@
+"""Parameter initialization: distributions, fans, determinism."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.nn.init import kaiming_uniform, normal_, uniform_fan_in_bias, xavier_uniform
+from repro.utils.rng import RNGBundle
+
+
+class TestKaiming:
+    def test_bounds_linear(self):
+        rng = RNGBundle(0)
+        w = kaiming_uniform(rng, (64, 128))
+        gain = math.sqrt(2.0 / (1.0 + 5.0))
+        bound = gain * math.sqrt(3.0 / 128)
+        assert np.abs(w).max() <= bound + 1e-6
+
+    def test_bounds_conv_fan(self):
+        rng = RNGBundle(0)
+        w = kaiming_uniform(rng, (8, 4, 3, 3))
+        bound = math.sqrt(2.0 / 6.0) * math.sqrt(3.0 / (4 * 9))
+        assert np.abs(w).max() <= bound + 1e-6
+
+    def test_deterministic(self):
+        a = kaiming_uniform(RNGBundle(3), (5, 5))
+        b = kaiming_uniform(RNGBundle(3), (5, 5))
+        assert a.tobytes() == b.tobytes()
+
+
+class TestBias:
+    def test_bounds(self):
+        b = uniform_fan_in_bias(RNGBundle(0), (100,), fan_in=25)
+        assert np.abs(b).max() <= 0.2 + 1e-6
+
+    def test_zero_fan_in(self):
+        b = uniform_fan_in_bias(RNGBundle(0), (4,), fan_in=0)
+        np.testing.assert_array_equal(b, np.zeros(4, np.float32))
+
+
+class TestXavierNormal:
+    def test_xavier_bounds(self):
+        w = xavier_uniform(RNGBundle(1), (10, 40))
+        bound = math.sqrt(6.0 / 50)
+        assert np.abs(w).max() <= bound + 1e-6
+
+    def test_normal_std(self):
+        w = normal_(RNGBundle(2), (20000,), std=0.02)
+        assert w.std() == pytest.approx(0.02, rel=0.05)
+        assert w.dtype == np.float32

@@ -1,0 +1,198 @@
+"""Layers: shapes, implicit state (BN), RNG consumption (dropout), MHA."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.runtime import collect_bn_stats, current_rng, use_rng
+from repro.tensor.tensor import Tensor
+from repro.utils.rng import RNGBundle
+
+from tests.tensor.test_autograd import check_grad, _rand
+
+
+@pytest.fixture
+def rng():
+    return RNGBundle(77)
+
+
+class TestLinear:
+    def test_shape_and_grad(self, rng):
+        layer = nn.Linear(6, 4, rng)
+        x = Tensor(_rand((5, 6), 1), requires_grad=True)
+        out = layer(x)
+        assert out.shape == (5, 4)
+        check_grad(lambda: (layer(x) ** 2.0).sum(), [x, layer.weight, layer.bias])
+
+    def test_no_bias(self, rng):
+        layer = nn.Linear(3, 2, rng, bias=False)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_init_deterministic(self):
+        a = nn.Linear(4, 4, RNGBundle(5))
+        b = nn.Linear(4, 4, RNGBundle(5))
+        assert a.weight.data.tobytes() == b.weight.data.tobytes()
+
+
+class TestConv2dLayer:
+    def test_shapes(self, rng):
+        layer = nn.Conv2d(3, 8, 3, rng, stride=2, padding=1)
+        out = layer(Tensor(_rand((2, 3, 8, 8), 1)))
+        assert out.shape == (2, 8, 4, 4)
+
+
+class TestBatchNorm2d:
+    def test_normalizes_batch(self, rng):
+        bn = nn.BatchNorm2d(4)
+        x = Tensor(_rand((8, 4, 3, 3), 1) * 5 + 2)
+        out = bn(x).data
+        assert abs(out.mean()) < 1e-4
+        assert out.std() == pytest.approx(1.0, rel=0.05)
+
+    def test_running_stats_update_in_train(self):
+        bn = nn.BatchNorm2d(2)
+        x = Tensor(np.ones((4, 2, 2, 2), np.float32) * 3.0)
+        bn(x)
+        np.testing.assert_allclose(bn.running_mean, 0.9 * 0 + 0.1 * 3.0, rtol=1e-5)
+        assert int(bn.num_batches_tracked) == 1
+
+    def test_eval_uses_running_stats(self):
+        bn = nn.BatchNorm2d(2)
+        bn._set_buffer("running_mean", np.float32([1.0, 2.0]))
+        bn._set_buffer("running_var", np.float32([4.0, 4.0]))
+        bn.eval()
+        x = Tensor(np.ones((1, 2, 1, 1), np.float32))
+        out = bn(x).data.reshape(-1)
+        np.testing.assert_allclose(out, [(1 - 1) / 2, (1 - 2) / 2], atol=1e-3)
+
+    def test_eval_does_not_update_stats(self):
+        bn = nn.BatchNorm2d(2)
+        bn.eval()
+        bn(Tensor(_rand((4, 2, 2, 2), 3)))
+        np.testing.assert_array_equal(bn.running_mean, np.zeros(2, np.float32))
+
+    def test_journal_diverts_updates(self):
+        bn = nn.BatchNorm2d(2)
+        x = Tensor(_rand((4, 2, 2, 2), 1))
+        with collect_bn_stats() as journal:
+            bn(x)
+        assert len(journal) == 1
+        np.testing.assert_array_equal(bn.running_mean, np.zeros(2, np.float32))
+        layer, mean, var = journal[0]
+        assert layer is bn
+        layer.fold_stats(mean, var)
+        assert not np.array_equal(bn.running_mean, np.zeros(2, np.float32))
+
+    def test_grad_through_bn(self):
+        bn = nn.BatchNorm2d(2)
+        x = Tensor(_rand((4, 2, 2, 2), 1), requires_grad=True)
+        check_grad(lambda: (bn(x) ** 2.0).sum(), [x, bn.weight, bn.bias], rtol=5e-2)
+
+
+class TestBatchNorm1d:
+    def test_normalizes(self):
+        bn = nn.BatchNorm1d(3)
+        x = Tensor(_rand((16, 3), 1) * 4 + 1)
+        out = bn(x).data
+        assert abs(out.mean()) < 1e-4
+
+    def test_journal(self):
+        bn = nn.BatchNorm1d(3)
+        with collect_bn_stats() as journal:
+            bn(Tensor(_rand((8, 3), 1)))
+        assert len(journal) == 1
+
+
+class TestLayerNorm:
+    def test_normalizes_last_axis(self):
+        ln = nn.LayerNorm(8)
+        x = Tensor(_rand((4, 8), 1) * 3 + 7)
+        out = ln(x).data
+        np.testing.assert_allclose(out.mean(axis=-1), np.zeros(4), atol=1e-4)
+
+    def test_grad(self):
+        ln = nn.LayerNorm(6)
+        x = Tensor(_rand((3, 6), 2), requires_grad=True)
+        check_grad(lambda: (ln(x) ** 2.0).sum(), [x, ln.weight, ln.bias], rtol=5e-2)
+
+
+class TestDropout:
+    def test_requires_installed_rng(self):
+        layer = nn.Dropout(0.5)
+        with pytest.raises(RuntimeError):
+            layer(Tensor(np.ones(4, np.float32)))
+
+    def test_uses_installed_rng_deterministically(self):
+        layer = nn.Dropout(0.5)
+        x = Tensor(np.ones((64,), np.float32))
+        with use_rng(RNGBundle(1)):
+            a = layer(x).data
+        with use_rng(RNGBundle(1)):
+            b = layer(x).data
+        np.testing.assert_array_equal(a, b)
+
+    def test_eval_identity(self):
+        layer = nn.Dropout(0.5)
+        layer.eval()
+        x = Tensor(np.ones(4, np.float32))
+        assert layer(x) is x
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            nn.Dropout(1.5)
+
+
+class TestEmbedding:
+    def test_lookup_shape(self, rng):
+        emb = nn.Embedding(10, 6, rng)
+        out = emb(np.array([[1, 2, 3]]))
+        assert out.shape == (1, 3, 6)
+
+
+class TestActivations:
+    def test_gelu_matches_reference(self):
+        x = np.linspace(-3, 3, 31).astype(np.float32)
+        out = nn.GELU()(Tensor(x)).data
+        from scipy.stats import norm
+
+        ref = x * norm.cdf(x)
+        np.testing.assert_allclose(out, ref, atol=2e-3)
+
+    def test_relu_sigmoid_flatten(self):
+        x = Tensor(_rand((2, 3, 2), 1))
+        assert nn.ReLU()(x).data.min() >= 0
+        s = nn.Sigmoid()(x).data
+        assert s.min() > 0 and s.max() < 1
+        assert nn.Flatten()(x).shape == (2, 6)
+
+
+class TestAttention:
+    def test_mha_shape(self, rng):
+        mha = nn.MultiHeadAttention(8, 2, rng)
+        x = Tensor(_rand((2, 5, 8), 1))
+        assert mha(x).shape == (2, 5, 8)
+
+    def test_mha_dim_head_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            nn.MultiHeadAttention(7, 2, rng)
+
+    def test_mha_grad(self, rng):
+        mha = nn.MultiHeadAttention(4, 2, rng)
+        x = Tensor(_rand((1, 3, 4), 1), requires_grad=True)
+        check_grad(lambda: (mha(x) ** 2.0).sum(), [x], rtol=5e-2, probes=3)
+
+    def test_encoder_layer_residual(self, rng):
+        layer = nn.TransformerEncoderLayer(8, 2, 2.0, rng, dropout=0.0)
+        layer.eval()
+        x = Tensor(_rand((2, 4, 8), 1))
+        out = layer(x)
+        assert out.shape == (2, 4, 8)
+        assert not np.allclose(out.data, x.data)
+
+
+class TestMaxPoolLayer:
+    def test_pool(self):
+        pool = nn.MaxPool2d(2)
+        out = pool(Tensor(_rand((1, 2, 4, 4), 1)))
+        assert out.shape == (1, 2, 2, 2)

@@ -1,0 +1,92 @@
+"""Mathematical properties of core layers (hypothesis-driven)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import nn
+from repro.tensor import Tensor
+from repro.tensor.ops import conv2d, softmax
+from repro.utils.rng import RNGBundle
+
+
+def _rand(shape, seed):
+    return np.random.default_rng(seed).normal(size=shape).astype(np.float32)
+
+
+class TestLinearity:
+    @given(seed=st.integers(0, 100), a=st.floats(-3, 3), b=st.floats(-3, 3))
+    @settings(max_examples=20, deadline=None)
+    def test_linear_layer_is_linear(self, seed, a, b):
+        layer = nn.Linear(6, 4, RNGBundle(1), bias=False)
+        x = Tensor(_rand((5, 6), seed))
+        y = Tensor(_rand((5, 6), seed + 1))
+        combined = layer(Tensor(a * x.data + b * y.data)).data
+        separate = a * layer(x).data + b * layer(y).data
+        np.testing.assert_allclose(combined, separate, rtol=1e-3, atol=1e-4)
+
+    @given(seed=st.integers(0, 50))
+    @settings(max_examples=10, deadline=None)
+    def test_conv_is_linear_in_input(self, seed):
+        weight = Tensor(_rand((4, 3, 3, 3), 0))
+        x = Tensor(_rand((2, 3, 6, 6), seed))
+        doubled = conv2d(Tensor(2.0 * x.data), weight, padding=1).data
+        np.testing.assert_allclose(doubled, 2.0 * conv2d(x, weight, padding=1).data,
+                                   rtol=1e-4, atol=1e-4)
+
+
+class TestEquivariance:
+    def test_conv_translation_equivariance(self):
+        """Shifting the input shifts the (valid, interior) output."""
+        weight = Tensor(_rand((2, 1, 3, 3), 0))
+        x = _rand((1, 1, 10, 10), 1)
+        shifted = np.roll(x, shift=2, axis=3)
+        out = conv2d(Tensor(x), weight).data
+        out_shifted = conv2d(Tensor(shifted), weight).data
+        # interior columns (away from the wrap-around boundary)
+        np.testing.assert_allclose(
+            out[..., :, : out.shape[-1] - 2],
+            out_shifted[..., :, 2:],
+            rtol=1e-4,
+            atol=1e-4,
+        )
+
+
+class TestInvariances:
+    @given(shift=st.floats(-50, 50))
+    @settings(max_examples=20, deadline=None)
+    def test_softmax_shift_invariance(self, shift):
+        x = _rand((3, 7), 2)
+        a = softmax(Tensor(x)).data
+        b = softmax(Tensor(x + np.float32(shift))).data
+        np.testing.assert_allclose(a, b, rtol=1e-4, atol=1e-5)
+
+    @given(scale=st.floats(0.1, 10), shift=st.floats(-5, 5))
+    @settings(max_examples=20, deadline=None)
+    def test_layernorm_affine_invariance(self, scale, shift):
+        """LN(s·x + t) == LN(x) for unit-gamma/zero-beta layers."""
+        layer = nn.LayerNorm(8)
+        x = _rand((4, 8), 3)
+        a = layer(Tensor(x)).data
+        b = layer(Tensor(np.float32(scale) * x + np.float32(shift))).data
+        np.testing.assert_allclose(a, b, rtol=5e-3, atol=5e-3)
+
+    def test_batchnorm_standardizes_any_affine_input(self):
+        bn = nn.BatchNorm2d(3)
+        x = _rand((16, 3, 4, 4), 4)
+        out1 = bn(Tensor(x)).data
+        bn2 = nn.BatchNorm2d(3)
+        out2 = bn2(Tensor(x * 7.0 + 3.0)).data
+        np.testing.assert_allclose(out1, out2, rtol=5e-3, atol=5e-3)
+
+
+class TestDropoutStatistics:
+    @given(p=st.floats(0.05, 0.9))
+    @settings(max_examples=15, deadline=None)
+    def test_expectation_preserved(self, p):
+        from repro.tensor.ops import dropout
+
+        x = Tensor(np.ones(50_000, np.float32))
+        out = dropout(x, p, RNGBundle(1)).data
+        assert out.mean() == pytest.approx(1.0, rel=0.08)

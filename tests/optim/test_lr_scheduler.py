@@ -1,0 +1,94 @@
+"""LR schedulers: schedules, gamma semantics (Fig. 4), state restore."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.nn.module import Parameter
+from repro.optim import SGD, CosineAnnealingLR, MultiStepLR, StepLR
+
+
+def _opt(lr=1.0):
+    return SGD([("p", Parameter(np.float32([0.0])))], lr=lr)
+
+
+class TestStepLR:
+    def test_gamma_decay_schedule(self):
+        opt = _opt(1.0)
+        sched = StepLR(opt, step_size=2, gamma=0.1)
+        lrs = []
+        for _ in range(6):
+            lrs.append(opt.lr)
+            sched.step()
+        assert lrs == pytest.approx([1.0, 1.0, 0.1, 0.1, 0.01, 0.01])
+
+    @pytest.mark.parametrize("gamma", [0.1, 0.3, 0.5])
+    def test_gamma_parameterization(self, gamma):
+        # the Fig. 4 experiment: gamma is the decay factor after step_size
+        opt = _opt(1.0)
+        sched = StepLR(opt, step_size=20, gamma=gamma)
+        for _ in range(20):
+            sched.step()
+        assert opt.lr == pytest.approx(gamma)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            StepLR(_opt(), step_size=0)
+        with pytest.raises(ValueError):
+            StepLR(_opt(), step_size=1, gamma=0.0)
+
+    def test_state_roundtrip(self):
+        opt = _opt(1.0)
+        sched = StepLR(opt, step_size=2, gamma=0.5)
+        for _ in range(3):
+            sched.step()
+        state = sched.state_dict()
+
+        opt2 = _opt(123.0)
+        sched2 = StepLR(opt2, step_size=99, gamma=0.9)
+        sched2.load_state_dict(state)
+        assert sched2.last_epoch == 3
+        assert opt2.lr == pytest.approx(opt.lr)
+        sched.step()
+        sched2.step()
+        assert opt2.lr == pytest.approx(opt.lr)
+
+
+class TestMultiStepLR:
+    def test_milestones(self):
+        opt = _opt(1.0)
+        sched = MultiStepLR(opt, milestones=[2, 4], gamma=0.1)
+        lrs = []
+        for _ in range(5):
+            lrs.append(round(opt.lr, 6))
+            sched.step()
+        assert lrs == [1.0, 1.0, 0.1, 0.1, 0.01]
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(ValueError):
+            MultiStepLR(_opt(), milestones=[4, 2])
+
+
+class TestCosine:
+    def test_endpoints(self):
+        opt = _opt(1.0)
+        sched = CosineAnnealingLR(opt, t_max=10, eta_min=0.1)
+        assert sched.get_lr() == pytest.approx(1.0)
+        for _ in range(10):
+            sched.step()
+        assert opt.lr == pytest.approx(0.1)
+
+    def test_midpoint(self):
+        opt = _opt(1.0)
+        sched = CosineAnnealingLR(opt, t_max=10)
+        for _ in range(5):
+            sched.step()
+        assert opt.lr == pytest.approx(0.5, rel=1e-6)
+
+    def test_clamps_past_t_max(self):
+        opt = _opt(1.0)
+        sched = CosineAnnealingLR(opt, t_max=2)
+        for _ in range(5):
+            sched.step()
+        assert opt.lr == pytest.approx(0.0, abs=1e-9)

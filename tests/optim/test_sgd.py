@@ -1,0 +1,112 @@
+"""SGD: update math vs hand-rolled reference, state round trips."""
+
+import numpy as np
+import pytest
+
+from repro.nn.module import Parameter
+from repro.optim import SGD
+
+
+def _params(values):
+    return [(f"p{i}", Parameter(np.float32(v))) for i, v in enumerate(values)]
+
+
+class TestVanilla:
+    def test_plain_step(self):
+        named = _params([[1.0, 2.0]])
+        opt = SGD(named, lr=0.1)
+        named[0][1].grad = np.float32([1.0, -2.0])
+        opt.step()
+        np.testing.assert_allclose(named[0][1].data, [0.9, 2.2], rtol=1e-6)
+
+    def test_none_grad_skipped(self):
+        named = _params([[1.0]])
+        SGD(named, lr=0.1).step()
+        np.testing.assert_array_equal(named[0][1].data, [1.0])
+
+    def test_zero_grad(self):
+        named = _params([[1.0]])
+        opt = SGD(named, lr=0.1)
+        named[0][1].grad = np.float32([1.0])
+        opt.zero_grad()
+        assert named[0][1].grad is None
+
+
+class TestMomentum:
+    def test_matches_pytorch_semantics(self):
+        # buf = mu*buf + grad; p -= lr*buf
+        named = _params([[0.0]])
+        p = named[0][1]
+        opt = SGD(named, lr=0.1, momentum=0.9)
+        p.grad = np.float32([1.0])
+        opt.step()  # buf=1, p=-0.1
+        p.grad = np.float32([1.0])
+        opt.step()  # buf=1.9, p=-0.29
+        assert p.data[0] == pytest.approx(-0.29, rel=1e-5)
+
+    def test_nesterov(self):
+        named = _params([[0.0]])
+        p = named[0][1]
+        opt = SGD(named, lr=0.1, momentum=0.9, nesterov=True)
+        p.grad = np.float32([1.0])
+        opt.step()  # buf=1; update = grad + mu*buf = 1.9; p=-0.19
+        assert p.data[0] == pytest.approx(-0.19, rel=1e-5)
+
+    def test_nesterov_requires_momentum(self):
+        with pytest.raises(ValueError):
+            SGD(_params([[0.0]]), lr=0.1, nesterov=True)
+
+
+class TestWeightDecay:
+    def test_decay_folded_into_grad(self):
+        named = _params([[2.0]])
+        p = named[0][1]
+        opt = SGD(named, lr=0.1, weight_decay=0.5)
+        p.grad = np.float32([0.0])
+        opt.step()  # effective grad = 0 + 0.5*2 = 1; p = 2 - 0.1 = 1.9
+        assert p.data[0] == pytest.approx(1.9, rel=1e-6)
+
+
+class TestValidation:
+    def test_bad_lr(self):
+        with pytest.raises(ValueError):
+            SGD(_params([[0.0]]), lr=0.0)
+
+    def test_empty_params(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_duplicate_names(self):
+        p = Parameter(np.float32([0.0]))
+        with pytest.raises(ValueError):
+            SGD([("a", p), ("a", p)], lr=0.1)
+
+    def test_negative_momentum(self):
+        with pytest.raises(ValueError):
+            SGD(_params([[0.0]]), lr=0.1, momentum=-0.5)
+
+
+class TestStateDict:
+    def test_roundtrip_resumes_identically(self):
+        def run(steps_before_save):
+            named = _params([[0.0, 0.0]])
+            p = named[0][1]
+            opt = SGD(named, lr=0.05, momentum=0.9, weight_decay=0.01)
+            state = None
+            for i in range(6):
+                p.grad = np.float32([1.0, -1.0]) * (i + 1)
+                opt.step()
+                if i + 1 == steps_before_save:
+                    state = (p.data.copy(), opt.state_dict())
+            return p.data.copy(), state
+
+        final, (mid_params, mid_state) = run(3)
+        named = _params([[0.0, 0.0]])
+        p = named[0][1]
+        p.data = mid_params
+        opt = SGD(named, lr=999.0, momentum=0.0)  # wrong hyperparams on purpose
+        opt.load_state_dict(mid_state)
+        for i in range(3, 6):
+            p.grad = np.float32([1.0, -1.0]) * (i + 1)
+            opt.step()
+        assert p.data.tobytes() == final.tobytes()

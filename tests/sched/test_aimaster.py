@@ -1,0 +1,123 @@
+"""AIMaster control loop: profiling ingestion, timeouts, fallback."""
+
+import pytest
+
+from repro.sched.aimaster import AIMaster, ThroughputMonitor
+from repro.sched.companion import CompanionModule
+from repro.sched.intra import IntraJobScheduler
+
+CAP = {"v100": 9.0, "p100": 4.0, "t4": 3.0}
+
+
+def make_aimaster(max_p=4, timeout=100.0, warmup=1):
+    companion = CompanionModule(max_p=max_p, capability=dict(CAP))
+    scheduler = IntraJobScheduler("job", companion)
+    return AIMaster(
+        scheduler,
+        proposal_timeout_s=timeout,
+        monitor=ThroughputMonitor(warmup_reports=warmup),
+    )
+
+
+class TestThroughputMonitor:
+    def test_ema(self):
+        monitor = ThroughputMonitor(alpha=0.5, warmup_reports=1)
+        monitor.report(10.0)
+        monitor.report(20.0)
+        assert monitor.value == pytest.approx(15.0)
+
+    def test_warmup_gate(self):
+        monitor = ThroughputMonitor(warmup_reports=3)
+        monitor.report(1.0)
+        monitor.report(1.0)
+        assert not monitor.ready
+        monitor.report(1.0)
+        assert monitor.ready
+
+    def test_reset(self):
+        monitor = ThroughputMonitor(warmup_reports=1)
+        monitor.report(5.0)
+        monitor.reset()
+        assert monitor.value is None and not monitor.ready
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ThroughputMonitor(alpha=0.0)
+        with pytest.raises(ValueError):
+            ThroughputMonitor().report(-1.0)
+
+
+class TestTick:
+    def test_submits_and_tracks_proposals(self):
+        aim = make_aimaster()
+        proposals = aim.tick(0.0, owned={}, cluster_free={"v100": 4})
+        assert proposals
+        assert len(aim.pending) == len(proposals)
+
+    def test_timeout_expires_pending(self):
+        aim = make_aimaster(timeout=10.0)
+        aim.tick(0.0, owned={}, cluster_free={"v100": 4})
+        pending_before = len(aim.pending)
+        aim.tick(50.0, owned={}, cluster_free={})
+        assert aim.timed_out == pending_before
+
+    def test_grant_clears_pending_and_replans(self):
+        aim = make_aimaster()
+        aim.tick(0.0, owned={}, cluster_free={"v100": 4})
+        assignment = aim.on_grant(1.0, owned={"v100": 2})
+        assert aim.pending == []
+        assert assignment is not None
+        assert assignment.num_ests == 4
+
+
+class TestBiasCorrection:
+    def test_consistent_measurements_leave_capability(self):
+        aim = make_aimaster()
+        aim.tick(0.0, owned={"v100": 2}, cluster_free={})
+        estimated = aim.scheduler.current_throughput()
+        aim.report_step_throughput(estimated)
+        aim.tick(1.0, owned={"v100": 2}, cluster_free={})
+        assert aim.scheduler.companion.capability["v100"] == pytest.approx(9.0)
+
+    def test_large_bias_refits_capability(self):
+        aim = make_aimaster()
+        aim.tick(0.0, owned={"v100": 2}, cluster_free={})
+        estimated = aim.scheduler.current_throughput()
+        aim.report_step_throughput(estimated * 0.4)  # far slower than modelled
+        aim.tick(1.0, owned={"v100": 2}, cluster_free={})
+        assert aim.scheduler.companion.capability["v100"] < 9.0
+
+    def test_warmup_defers_reaction(self):
+        aim = make_aimaster(warmup=5)
+        aim.tick(0.0, owned={"v100": 2}, cluster_free={})
+        aim.report_step_throughput(0.1)  # single outlier report
+        aim.tick(1.0, owned={"v100": 2}, cluster_free={})
+        assert aim.scheduler.companion.capability["v100"] == pytest.approx(9.0)
+
+
+class TestFallback:
+    def test_slowdown_triggers_role3_fallback(self):
+        aim = make_aimaster()
+        aim.tick(0.0, owned={"v100": 2}, cluster_free={})
+        # a grant arrives; the new bigger plan underperforms in practice
+        aim.on_grant(1.0, owned={"v100": 2, "t4": 2})
+        aim.report_step_throughput(1.0)  # way below the old plan's 18 mb/s
+        aim.tick(2.0, owned={"v100": 2, "t4": 2}, cluster_free={})
+        assert aim.fallbacks == 1
+        # reverted to the previous (v100-only) plan
+        assert aim.scheduler.current_plan.gpus_of("t4") == 0
+
+    def test_no_fallback_when_plan_delivers(self):
+        aim = make_aimaster()
+        aim.tick(0.0, owned={"v100": 1}, cluster_free={})
+        aim.on_grant(1.0, owned={"v100": 2})
+        aim.report_step_throughput(aim.scheduler.current_throughput())
+        aim.tick(2.0, owned={"v100": 2}, cluster_free={})
+        assert aim.fallbacks == 0
+
+
+class TestValidation:
+    def test_timeout_positive(self):
+        companion = CompanionModule(max_p=2, capability=dict(CAP))
+        with pytest.raises(ValueError):
+            AIMaster(IntraJobScheduler("j", companion), proposal_timeout_s=0)

@@ -1,0 +1,78 @@
+"""Serving co-location in the DES: priority, reclaim, zero failures."""
+
+import pytest
+
+from repro.hw import microbench_cluster
+from repro.sched.colocation_policy import ServingColocationPolicy
+from repro.sched.simulator import ClusterSimulator
+from repro.sched.trace import TraceJob
+
+
+def job(job_id, gpus=8, work=None, workload="bert", arrival=0.0):
+    spec_rate = 3.0  # bert v100
+    return TraceJob(
+        job_id=job_id,
+        workload=workload,
+        arrival_time=arrival,
+        requested_gpus=gpus,
+        requested_type="v100",
+        total_work=work if work is not None else gpus * spec_rate * 400,
+    )
+
+
+def step_demand(spike_at, spike_gpus):
+    """Zero serving demand, then a spike of V100s at ``spike_at``."""
+
+    def demand(now):
+        return {"v100": spike_gpus} if now >= spike_at else {"v100": 0}
+
+    return demand
+
+
+class TestServingPriority:
+    def test_spike_reclaims_from_elastic(self):
+        policy = ServingColocationPolicy(step_demand(spike_at=300.0, spike_gpus=30))
+        sim = ClusterSimulator(microbench_cluster(), [job("a", gpus=16)], policy)
+        result = sim.run()
+        assert policy.preemptions > 0
+        assert policy.failures == 0
+        assert len(result.completed) == 1  # the job still finished
+
+    def test_serving_demand_always_met_after_spike(self):
+        policy = ServingColocationPolicy(step_demand(spike_at=200.0, spike_gpus=30))
+        sim = ClusterSimulator(microbench_cluster(), [job("a", gpus=16)], policy)
+        sim.run(max_time=100_000)
+        # at the end, serving still holds its quota
+        assert policy._serving_held.get("v100", 0) == 30
+
+    def test_serving_release_returns_gpus(self):
+        calls = {"n": 0}
+
+        def pulse(now):
+            # demand rises then falls
+            return {"v100": 20} if 100.0 <= now < 400.0 else {"v100": 0}
+
+        policy = ServingColocationPolicy(pulse)
+        sim = ClusterSimulator(microbench_cluster(), [job("a", gpus=16, work=16 * 3.0 * 900)], policy)
+        result = sim.run()
+        assert len(result.completed) == 1
+        assert policy._serving_held.get("v100", 0) == 0  # released after the pulse
+
+    def test_no_serving_behaves_like_plain_policy(self):
+        policy = ServingColocationPolicy(lambda now: {"v100": 0})
+        sim = ClusterSimulator(microbench_cluster(), [job("a", gpus=4)], policy)
+        result = sim.run()
+        assert policy.preemptions == 0
+        assert len(result.completed) == 1
+
+    def test_scale_in_not_failure(self):
+        """The §2.1 contrast: revocation shrinks the job instead of
+        killing it; the work completes later."""
+        policy = ServingColocationPolicy(step_demand(spike_at=100.0, spike_gpus=32))
+        sim = ClusterSimulator(microbench_cluster(), [job("a", gpus=16)], policy)
+        result = sim.run()
+        runtime = result.jobs[0]
+        assert runtime.status == "done"
+        assert policy.failures == 0
+        scale_ins = result.events.of_kind("scale_in")
+        assert scale_ins, "the spike should have forced at least one scale-in"

@@ -1,0 +1,94 @@
+"""Companion module: plan enumeration and capability bias correction."""
+
+import pytest
+
+from repro.sched.companion import CompanionModule
+from repro.sched.perfmodel import estimated_throughput
+
+CAP = {"v100": 9.0, "p100": 4.0, "t4": 3.0}
+
+
+class TestEnumeration:
+    def test_plans_are_feasible_and_sorted(self):
+        comp = CompanionModule(max_p=4, capability=CAP)
+        plans = comp.enumerate_plans({"v100": 3, "p100": 2, "t4": 2})
+        assert plans
+        throughputs = [p.throughput for p in plans]
+        assert throughputs == sorted(throughputs, reverse=True)
+        for scored in plans:
+            assert scored.plan.is_feasible
+            assert scored.plan.total_gpus <= 7
+
+    def test_availability_respected(self):
+        comp = CompanionModule(max_p=8, capability=CAP)
+        for scored in comp.enumerate_plans({"v100": 2, "t4": 1}):
+            assert scored.plan.gpus_of("v100") <= 2
+            assert scored.plan.gpus_of("t4") <= 1
+            assert scored.plan.gpus_of("p100") == 0
+
+    def test_best_plan_prefers_fast_gpus(self):
+        comp = CompanionModule(max_p=4, capability=CAP)
+        best = comp.best_plan({"v100": 4, "t4": 4})
+        assert best.plan.gpus_of("v100") == 4
+        assert best.plan.gpus_of("t4") == 0
+
+    def test_homogeneous_only_mode(self):
+        comp = CompanionModule(max_p=4, capability=CAP, homogeneous_only=True)
+        for scored in comp.enumerate_plans({"v100": 2, "p100": 2}):
+            assert scored.plan.is_homogeneous
+
+    def test_no_gpus_no_plans(self):
+        comp = CompanionModule(max_p=4, capability=CAP)
+        assert comp.enumerate_plans({"v100": 0}) == []
+        assert comp.best_plan({}) is None
+
+    def test_unknown_types_ignored(self):
+        comp = CompanionModule(max_p=2, capability={"v100": 9.0})
+        plans = comp.enumerate_plans({"v100": 1, "a100": 4})
+        assert plans
+        assert all(p.plan.gpus_of("a100") == 0 for p in plans)
+
+    def test_gpu_count_never_exceeds_max_p(self):
+        comp = CompanionModule(max_p=3, capability=CAP)
+        for scored in comp.enumerate_plans({"v100": 8, "p100": 8, "t4": 8}):
+            assert scored.plan.total_gpus <= 3
+
+    def test_top_k_limits(self):
+        comp = CompanionModule(max_p=4, capability=CAP)
+        assert len(comp.best_plans({"v100": 4, "p100": 4}, top_k=2)) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CompanionModule(max_p=0, capability=CAP)
+        with pytest.raises(ValueError):
+            CompanionModule(max_p=2, capability={})
+
+
+class TestBiasCorrection:
+    def test_small_bias_ignored(self):
+        comp = CompanionModule(max_p=4, capability=dict(CAP), bias_threshold=0.25)
+        assert not comp.report_measurement("v100", estimated=9.0, measured=9.5)
+        assert comp.capability["v100"] == 9.0
+
+    def test_large_bias_refits(self):
+        comp = CompanionModule(max_p=4, capability=dict(CAP), bias_threshold=0.25)
+        assert comp.report_measurement("v100", estimated=9.0, measured=4.5)
+        assert comp.capability["v100"] == pytest.approx(4.5)
+
+    def test_observations_recorded(self):
+        comp = CompanionModule(max_p=4, capability=dict(CAP))
+        comp.report_measurement("t4", 3.0, 3.1)
+        assert comp.observations == [("t4", 3.0, 3.1)]
+
+    def test_unknown_type_rejected(self):
+        comp = CompanionModule(max_p=4, capability=dict(CAP))
+        with pytest.raises(KeyError):
+            comp.report_measurement("a100", 1.0, 1.0)
+
+    def test_refit_changes_future_plans(self):
+        comp = CompanionModule(max_p=4, capability=dict(CAP))
+        before = comp.best_plan({"v100": 2, "p100": 4}).plan
+        comp.report_measurement("v100", estimated=9.0, measured=0.5)  # V100s are slow here
+        after = comp.best_plan({"v100": 2, "p100": 4}).plan
+        assert before.gpus_of("v100") > 0
+        assert after.gpus_of("p100") >= before.gpus_of("p100")

@@ -1,0 +1,85 @@
+"""EasyScale scheduling policy: per-job agents and cluster filling."""
+
+import pytest
+
+from repro.hw import microbench_cluster
+from repro.sched.easyscale_policy import EasyScalePolicy
+from repro.sched.simulator import ClusterSimulator
+from repro.sched.trace import TraceJob
+
+
+def job(job_id, workload="bert", gpus=4, gtype="v100", arrival=0.0, work=1000.0):
+    return TraceJob(
+        job_id=job_id,
+        workload=workload,
+        arrival_time=arrival,
+        requested_gpus=gpus,
+        requested_type=gtype,
+        total_work=work,
+    )
+
+
+def run_sim(jobs, policy):
+    return ClusterSimulator(microbench_cluster(), jobs, policy).run()
+
+
+class TestAgentSetup:
+    def test_homo_policy_restricts_everyone(self):
+        sim = ClusterSimulator(microbench_cluster(), [job("a")], EasyScalePolicy(False))
+        result = sim.run()
+        assert result.jobs[0].agent.companion.homogeneous_only
+
+    def test_heter_policy_allows_heterogeneous_plans(self):
+        sim = ClusterSimulator(
+            microbench_cluster(), [job("a", workload="resnet50")], EasyScalePolicy(True)
+        )
+        result = sim.run()
+        assert not result.jobs[0].agent.companion.homogeneous_only
+
+    def test_conv_restriction_flag(self):
+        policy = EasyScalePolicy(True, restrict_conv_heavy=True)
+        sim = ClusterSimulator(
+            microbench_cluster(),
+            [job("conv", workload="vgg19"), job("gemm", workload="bert", arrival=1.0)],
+            policy,
+        )
+        result = sim.run()
+        agents = {r.job.job_id: r.agent for r in result.jobs}
+        assert agents["conv"].companion.homogeneous_only
+        assert not agents["gemm"].companion.homogeneous_only
+
+    def test_max_p_matches_request(self):
+        sim = ClusterSimulator(microbench_cluster(), [job("a", gpus=7)], EasyScalePolicy(False))
+        result = sim.run()
+        assert result.jobs[0].agent.companion.max_p == 7
+
+
+class TestScheduling:
+    def test_job_never_holds_more_than_max_p(self):
+        result = run_sim([job("a", gpus=2, work=500.0)], EasyScalePolicy(False))
+        for event in result.events.of_kind("scale_out"):
+            pass
+        # total granted at any time <= maxP
+        peak = max(c for _, c in result.allocation_timeline)
+        assert peak <= 2
+
+    def test_two_jobs_share_cluster(self):
+        jobs = [
+            job("a", gpus=16, gtype="v100", work=16 * 3.0 * 60),
+            job("b", gpus=16, gtype="v100", arrival=0.5, work=16 * 3.0 * 60),
+        ]
+        result = run_sim(jobs, EasyScalePolicy(False))
+        assert len(result.completed) == 2
+        # both ran concurrently at some point: peak allocation > 16
+        peak = max(c for _, c in result.allocation_timeline)
+        assert peak > 16
+
+    def test_rates_follow_plans(self):
+        result = run_sim([job("a", gpus=4)], EasyScalePolicy(False))
+        rt = result.jobs[0]
+        assert rt.status == "done"
+        assert rt.completion_time is not None
+
+    def test_policy_names(self):
+        assert EasyScalePolicy(False).name == "easyscale-homo"
+        assert EasyScalePolicy(True).name == "easyscale-heter"

@@ -1,0 +1,66 @@
+"""Historical capability store: warm starts, merging, persistence."""
+
+import pytest
+
+from repro.sched.companion import CompanionModule
+from repro.sched.history import HistoryStore
+
+
+class TestWarmStart:
+    def test_cold_start_returns_none(self):
+        assert HistoryStore().lookup("resnet50") is None
+
+    def test_capability_for_merges_with_default(self):
+        store = HistoryStore()
+        store.record("resnet50", {"v100": 7.5})
+        cap = store.capability_for("resnet50", {"v100": 9.0, "t4": 3.0})
+        assert cap == {"v100": 7.5, "t4": 3.0}
+
+    def test_running_mean(self):
+        store = HistoryStore()
+        store.record("bert", {"v100": 2.0})
+        store.record("bert", {"v100": 4.0})
+        assert store.lookup("bert")["v100"] == pytest.approx(3.0)
+        assert store.jobs_seen("bert") == 2
+
+    def test_new_type_joins_profile(self):
+        store = HistoryStore()
+        store.record("bert", {"v100": 2.0})
+        store.record("bert", {"p100": 1.0})
+        profile = store.lookup("bert")
+        assert profile["v100"] == 2.0 and profile["p100"] == 1.0
+
+    def test_invalid_measurement(self):
+        with pytest.raises(ValueError):
+            HistoryStore().record("bert", {"v100": 0.0})
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        store = HistoryStore()
+        store.record("resnet50", {"v100": 8.1, "t4": 2.6})
+        store.record("resnet50", {"v100": 8.5})
+        path = tmp_path / "history.json"
+        store.save(path)
+        loaded = HistoryStore.load(path)
+        assert loaded.lookup("resnet50") == pytest.approx(store.lookup("resnet50"))
+        assert loaded.jobs_seen("resnet50") == 2
+
+    def test_atomic_save(self, tmp_path):
+        store = HistoryStore()
+        store.record("x", {"v100": 1.0})
+        path = tmp_path / "h.json"
+        store.save(path)
+        assert not (tmp_path / "h.json.tmp").exists()
+
+
+class TestCompanionIntegration:
+    def test_companion_built_from_history(self):
+        store = HistoryStore()
+        # history says V100s deliver far less than the registry estimate
+        store.record("resnet50", {"v100": 2.0})
+        cap = store.capability_for("resnet50", {"v100": 9.0, "p100": 4.0})
+        companion = CompanionModule(max_p=4, capability=cap)
+        best = companion.best_plan({"v100": 2, "p100": 4})
+        # with warm-started capabilities the P100s become competitive
+        assert best.plan.gpus_of("p100") > 0

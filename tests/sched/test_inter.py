@@ -1,0 +1,97 @@
+"""Inter-job scheduler: greedy arbitration and serving reclaim."""
+
+import pytest
+
+from repro.sched.inter import Grant, InterJobScheduler
+from repro.sched.intra import ResourceProposal
+from repro.sched.perfmodel import Plan
+
+
+def proposal(job, gtype, extra, current, proposed):
+    return ResourceProposal(
+        job_id=job,
+        gtype=gtype,
+        extra_gpus=extra,
+        current_throughput=current,
+        proposed_throughput=proposed,
+        proposed_plan=Plan.build({gtype: (max(extra, 1), 1)}, max_p=max(extra, 1)),
+    )
+
+
+class TestArbitrate:
+    def test_highest_speedup_per_gpu_first(self):
+        inter = InterJobScheduler()
+        grants = inter.arbitrate(
+            [
+                proposal("a", "v100", 1, 10.0, 12.0),  # +2/gpu
+                proposal("b", "v100", 1, 10.0, 19.0),  # +9/gpu
+            ],
+            free={"v100": 1},
+        )
+        assert grants == [Grant("b", "v100", 1)]
+
+    def test_tie_broken_by_more_gpus(self):
+        inter = InterJobScheduler()
+        grants = inter.arbitrate(
+            [
+                proposal("a", "v100", 1, 0.0, 5.0),  # 5/gpu
+                proposal("b", "v100", 2, 0.0, 10.0),  # 5/gpu, bigger
+            ],
+            free={"v100": 3},
+        )
+        assert grants[0].job_id == "b"
+
+    def test_one_grant_per_job_per_round(self):
+        inter = InterJobScheduler()
+        grants = inter.arbitrate(
+            [
+                proposal("a", "v100", 1, 0.0, 9.0),
+                proposal("a", "v100", 2, 0.0, 17.0),
+            ],
+            free={"v100": 4},
+        )
+        assert len(grants) == 1
+
+    def test_free_pool_respected(self):
+        inter = InterJobScheduler()
+        grants = inter.arbitrate(
+            [
+                proposal("a", "v100", 2, 0.0, 18.0),
+                proposal("b", "v100", 2, 0.0, 17.0),
+            ],
+            free={"v100": 3},
+        )
+        # a takes 2, leaving 1: b's 2-GPU ask cannot be met
+        assert grants == [Grant("a", "v100", 2)]
+
+    def test_zero_speedup_skipped(self):
+        inter = InterJobScheduler()
+        assert inter.arbitrate([proposal("a", "v100", 1, 10.0, 10.0)], {"v100": 4}) == []
+
+    def test_grant_log_accumulates(self):
+        inter = InterJobScheduler()
+        inter.arbitrate([proposal("a", "t4", 1, 0.0, 3.0)], {"t4": 1})
+        inter.arbitrate([proposal("b", "t4", 1, 0.0, 3.0)], {"t4": 1})
+        assert len(inter.grant_log) == 2
+
+
+class TestReclaim:
+    def test_takes_from_smallest_holder_first(self):
+        holdings = {"a": {"v100": 1}, "b": {"v100": 5}}
+        revocations = InterJobScheduler.reclaim({"v100": 2}, holdings)
+        assert revocations[0] == Grant("a", "v100", -1)
+        assert revocations[1] == Grant("b", "v100", -1)
+
+    def test_respects_priorities(self):
+        holdings = {"a": {"v100": 3}, "b": {"v100": 3}}
+        revocations = InterJobScheduler.reclaim(
+            {"v100": 2}, holdings, priorities={"a": 10.0, "b": 1.0}
+        )
+        assert revocations == [Grant("b", "v100", -2)]
+
+    def test_zero_demand_noop(self):
+        assert InterJobScheduler.reclaim({"v100": 0}, {"a": {"v100": 2}}) == []
+
+    def test_partial_when_insufficient(self):
+        revocations = InterJobScheduler.reclaim({"t4": 10}, {"a": {"t4": 3}})
+        assert revocations == [Grant("a", "t4", -3)]

@@ -1,0 +1,108 @@
+"""Intra-job scheduler: Roles 1-3 and plan concretization."""
+
+import pytest
+
+from repro.sched.companion import CompanionModule
+from repro.sched.intra import IntraJobScheduler, plan_to_assignment
+from repro.sched.perfmodel import Plan
+
+CAP = {"v100": 9.0, "p100": 4.0, "t4": 3.0}
+
+
+def make_sched(max_p=4, **kw):
+    return IntraJobScheduler("job-x", CompanionModule(max_p=max_p, capability=CAP), **kw)
+
+
+class TestRole1:
+    def test_applies_best_plan(self):
+        sched = make_sched()
+        scored = sched.apply_best_plan({"v100": 2})
+        assert scored is not None
+        assert sched.current_plan == scored.plan
+        assert sched.current_throughput() == pytest.approx(scored.throughput)
+
+    def test_no_resources_no_plan(self):
+        sched = make_sched()
+        assert sched.apply_best_plan({}) is None
+        assert sched.current_assignment() is None
+        assert sched.current_throughput() == 0.0
+
+
+class TestRole2:
+    def test_proposals_require_speedup(self):
+        sched = make_sched()
+        sched.apply_best_plan({"v100": 4})  # already at maxP on fast GPUs
+        proposals = sched.propose({"v100": 4}, {"t4": 4})
+        # adding T4s to a saturated 4-EST V100 plan cannot help
+        assert proposals == []
+
+    def test_proposals_sorted_by_speedup_per_gpu(self):
+        sched = make_sched(max_p=8)
+        sched.apply_best_plan({"v100": 1})
+        proposals = sched.propose({"v100": 1}, {"v100": 4, "t4": 4})
+        assert proposals
+        per_gpu = [p.speedup_per_gpu for p in proposals]
+        assert per_gpu == sorted(per_gpu, reverse=True)
+
+    def test_pending_job_proposes_from_zero(self):
+        sched = make_sched()
+        proposals = sched.propose({}, {"v100": 2})
+        assert proposals
+        assert all(p.current_throughput == 0.0 for p in proposals)
+        assert all(p.speedup == float("inf") for p in proposals)
+
+    def test_chunks_capped_by_free(self):
+        sched = make_sched(max_p=8)
+        proposals = sched.propose({}, {"v100": 1})
+        assert all(p.extra_gpus <= 1 for p in proposals)
+
+    def test_top_k(self):
+        sched = make_sched(max_p=8, top_k=2)
+        assert len(sched.propose({}, {"v100": 8, "p100": 8, "t4": 8})) <= 2
+
+
+class TestRole3:
+    def test_on_decision_replans(self):
+        sched = make_sched()
+        sched.apply_best_plan({"v100": 1})
+        assignment = sched.on_decision({"v100": 2})
+        assert assignment is not None
+        assert assignment.num_workers == 2
+
+    def test_slowdown_fallback(self):
+        sched = make_sched()
+        sched.apply_best_plan({"v100": 2})
+        good_plan = sched.current_plan
+        sched.apply_best_plan({"v100": 2, "t4": 2})
+        assert sched.on_slowdown(measured=1.0, estimated=20.0)
+        assert sched.current_plan == good_plan
+
+    def test_no_fallback_when_measured_ok(self):
+        sched = make_sched()
+        sched.apply_best_plan({"v100": 1})
+        sched.apply_best_plan({"v100": 2})
+        assert not sched.on_slowdown(measured=100.0, estimated=18.0)
+
+
+class TestPlanToAssignment:
+    def test_covers_all_ests(self):
+        plan = Plan.build({"v100": (2, 2)}, max_p=4)
+        assignment = plan_to_assignment(plan)
+        assert assignment.num_ests == 4
+        assert assignment.num_workers == 2
+        assert [g.name for g in assignment.gpus] == ["V100", "V100"]
+
+    def test_overprovision_drops_empty_workers(self):
+        # 3 GPUs x 2 ESTs = capacity 6, maxP 4: third GPU hosts nothing? no
+        # — cursor: GPU0 gets [0,1], GPU1 [2,3], GPU2 nothing -> dropped
+        plan = Plan.build({"v100": (3, 2)}, max_p=4)
+        assignment = plan_to_assignment(plan)
+        assert assignment.num_workers == 2
+        assert assignment.num_ests == 4
+
+    def test_heterogeneous_order(self):
+        plan = Plan.build({"p100": (1, 1), "v100": (1, 3)}, max_p=4)
+        assignment = plan_to_assignment(plan)
+        names = [g.name for g in assignment.gpus]
+        assert sorted(names) == ["P100", "V100"]
+        assert assignment.num_ests == 4

@@ -1,0 +1,107 @@
+"""Eq. (1a)-(1d): hand-computed cases and model invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sched.perfmodel import (
+    Plan,
+    estimated_throughput,
+    overload_factor,
+    waste,
+)
+
+CAP = {"v100": 8.0, "p100": 4.0, "t4": 2.0}
+
+
+class TestPlanConstruction:
+    def test_capacity_and_totals(self):
+        plan = Plan.build({"v100": (2, 3), "t4": (1, 2)}, max_p=8)
+        assert plan.n_est_capacity == 8
+        assert plan.total_gpus == 3
+        assert plan.gpus_of("v100") == 2 and plan.ests_per_gpu("t4") == 2
+        assert plan.gpus_of("p100") == 0
+
+    def test_feasibility(self):
+        assert Plan.build({"v100": (2, 2)}, max_p=4).is_feasible
+        assert not Plan.build({"v100": (1, 2)}, max_p=4).is_feasible
+
+    def test_homogeneity(self):
+        assert Plan.build({"v100": (2, 2)}, max_p=4).is_homogeneous
+        assert not Plan.build({"v100": (1, 2), "t4": (1, 2)}, max_p=4).is_homogeneous
+
+    def test_zero_count_entries_dropped(self):
+        plan = Plan.build({"v100": (2, 2), "t4": (0, 0)}, max_p=4)
+        assert plan.alloc == (("v100", 2, 2),)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Plan.build({}, max_p=4)
+        with pytest.raises(ValueError):
+            Plan.build({"v100": (1, 0)}, max_p=1)
+        with pytest.raises(ValueError):
+            Plan.build({"v100": (1, 1)}, max_p=0)
+
+
+class TestHandComputedCases:
+    def test_balanced_homogeneous_zero_waste(self):
+        # 2 V100 x 2 ESTs, maxP 4: f = 2/8; waste = 2*(8 - 2/(2/8)) + 0 = 0
+        plan = Plan.build({"v100": (2, 2)}, max_p=4)
+        assert overload_factor(plan, CAP) == pytest.approx(0.25)
+        assert waste(plan, CAP) == pytest.approx(0.0)
+        assert estimated_throughput(plan, CAP) == pytest.approx(16.0)
+
+    def test_imbalanced_heterogeneous(self):
+        # 1 V100 x 2 ESTs + 1 T4 x 2 ESTs, maxP 4
+        # f = max(2/8, 2/2) = 1.0 (the T4 is the bottleneck)
+        # waste = 1*(8 - 2/1) + 1*(2 - 2/1) + 0 = 6
+        # throughput = (8 + 2) - 6 = 4
+        plan = Plan.build({"v100": (1, 2), "t4": (1, 2)}, max_p=4)
+        assert overload_factor(plan, CAP) == pytest.approx(1.0)
+        assert waste(plan, CAP) == pytest.approx(6.0)
+        assert estimated_throughput(plan, CAP) == pytest.approx(4.0)
+
+    def test_proportional_assignment_minimizes_waste(self):
+        # 1 V100 x 4 ESTs + 1 T4 x 1 EST, maxP 5: f = max(0.5, 0.5) = 0.5
+        # waste = (8 - 8) + (2 - 2) + 0 = 0 -> throughput = 10
+        plan = Plan.build({"v100": (1, 4), "t4": (1, 1)}, max_p=5)
+        assert waste(plan, CAP) == pytest.approx(0.0)
+        assert estimated_throughput(plan, CAP) == pytest.approx(10.0)
+
+    def test_overprovision_term(self):
+        # 2 V100 x 2 ESTs but maxP 3: capacity 4 > 3
+        # f = 0.25; waste = 0 + (4-3)/0.25 = 4 -> throughput = 12
+        plan = Plan.build({"v100": (2, 2)}, max_p=3)
+        assert waste(plan, CAP) == pytest.approx(4.0)
+        assert estimated_throughput(plan, CAP) == pytest.approx(12.0)
+
+    def test_infeasible_plan_rejected(self):
+        plan = Plan.build({"t4": (1, 1)}, max_p=4)
+        with pytest.raises(ValueError):
+            waste(plan, CAP)
+
+
+class TestInvariants:
+    @given(
+        n_v=st.integers(0, 6),
+        a_v=st.integers(1, 8),
+        n_t=st.integers(0, 6),
+        a_t=st.integers(1, 8),
+        max_p=st.integers(1, 30),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_throughput_bounded_by_aggregate(self, n_v, a_v, n_t, a_t, max_p):
+        if n_v + n_t == 0:
+            return
+        plan = Plan.build({"v100": (n_v, a_v), "t4": (n_t, a_t)}, max_p=max_p)
+        if not plan.is_feasible:
+            return
+        aggregate = n_v * CAP["v100"] + n_t * CAP["t4"]
+        tp = estimated_throughput(plan, CAP)
+        assert tp <= aggregate + 1e-9
+        assert waste(plan, CAP) >= -1e-9
+
+    def test_invalid_capability(self):
+        plan = Plan.build({"v100": (1, 1)}, max_p=1)
+        with pytest.raises(ValueError):
+            overload_factor(plan, {"v100": 0.0})

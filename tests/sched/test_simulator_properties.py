@@ -1,0 +1,89 @@
+"""Property tests: cluster-simulator invariants over random small traces."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw import microbench_cluster
+from repro.sched import (
+    ClusterSimulator,
+    EasyScalePolicy,
+    YarnCapacityScheduler,
+    generate_trace,
+)
+
+
+def run(seed, num_jobs, policy_factory):
+    jobs = generate_trace(
+        num_jobs=num_jobs,
+        seed=seed,
+        mean_interarrival_s=30,
+        mean_duration_s=400,
+    )
+    sim = ClusterSimulator(microbench_cluster(), jobs, policy_factory())
+    return jobs, sim.run(max_time=5_000_000)
+
+
+POLICIES = [
+    ("yarn", YarnCapacityScheduler),
+    ("homo", lambda: EasyScalePolicy(False)),
+    ("heter", lambda: EasyScalePolicy(True)),
+]
+
+
+class TestInvariants:
+    @given(seed=st.integers(0, 30), num_jobs=st.integers(3, 10))
+    @settings(max_examples=10, deadline=None)
+    def test_all_work_conserved_and_completed(self, seed, num_jobs):
+        for name, factory in POLICIES:
+            jobs, result = run(seed, num_jobs, factory)
+            assert len(result.completed) == num_jobs, f"{name} left jobs unfinished"
+            for runtime in result.jobs:
+                assert runtime.remaining_work <= ClusterSimulator.WORK_EPS
+                assert runtime.completion_time >= runtime.job.arrival_time
+
+    @given(seed=st.integers(0, 30))
+    @settings(max_examples=8, deadline=None)
+    def test_allocation_bounds(self, seed):
+        for name, factory in POLICIES:
+            _, result = run(seed, 8, factory)
+            values = [count for _, count in result.allocation_timeline]
+            assert all(0 <= v <= 64 for v in values), f"{name} over-allocated"
+            assert result.allocation_timeline[-1][1] == 0, f"{name} leaked GPUs"
+
+    @given(seed=st.integers(0, 30))
+    @settings(max_examples=8, deadline=None)
+    def test_start_before_completion(self, seed):
+        for name, factory in POLICIES:
+            _, result = run(seed, 6, factory)
+            for runtime in result.completed:
+                assert runtime.start_time is not None
+                assert runtime.start_time <= runtime.completion_time
+
+    @given(seed=st.integers(0, 20))
+    @settings(max_examples=6, deadline=None)
+    def test_yarn_jct_lower_bounded_by_ideal_runtime(self, seed):
+        """No job can finish faster than its gang-rate runtime."""
+        jobs, result = run(seed, 6, YarnCapacityScheduler)
+        by_id = {j.job_id: j for j in jobs}
+        for runtime in result.completed:
+            job = by_id[runtime.job.job_id]
+            ideal = job.total_work / job.requested_rate()
+            jct = runtime.completion_time - job.arrival_time
+            assert jct >= ideal * (1 - 1e-6)
+
+    @given(seed=st.integers(0, 20))
+    @settings(max_examples=6, deadline=None)
+    def test_events_consistent_with_outcomes(self, seed):
+        for name, factory in POLICIES:
+            jobs, result = run(seed, 5, factory)
+            submits = result.events.of_kind("job_submit")
+            dones = result.events.of_kind("job_done")
+            assert len(submits) == len(jobs)
+            assert len(dones) == len(result.completed)
+            # scale_out GPU totals equal scale_in + release totals
+            out = sum(e.payload["gpus"] for e in result.events.of_kind("scale_out"))
+            back = sum(e.payload["gpus"] for e in result.events.of_kind("scale_in"))
+            released = sum(e.payload["released"] for e in dones)
+            assert out == back + released, f"{name} GPU accounting broken"

@@ -1,0 +1,82 @@
+"""Trace generation: reproducibility, distributions, work accounting."""
+
+import numpy as np
+import pytest
+
+from repro.models import TABLE1
+from repro.sched.trace import GPU_DEMAND, TraceJob, generate_trace
+
+
+class TestTraceJob:
+    def test_requested_rate(self):
+        job = TraceJob(
+            job_id="j",
+            workload="resnet50",
+            arrival_time=0.0,
+            requested_gpus=4,
+            requested_type="v100",
+            total_work=100.0,
+        )
+        assert job.requested_rate() == pytest.approx(4 * 9.0)
+        assert job.conv_heavy
+        assert set(job.capability) == {"v100", "p100", "t4"}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TraceJob("j", "resnet50", 0.0, 0, "v100", 10.0)
+        with pytest.raises(ValueError):
+            TraceJob("j", "resnet50", 0.0, 1, "v100", 0.0)
+
+
+class TestGenerateTrace:
+    def test_reproducible(self):
+        a = generate_trace(num_jobs=20, seed=7)
+        b = generate_trace(num_jobs=20, seed=7)
+        assert [(j.arrival_time, j.workload, j.requested_gpus) for j in a] == [
+            (j.arrival_time, j.workload, j.requested_gpus) for j in b
+        ]
+
+    def test_seed_changes_trace(self):
+        a = generate_trace(num_jobs=20, seed=7)
+        b = generate_trace(num_jobs=20, seed=8)
+        assert [j.workload for j in a] != [j.workload for j in b]
+
+    def test_arrivals_monotone(self):
+        jobs = generate_trace(num_jobs=50, seed=1)
+        times = [j.arrival_time for j in jobs]
+        assert times == sorted(times)
+
+    def test_workloads_from_table1(self):
+        jobs = generate_trace(num_jobs=100, seed=2)
+        assert {j.workload for j in jobs} <= set(TABLE1)
+
+    def test_demand_values_respected(self):
+        jobs = generate_trace(num_jobs=100, seed=3)
+        allowed = {d for d, _ in GPU_DEMAND}
+        assert {j.requested_gpus for j in jobs} <= allowed
+
+    def test_custom_demand(self):
+        jobs = generate_trace(num_jobs=50, seed=3, demand=[(2, 1.0)])
+        assert all(j.requested_gpus == 2 for j in jobs)
+
+    def test_custom_type_weights(self):
+        jobs = generate_trace(num_jobs=50, seed=3, type_weights={"t4": 1.0})
+        assert all(j.requested_type == "t4" for j in jobs)
+
+    def test_duration_bounds(self):
+        jobs = generate_trace(
+            num_jobs=100, seed=4, mean_duration_s=500, max_duration_factor=4
+        )
+        for job in jobs:
+            duration = job.total_work / job.requested_rate()
+            assert 60.0 <= duration <= 4 * 500 + 1e-6
+
+    def test_work_consistent_with_gang_rate(self):
+        # a job's duration at its gang allocation equals work / rate
+        jobs = generate_trace(num_jobs=10, seed=5)
+        for job in jobs:
+            assert job.total_work / job.requested_rate() > 0
+
+    def test_num_jobs_positive(self):
+        with pytest.raises(ValueError):
+            generate_trace(num_jobs=0)

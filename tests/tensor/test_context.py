@@ -1,0 +1,37 @@
+"""Execution context stack semantics."""
+
+import pytest
+
+from repro.tensor import D0_POLICY, D2_POLICY, current_context, execution_context
+from repro.tensor.context import ExecContext
+
+
+class TestExecutionContext:
+    def test_default_context(self):
+        ctx = current_context()
+        assert ctx.dialect == "v100"
+        assert ctx.policy == D0_POLICY
+
+    def test_scoped_override(self):
+        with execution_context("p100", D2_POLICY):
+            assert current_context().dialect == "p100"
+            assert current_context().policy == D2_POLICY
+        assert current_context().dialect == "v100"
+
+    def test_nesting(self):
+        with execution_context("p100"):
+            with execution_context("t4"):
+                assert current_context().dialect == "t4"
+            assert current_context().dialect == "p100"
+
+    def test_invalid_dialect_rejected(self):
+        with pytest.raises(ValueError):
+            ExecContext(dialect="h100")
+
+    def test_exception_unwinds_stack(self):
+        try:
+            with execution_context("t4"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert current_context().dialect == "v100"

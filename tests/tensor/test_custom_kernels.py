@@ -1,0 +1,112 @@
+"""User-registered D2 kernels (the paper's Cutlass future-work hook)."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import kernels
+from repro.tensor.kernels import (
+    KernelPolicy,
+    register_matmul_variant,
+    unregister_matmul_variant,
+)
+
+
+def f64_kernel(a, b):
+    return (a.astype(np.float64) @ b.astype(np.float64)).astype(np.float32)
+
+
+@pytest.fixture
+def registered():
+    register_matmul_variant("test-kernel", f64_kernel)
+    yield "test-kernel"
+    unregister_matmul_variant("test-kernel")
+
+
+class TestRegistration:
+    def test_register_and_dispatch(self, registered):
+        policy = KernelPolicy(hardware_agnostic=True, custom_kernel=registered)
+        a = np.random.default_rng(1).normal(size=(5, 9)).astype(np.float32)
+        b = np.random.default_rng(2).normal(size=(9, 3)).astype(np.float32)
+        out = kernels.matmul(a, b, dialect="p100", policy=policy)
+        np.testing.assert_array_equal(out, f64_kernel(a, b))
+
+    def test_cross_device_bitwise(self, registered):
+        policy = KernelPolicy(hardware_agnostic=True, custom_kernel=registered)
+        a = np.random.default_rng(1).normal(size=(7, 21)).astype(np.float32)
+        b = np.random.default_rng(2).normal(size=(21, 4)).astype(np.float32)
+        outs = {
+            kernels.matmul(a, b, dialect=d, policy=policy).tobytes()
+            for d in ("v100", "p100", "t4")
+        }
+        assert len(outs) == 1
+
+    def test_reductions_fall_back_to_agnostic(self, registered):
+        policy = KernelPolicy(hardware_agnostic=True, custom_kernel=registered)
+        x = np.random.default_rng(0).normal(size=(4, 100)).astype(np.float32)
+        out = kernels.reduce_sum(x, axis=1, dialect="v100", policy=policy)
+        ref = kernels.reduce_sum(
+            x, axis=1, dialect="v100",
+            policy=KernelPolicy(hardware_agnostic=True),
+        )
+        assert np.asarray(out).tobytes() == np.asarray(ref).tobytes()
+
+    def test_unregistered_name_rejected_at_dispatch(self):
+        policy = KernelPolicy(hardware_agnostic=True, custom_kernel="ghost")
+        with pytest.raises(KeyError):
+            kernels.matmul(
+                np.zeros((2, 2), np.float32), np.zeros((2, 2), np.float32),
+                dialect="v100", policy=policy,
+            )
+
+    def test_builtin_names_protected(self):
+        with pytest.raises(ValueError):
+            register_matmul_variant("v100", f64_kernel)
+        with pytest.raises(ValueError):
+            unregister_matmul_variant("agnostic")
+
+    def test_validation_rejects_wrong_math(self):
+        with pytest.raises(ValueError):
+            register_matmul_variant("broken", lambda a, b: np.zeros((13, 11), np.float32))
+
+    def test_validation_rejects_nondeterministic_kernel(self):
+        state = {"n": 0}
+
+        def flaky(a, b):
+            state["n"] += 1
+            out = f64_kernel(a, b)
+            if state["n"] % 2 == 0:
+                out = out + np.float32(1e-7)
+            return out
+
+        with pytest.raises(ValueError):
+            register_matmul_variant("flaky", flaky)
+
+    def test_unregister_idempotent(self):
+        unregister_matmul_variant("never-registered")  # no error
+
+
+class TestEndToEndWithCustomKernel:
+    def test_training_bitwise_across_devices(self, registered):
+        """A whole training step under the custom D2 kernel is device-
+        independent — the guarantee the registration API promises."""
+        from repro.models import get_workload
+        from repro.nn import use_rng
+        from repro.tensor.context import execution_context
+        from repro.utils.rng import RNGBundle
+
+        spec = get_workload("resnet18")
+        policy = KernelPolicy(hardware_agnostic=True, custom_kernel=registered)
+        ds = spec.build_dataset(16, seed=1)
+        xs, ys = zip(*[ds[i] for i in range(4)])
+        x, y = np.stack(xs), np.asarray(ys)
+
+        grads = {}
+        for dialect in ("v100", "t4"):
+            model = spec.build_model(RNGBundle(3))
+            with execution_context(dialect, policy), use_rng(RNGBundle(4)):
+                loss = spec.forward_loss(model, x, y)
+                loss.backward()
+            grads[dialect] = np.concatenate(
+                [p.grad.reshape(-1) for p in model.parameters()]
+            )
+        assert grads["v100"].tobytes() == grads["t4"].tobytes()

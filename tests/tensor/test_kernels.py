@@ -1,0 +1,179 @@
+"""Kernel registry: dialect divergence, D2 agreement, autotune churn."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tensor import kernels
+from repro.tensor.kernels import (
+    AGNOSTIC_DIALECT,
+    BASELINE_POLICY,
+    D0_POLICY,
+    D2_POLICY,
+    Autotuner,
+    KernelPolicy,
+    VENDOR_DIALECTS,
+)
+
+
+def _ab(seed=0, m=17, k=33, n=9):
+    rng = np.random.default_rng(seed)
+    return (
+        rng.normal(size=(m, k)).astype(np.float32),
+        rng.normal(size=(k, n)).astype(np.float32),
+    )
+
+
+class TestMatmulDialects:
+    def test_all_variants_numerically_close(self):
+        a, b = _ab()
+        ref = (a.astype(np.float64) @ b.astype(np.float64)).astype(np.float32)
+        for dialect, fn in kernels.MATMUL_VARIANTS.items():
+            np.testing.assert_allclose(fn(a, b), ref, rtol=1e-4, atol=1e-4)
+
+    def test_vendor_dialects_bitwise_differ(self):
+        a, b = _ab(1, 31, 67, 13)
+        results = {
+            d: kernels.matmul(a, b, dialect=d, policy=D0_POLICY).tobytes()
+            for d in VENDOR_DIALECTS
+        }
+        assert len(set(results.values())) >= 2, "dialects unexpectedly agree bitwise"
+
+    def test_d2_pins_one_implementation(self):
+        a, b = _ab(2)
+        outs = {
+            kernels.matmul(a, b, dialect=d, policy=D2_POLICY).tobytes()
+            for d in VENDOR_DIALECTS
+        }
+        assert len(outs) == 1
+
+    def test_d0_deterministic_per_dialect(self):
+        a, b = _ab(3)
+        x = kernels.matmul(a, b, dialect="t4", policy=D0_POLICY)
+        y = kernels.matmul(a, b, dialect="t4", policy=D0_POLICY)
+        assert x.tobytes() == y.tobytes()
+
+    def test_unknown_dialect_rejected(self):
+        a, b = _ab()
+        with pytest.raises(ValueError):
+            kernels.matmul(a, b, dialect="a100", policy=D0_POLICY)
+
+    @given(st.integers(1, 8), st.integers(1, 40), st.integers(1, 8))
+    @settings(max_examples=25, deadline=None)
+    def test_splitk_matches_reference_shapes(self, m, k, n):
+        rng = np.random.default_rng(m * 100 + k * 10 + n)
+        a = rng.normal(size=(m, k)).astype(np.float32)
+        b = rng.normal(size=(k, n)).astype(np.float32)
+        out = kernels.matmul(a, b, dialect="v100", policy=D2_POLICY)
+        ref = a.astype(np.float64) @ b.astype(np.float64)
+        assert out.shape == (m, n)
+        np.testing.assert_allclose(out, ref, rtol=1e-3, atol=1e-3)
+
+
+class TestReduceDialects:
+    def test_reduce_variants_close(self):
+        x = np.random.default_rng(0).normal(size=(7, 513)).astype(np.float32)
+        ref = x.astype(np.float64).sum(axis=1)
+        for dialect in list(VENDOR_DIALECTS) + [AGNOSTIC_DIALECT]:
+            out = kernels.REDUCE_VARIANTS[dialect](x, 1, False)
+            np.testing.assert_allclose(out, ref, rtol=1e-4, atol=1e-4)
+
+    def test_sequential_reduce_keepdims(self):
+        x = np.random.default_rng(1).normal(size=(4, 9)).astype(np.float32)
+        out = kernels.reduce_sum(x, axis=0, keepdims=True, dialect="v100", policy=D2_POLICY)
+        assert out.shape == (1, 9)
+
+    def test_full_reduce_scalar(self):
+        x = np.random.default_rng(2).normal(size=(100,)).astype(np.float32)
+        out = kernels.reduce_sum(x, dialect="p100", policy=D0_POLICY)
+        assert np.asarray(out).shape == ()
+        assert float(out) == pytest.approx(float(x.sum()), rel=1e-4)
+
+    def test_atomic_reduce_nondeterministic_across_calls(self):
+        x = np.random.default_rng(3).normal(size=(2048,)).astype(np.float32)
+        outs = {
+            np.float32(
+                kernels.reduce_sum(x, dialect="v100", policy=BASELINE_POLICY)
+            ).tobytes()
+            for _ in range(8)
+        }
+        assert len(outs) >= 2, "atomic reduction did not vary with scheduling"
+
+
+class TestScatterAdd:
+    def test_deterministic_scatter_is_stable(self):
+        rng = np.random.default_rng(0)
+        idx = rng.integers(0, 10, size=500)
+        vals = rng.normal(size=(500, 3)).astype(np.float32)
+        outs = set()
+        for _ in range(4):
+            target = np.zeros((10, 3), dtype=np.float32)
+            kernels.scatter_add(target, idx, vals, policy=D0_POLICY)
+            outs.add(target.tobytes())
+        assert len(outs) == 1
+
+    def test_atomic_scatter_varies(self):
+        rng = np.random.default_rng(0)
+        idx = rng.integers(0, 5, size=2000)
+        vals = rng.normal(size=(2000, 2)).astype(np.float32)
+        outs = set()
+        for _ in range(8):
+            target = np.zeros((5, 2), dtype=np.float32)
+            kernels.scatter_add(target, idx, vals, policy=BASELINE_POLICY)
+            outs.add(target.tobytes())
+        assert len(outs) >= 2
+
+    def test_scatter_values_correct(self):
+        target = np.zeros(4, dtype=np.float32)
+        kernels.scatter_add_deterministic(
+            target, np.array([0, 0, 3]), np.float32([1.0, 2.0, 5.0])
+        )
+        np.testing.assert_allclose(target, [3.0, 0.0, 0.0, 5.0])
+
+    def test_empty_scatter_noop(self):
+        target = np.ones(3, dtype=np.float32)
+        kernels.scatter_add_atomic(target, np.array([], dtype=np.int64), np.float32([]))
+        np.testing.assert_array_equal(target, np.ones(3, np.float32))
+
+
+class TestAutotuner:
+    def test_warmup_cycles_candidates(self):
+        tuner = Autotuner(warmup=3)
+        picks = [tuner.choose("matmul", (4, 4), ["a", "b", "c"]) for _ in range(3)]
+        assert picks == ["a", "b", "c"]
+
+    def test_locks_after_warmup(self):
+        tuner = Autotuner(warmup=2)
+        for _ in range(2):
+            tuner.choose("matmul", (8, 8), ["a", "b"])
+        locked = {tuner.choose("matmul", (8, 8), ["a", "b"]) for _ in range(5)}
+        assert len(locked) == 1
+
+    def test_reset_restarts_profiling(self):
+        tuner = Autotuner(warmup=2)
+        first = [tuner.choose("op", (1,), ["a", "b"]) for _ in range(4)]
+        tuner.reset()
+        second = [tuner.choose("op", (1,), ["a", "b"]) for _ in range(4)]
+        assert first == second  # deterministic within a process lifetime
+
+    def test_per_shape_state(self):
+        tuner = Autotuner(warmup=1)
+        tuner.choose("op", (1,), ["a", "b"])
+        # a different shape is still in warmup
+        assert tuner.choose("op", (2,), ["a", "b"]) == "a"
+
+
+class TestKernelPolicy:
+    def test_effective_dialect(self):
+        assert D0_POLICY.effective_dialect("p100") == "p100"
+        assert D2_POLICY.effective_dialect("p100") == AGNOSTIC_DIALECT
+
+    def test_bad_dialect_raises(self):
+        with pytest.raises(ValueError):
+            D0_POLICY.effective_dialect("unknown")
+
+    def test_presets(self):
+        assert BASELINE_POLICY.disable_autotune is False
+        assert D0_POLICY.deterministic_algorithms is True
+        assert D2_POLICY.hardware_agnostic is True

@@ -1,0 +1,221 @@
+"""Higher-level ops: conv/pool/softmax/embedding gradients and semantics."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor
+from repro.tensor import ops
+from repro.utils.rng import RNGBundle
+
+from tests.tensor.test_autograd import check_grad, _rand
+
+
+class TestSoftmax:
+    def test_log_softmax_matches_reference(self):
+        x = Tensor(_rand((4, 7), 1))
+        out = ops.log_softmax(x).data
+        ref = x.data - x.data.max(axis=1, keepdims=True)
+        ref = ref - np.log(np.exp(ref).sum(axis=1, keepdims=True))
+        np.testing.assert_allclose(out, ref, rtol=1e-5, atol=1e-6)
+
+    def test_softmax_rows_sum_to_one(self):
+        x = Tensor(_rand((5, 9), 2) * 10)
+        out = ops.softmax(x).data
+        np.testing.assert_allclose(out.sum(axis=1), np.ones(5), rtol=1e-4)
+
+    def test_log_softmax_stable_for_large_logits(self):
+        x = Tensor(np.float32([[1000.0, 0.0], [0.0, -1000.0]]))
+        out = ops.log_softmax(x).data
+        assert np.isfinite(out).all()
+
+    def test_log_softmax_grad(self):
+        x = Tensor(_rand((3, 5), 3), requires_grad=True)
+        check_grad(lambda: (ops.log_softmax(x) ** 2.0).sum(), [x])
+
+    def test_gather_rows(self):
+        x = Tensor(_rand((4, 6), 1), requires_grad=True)
+        idx = np.array([0, 2, 5, 1])
+        out = ops.gather_rows(x, idx)
+        np.testing.assert_array_equal(out.data, x.data[np.arange(4), idx])
+        check_grad(lambda: (ops.gather_rows(x, idx) ** 2.0).sum(), [x])
+
+
+class TestShapeOps:
+    def test_concat_values_and_grads(self):
+        a = Tensor(_rand((2, 3), 1), requires_grad=True)
+        b = Tensor(_rand((2, 5), 2), requires_grad=True)
+        out = ops.concat([a, b], axis=1)
+        assert out.shape == (2, 8)
+        check_grad(lambda: (ops.concat([a, b], axis=1) ** 2.0).sum(), [a, b])
+
+    def test_stack(self):
+        a = Tensor(_rand((3,), 1), requires_grad=True)
+        b = Tensor(_rand((3,), 2), requires_grad=True)
+        out = ops.stack([a, b], axis=0)
+        assert out.shape == (2, 3)
+
+    def test_chunk_round_trip(self):
+        x = Tensor(_rand((2, 6, 3), 1), requires_grad=True)
+        parts = ops.chunk(x, 3, axis=1)
+        assert all(p.shape == (2, 2, 3) for p in parts)
+        rebuilt = ops.concat(list(parts), axis=1)
+        np.testing.assert_array_equal(rebuilt.data, x.data)
+
+    def test_chunk_indivisible_raises(self):
+        with pytest.raises(ValueError):
+            ops.chunk(Tensor(_rand((2, 5))), 2, axis=1)
+
+    def test_pad2d(self):
+        x = Tensor(_rand((1, 2, 3, 3), 1), requires_grad=True)
+        out = ops.pad2d(x, 2)
+        assert out.shape == (1, 2, 7, 7)
+        check_grad(lambda: (ops.pad2d(x, 2) ** 2.0).sum(), [x])
+
+    def test_flatten(self):
+        x = Tensor(_rand((2, 3, 4), 1))
+        assert ops.flatten(x).shape == (2, 12)
+
+    def test_sum_over_multiple_axes(self):
+        x = Tensor(_rand((2, 3, 4), 1), requires_grad=True)
+        out = ops.sum_over(x, (0, 2))
+        np.testing.assert_allclose(out.data, x.data.sum(axis=(0, 2)), rtol=1e-5)
+        check_grad(lambda: (ops.sum_over(x, (0, 2)) ** 2.0).sum(), [x])
+
+    def test_mean_over(self):
+        x = Tensor(_rand((2, 3, 4, 5), 1))
+        out = ops.mean_over(x, (2, 3))
+        np.testing.assert_allclose(out.data, x.data.mean(axis=(2, 3)), rtol=1e-5)
+
+
+class TestConv2d:
+    def test_matches_direct_convolution(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(2, 3, 6, 6)).astype(np.float32)
+        w = rng.normal(size=(4, 3, 3, 3)).astype(np.float32)
+        out = ops.conv2d(Tensor(x), Tensor(w), stride=1, padding=1).data
+        # reference: naive loops
+        xp = np.pad(x, ((0, 0), (0, 0), (1, 1), (1, 1)))
+        ref = np.zeros((2, 4, 6, 6), dtype=np.float64)
+        for n in range(2):
+            for o in range(4):
+                for i in range(6):
+                    for j in range(6):
+                        ref[n, o, i, j] = np.sum(
+                            xp[n, :, i : i + 3, j : j + 3].astype(np.float64) * w[o].astype(np.float64)
+                        )
+        np.testing.assert_allclose(out, ref, rtol=1e-4, atol=1e-4)
+
+    def test_stride_and_geometry(self):
+        x = Tensor(_rand((1, 2, 8, 8), 1))
+        w = Tensor(_rand((3, 2, 3, 3), 2))
+        out = ops.conv2d(x, w, stride=2, padding=1)
+        assert out.shape == (1, 3, 4, 4)
+
+    def test_empty_output_raises(self):
+        x = Tensor(_rand((1, 1, 2, 2), 1))
+        w = Tensor(_rand((1, 1, 5, 5), 2))
+        with pytest.raises(ValueError):
+            ops.conv2d(x, w)
+
+    def test_grads(self):
+        x = Tensor(_rand((1, 2, 5, 5), 1), requires_grad=True)
+        w = Tensor(_rand((3, 2, 3, 3), 2), requires_grad=True)
+        b = Tensor(_rand((3,), 3), requires_grad=True)
+        check_grad(
+            lambda: (ops.conv2d(x, w, b, stride=1, padding=1) ** 2.0).sum(), [x, w, b]
+        )
+
+    def test_grouped_matches_manual_split(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(1, 4, 5, 5)).astype(np.float32)
+        w = rng.normal(size=(6, 2, 3, 3)).astype(np.float32)
+        grouped = ops.conv2d(Tensor(x), Tensor(w), groups=2, padding=1).data
+        top = ops.conv2d(Tensor(x[:, :2]), Tensor(w[:3]), padding=1).data
+        bottom = ops.conv2d(Tensor(x[:, 2:]), Tensor(w[3:]), padding=1).data
+        np.testing.assert_allclose(grouped, np.concatenate([top, bottom], axis=1), rtol=1e-5)
+
+    def test_depthwise_grads(self):
+        x = Tensor(_rand((1, 4, 5, 5), 1), requires_grad=True)
+        w = Tensor(_rand((4, 1, 3, 3), 2), requires_grad=True)
+        check_grad(lambda: (ops.conv2d(x, w, groups=4, padding=1) ** 2.0).sum(), [x, w])
+
+    def test_channel_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            ops.conv2d(Tensor(_rand((1, 3, 5, 5))), Tensor(_rand((2, 4, 3, 3))))
+
+
+class TestPooling:
+    def test_max_pool_values(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        out = ops.max_pool2d(Tensor(x), 2).data
+        np.testing.assert_array_equal(out[0, 0], [[5, 7], [13, 15]])
+
+    def test_max_pool_overlapping(self):
+        x = Tensor(_rand((1, 2, 6, 6), 1))
+        out = ops.max_pool2d(x, 3, stride=2, padding=1)
+        assert out.shape == (1, 2, 3, 3)
+
+    def test_max_pool_grad_routes_to_argmax(self):
+        x = np.zeros((1, 1, 2, 2), dtype=np.float32)
+        x[0, 0, 1, 1] = 5.0
+        t = Tensor(x, requires_grad=True)
+        ops.max_pool2d(t, 2).sum().backward()
+        expected = np.zeros_like(x)
+        expected[0, 0, 1, 1] = 1.0
+        np.testing.assert_array_equal(t.grad, expected)
+
+    def test_max_pool_grad_numeric(self):
+        base = _rand((1, 2, 4, 4), 5)
+        t = Tensor(base, requires_grad=True)
+        check_grad(lambda: (ops.max_pool2d(t, 2) ** 2.0).sum(), [t])
+
+    def test_avg_pool(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        out = ops.avg_pool2d(Tensor(x), 2).data
+        np.testing.assert_allclose(out[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_global_avg_pool(self):
+        x = Tensor(_rand((2, 3, 4, 4), 1))
+        out = ops.global_avg_pool(x)
+        assert out.shape == (2, 3)
+        np.testing.assert_allclose(out.data, x.data.mean(axis=(2, 3)), rtol=1e-5)
+
+
+class TestEmbeddingDropout:
+    def test_embedding_lookup(self):
+        w = Tensor(_rand((10, 4), 1), requires_grad=True)
+        idx = np.array([[1, 2], [2, 9]])
+        out = ops.embedding(w, idx)
+        assert out.shape == (2, 2, 4)
+        np.testing.assert_array_equal(out.data, w.data[idx])
+
+    def test_embedding_grad_accumulates_repeats(self):
+        w = Tensor(np.zeros((5, 2), np.float32), requires_grad=True)
+        idx = np.array([1, 1, 3])
+        ops.embedding(w, idx).sum().backward()
+        assert w.grad[1, 0] == pytest.approx(2.0)
+        assert w.grad[3, 0] == pytest.approx(1.0)
+        assert w.grad[0, 0] == 0.0
+
+    def test_dropout_deterministic_given_rng_state(self):
+        x = Tensor(np.ones((4, 8), np.float32))
+        r1 = RNGBundle(3)
+        r2 = RNGBundle(3)
+        np.testing.assert_array_equal(
+            ops.dropout(x, 0.5, r1).data, ops.dropout(x, 0.5, r2).data
+        )
+
+    def test_dropout_eval_is_identity(self):
+        x = Tensor(np.ones((4,), np.float32))
+        out = ops.dropout(x, 0.5, RNGBundle(0), training=False)
+        assert out is x
+
+    def test_dropout_inverted_scaling(self):
+        x = Tensor(np.ones((20000,), np.float32))
+        out = ops.dropout(x, 0.25, RNGBundle(1)).data
+        assert out.mean() == pytest.approx(1.0, rel=0.05)
+        assert set(np.unique(out)) <= {np.float32(0.0), np.float32(1.0 / 0.75)}
+
+    def test_dropout_invalid_p(self):
+        with pytest.raises(ValueError):
+            ops.dropout(Tensor(np.ones(3)), 1.0, RNGBundle(0))

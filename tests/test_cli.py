@@ -1,0 +1,88 @@
+"""CLI: argument parsing and command smoke tests."""
+
+import pytest
+
+from repro.cli import _parse_stage, build_parser, main
+
+
+class TestParseStage:
+    def test_count_and_type(self):
+        gpus = _parse_stage("2xV100")
+        assert [g.name for g in gpus] == ["V100", "V100"]
+
+    def test_bare_type(self):
+        assert [g.name for g in _parse_stage("P100")] == ["P100"]
+
+    def test_mixed(self):
+        gpus = _parse_stage("1xV100+2xP100")
+        assert [g.name for g in gpus] == ["V100", "P100", "P100"]
+
+    def test_case_insensitive(self):
+        assert [g.name for g in _parse_stage("2xt4")] == ["T4", "T4"]
+
+    def test_unknown_type(self):
+        with pytest.raises(KeyError):
+            _parse_stage("2xH100")
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_train_defaults(self):
+        args = build_parser().parse_args(["train", "resnet18"])
+        assert args.ests == 4
+        assert args.determinism == "D1"
+        assert not args.verify
+
+    def test_bad_determinism_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train", "resnet18", "--determinism", "D9"])
+
+
+class TestCommands:
+    def test_list_workloads(self, capsys):
+        assert main(["list-workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "resnet50" in out and "bert" in out
+
+    def test_scan(self, capsys):
+        assert main(["scan", "neumf"]) == 0
+        assert "D2 is cheap" in capsys.readouterr().out
+        assert main(["scan", "resnet50"]) == 0
+        assert "vendor conv kernels" in capsys.readouterr().out
+
+    def test_train_verifies_bitwise(self, capsys):
+        code = main(
+            [
+                "train",
+                "resnet18",
+                "--schedule", "2xV100", "1xV100",
+                "--steps-per-stage", "2",
+                "--samples", "128",
+                "--ests", "2",
+                "--verify",
+            ]
+        )
+        assert code == 0
+        assert "IDENTICAL" in capsys.readouterr().out
+
+    def test_colocation(self, capsys):
+        assert main(["colocation", "--gpus", "300", "--training-demand", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "alloc ratio" in out and "failures: 0" in out
+
+    def test_trace_sim_single_policy(self, capsys):
+        assert main(["trace-sim", "--policy", "homo", "--jobs", "6"]) == 0
+        assert "easyscale-homo" in capsys.readouterr().out
+
+
+class TestSelfTestCommand:
+    def test_self_test_passes_on_healthy_install(self, capsys):
+        from repro.cli import main
+
+        assert main(["self-test"]) == 0
+        out = capsys.readouterr().out
+        assert "PASSED" in out
+        assert out.count("PASS") >= 5

@@ -1,0 +1,44 @@
+"""Smoke tests: the example scripts stay runnable and verify themselves.
+
+Each example ends by asserting its own bitwise claim (raising SystemExit
+on mismatch), so a clean exit code is a real correctness signal, not just
+an import check.  Only the fast examples run here; the trace/colocation
+demos are covered by their benchmark counterparts.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "heterogeneous_training.py",
+    "fault_tolerance.py",
+    "porting_custom_loop.py",
+    "end_to_end_cluster.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs_and_self_verifies(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, (
+        f"{script} failed:\nstdout:\n{result.stdout[-2000:]}\n"
+        f"stderr:\n{result.stderr[-2000:]}"
+    )
+    assert "IDENTICAL" in result.stdout or "identical" in result.stdout
+
+
+def test_all_examples_exist():
+    present = {p.name for p in EXAMPLES.glob("*.py")}
+    expected = set(FAST_EXAMPLES) | {"cluster_scheduling.py", "serving_colocation.py"}
+    assert expected <= present

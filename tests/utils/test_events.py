@@ -1,0 +1,59 @@
+"""Event log: ordering, queries, timeline folding."""
+
+import pytest
+
+from repro.utils.events import Event, EventLog
+
+
+class TestEvent:
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            Event(time=-1.0, kind="x")
+
+
+class TestEventLog:
+    def test_emit_and_query(self):
+        log = EventLog()
+        log.emit(0.0, "job_submit", job="a")
+        log.emit(1.0, "scale_out", job="a", gpus=2)
+        log.emit(2.0, "job_done", job="a")
+        assert len(log) == 3
+        assert [e.kind for e in log.of_kind("job_submit", "job_done")] == [
+            "job_submit",
+            "job_done",
+        ]
+
+    def test_out_of_order_rejected(self):
+        log = EventLog()
+        log.emit(5.0, "a")
+        with pytest.raises(ValueError):
+            log.emit(4.0, "b")
+
+    def test_same_time_allowed(self):
+        log = EventLog()
+        log.emit(1.0, "a")
+        log.emit(1.0, "b")
+        assert len(log) == 2
+
+    def test_between(self):
+        log = EventLog()
+        for t in (0.0, 1.0, 2.0, 3.0):
+            log.emit(t, "tick")
+        assert len(log.between(1.0, 3.0)) == 2  # [1, 3)
+
+    def test_timeline_folding(self):
+        log = EventLog()
+        log.emit(0.0, "alloc", gpus=4)
+        log.emit(1.0, "alloc", gpus=2)
+        log.emit(2.0, "free", gpus=3)
+        series = log.timeline(
+            lambda e: e.payload["gpus"] if e.kind == "alloc" else -e.payload["gpus"]
+        )
+        assert series == [(0.0, 4.0), (1.0, 6.0), (2.0, 3.0)]
+
+    def test_timeline_skips_none(self):
+        log = EventLog()
+        log.emit(0.0, "alloc", gpus=1)
+        log.emit(1.0, "note")
+        series = log.timeline(lambda e: e.payload.get("gpus"))
+        assert series == [(0.0, 1.0)]

@@ -1,0 +1,66 @@
+"""Bitwise fingerprints: sensitivity and canonicalization."""
+
+import numpy as np
+import pytest
+
+from repro.utils.fingerprint import (
+    fingerprint_array,
+    fingerprint_arrays,
+    fingerprint_state_dict,
+    max_abs_diff,
+)
+
+
+class TestFingerprintArray:
+    def test_deterministic(self):
+        x = np.arange(12, dtype=np.float32).reshape(3, 4)
+        assert fingerprint_array(x) == fingerprint_array(x.copy())
+
+    def test_single_bit_flip_changes_digest(self):
+        x = np.ones(8, dtype=np.float32)
+        y = x.copy()
+        y_view = y.view(np.uint32)
+        y_view[3] ^= 1  # flip the lowest mantissa bit of one element
+        assert fingerprint_array(x) != fingerprint_array(y)
+
+    def test_shape_sensitive(self):
+        x = np.zeros(6, dtype=np.float32)
+        assert fingerprint_array(x) != fingerprint_array(x.reshape(2, 3))
+
+    def test_dtype_sensitive(self):
+        x = np.zeros(4, dtype=np.float32)
+        assert fingerprint_array(x) != fingerprint_array(x.astype(np.float64))
+
+    def test_non_contiguous_input(self):
+        x = np.arange(16, dtype=np.float32).reshape(4, 4)
+        assert fingerprint_array(x.T) == fingerprint_array(np.ascontiguousarray(x.T))
+
+
+class TestFingerprintStateDict:
+    def test_order_invariant(self):
+        a = {"w": np.ones(3, np.float32), "b": np.zeros(2, np.float32)}
+        b = dict(reversed(list(a.items())))
+        assert fingerprint_state_dict(a) == fingerprint_state_dict(b)
+
+    def test_name_sensitive(self):
+        x = np.ones(3, np.float32)
+        assert fingerprint_state_dict({"w": x}) != fingerprint_state_dict({"v": x})
+
+    def test_sequence_order_matters_for_arrays(self):
+        x, y = np.ones(2, np.float32), np.zeros(2, np.float32)
+        assert fingerprint_arrays([x, y]) != fingerprint_arrays([y, x])
+
+
+class TestMaxAbsDiff:
+    def test_zero_for_identical(self):
+        state = {"w": np.random.default_rng(0).normal(size=5).astype(np.float32)}
+        assert max_abs_diff(state, {"w": state["w"].copy()}) == 0.0
+
+    def test_reports_worst_entry(self):
+        a = {"w": np.zeros(3, np.float32), "b": np.zeros(3, np.float32)}
+        b = {"w": np.zeros(3, np.float32), "b": np.array([0, 0.5, 0], np.float32)}
+        assert max_abs_diff(a, b) == pytest.approx(0.5)
+
+    def test_key_mismatch_raises(self):
+        with pytest.raises(KeyError):
+            max_abs_diff({"w": np.zeros(1)}, {"v": np.zeros(1)})

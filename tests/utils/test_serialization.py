@@ -1,0 +1,88 @@
+"""Checkpoint serialization: bitwise round trips and structure tools."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.utils.serialization import (
+    deep_equal,
+    flatten_state_dict,
+    sizeof_state,
+    state_dict_from_bytes,
+    state_dict_to_bytes,
+    unflatten_state_dict,
+)
+
+
+class TestByteRoundTrip:
+    def test_nested_dict_roundtrip(self):
+        state = {
+            "model": {"w": np.float32([1.5, -2.25]), "steps": 7},
+            "extra": {"progress": (3, 4), "flag": True},
+        }
+        out = state_dict_from_bytes(state_dict_to_bytes(state))
+        assert deep_equal(out, state)
+
+    def test_nan_and_inf_survive_bitwise(self):
+        arr = np.array([np.nan, np.inf, -np.inf, 0.0], dtype=np.float32)
+        out = state_dict_from_bytes(state_dict_to_bytes({"a": arr}))
+        assert out["a"].tobytes() == arr.tobytes()
+
+    @given(
+        arr=hnp.arrays(
+            dtype=np.float32,
+            shape=hnp.array_shapes(max_dims=3, max_side=5),
+            elements=st.floats(
+                allow_nan=True, allow_infinity=True, width=32
+            ),
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_property(self, arr):
+        out = state_dict_from_bytes(state_dict_to_bytes({"x": arr}))
+        assert deep_equal(out, {"x": arr})
+
+
+class TestFlatten:
+    def test_flatten_unflatten_inverse(self):
+        nested = {"a": {"b": {"c": 1}, "d": 2}, "e": 3}
+        flat = flatten_state_dict(nested)
+        assert flat == {"a.b.c": 1, "a.d": 2, "e": 3}
+        assert unflatten_state_dict(flat) == nested
+
+    def test_flatten_preserves_arrays(self):
+        arr = np.ones(3, np.float32)
+        flat = flatten_state_dict({"m": {"w": arr}})
+        assert flat["m.w"] is arr
+
+
+class TestDeepEqual:
+    def test_array_vs_scalar(self):
+        assert not deep_equal(np.float32([1.0]), 1.0)
+
+    def test_dtype_mismatch(self):
+        assert not deep_equal(np.zeros(2, np.float32), np.zeros(2, np.float64))
+
+    def test_nan_bitwise_equal(self):
+        a = np.array([np.nan], dtype=np.float32)
+        assert deep_equal(a, a.copy())
+
+    def test_lists_and_tuples_interchange(self):
+        assert deep_equal([1, 2], (1, 2))
+
+    def test_nested_mismatch(self):
+        assert not deep_equal({"a": {"b": 1}}, {"a": {"b": 2}})
+
+
+class TestSizeof:
+    def test_array_bytes(self):
+        assert sizeof_state(np.zeros((4, 4), np.float32)) == 64
+
+    def test_nested_sum(self):
+        state = {"a": np.zeros(2, np.float32), "b": [np.zeros(3, np.float32)]}
+        assert sizeof_state(state) == 8 + 12
+
+    def test_scalars_cheap(self):
+        assert sizeof_state({"x": 1, "y": 2.0, "z": None}) == 24

@@ -1,0 +1,60 @@
+"""Telemetry records and JSONL round trips."""
+
+import pytest
+
+from repro.utils.telemetry import Record, RunLog
+
+
+class TestRecord:
+    def test_json_roundtrip(self):
+        record = Record(kind="step", step=3, data={"losses": [1.0, 2.0]})
+        out = Record.from_json(record.to_json())
+        assert out == record
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            Record(kind="mystery", step=0)
+
+    def test_negative_step_rejected(self):
+        with pytest.raises(ValueError):
+            Record(kind="step", step=-1)
+
+
+class TestRunLog:
+    def test_in_memory_collection(self):
+        log = RunLog()
+        log.step(0, [1.0, 2.0])
+        log.scale_event(1, ["V100", "V100"])
+        log.eval(1, "accuracy", 0.5)
+        log.note(1, "hello")
+        log.checkpoint(2, "abc123")
+        assert len(log) == 5
+        assert len(log.of_kind("step")) == 1
+
+    def test_loss_series(self):
+        log = RunLog()
+        log.step(0, [1.0, 3.0])
+        log.step(1, [2.0])
+        assert log.loss_series() == [2.0, 2.0]
+
+    def test_file_mirroring_and_load(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunLog(path) as log:
+            log.step(0, [0.5])
+            log.scale_event(1, ["T4"], reason="preemption")
+        loaded = RunLog.load(path)
+        assert len(loaded) == 2
+        assert loaded.of_kind("scale_event")[0].data["reason"] == "preemption"
+
+    def test_append_mode(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunLog(path) as log:
+            log.step(0, [1.0])
+        with RunLog(path) as log:
+            log.step(1, [2.0])
+        assert len(RunLog.load(path)) == 2
+
+    def test_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text('{"kind": "note", "step": 0, "message": "x"}\n\n')
+        assert len(RunLog.load(path)) == 1
