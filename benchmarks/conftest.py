@@ -9,6 +9,8 @@ crossovers are).  ``pytest benchmarks/ --benchmark-only`` runs them all.
 
 from __future__ import annotations
 
+import json
+import os
 from typing import Iterable, List, Sequence
 
 import pytest
@@ -34,6 +36,31 @@ def print_table(headers: Sequence[str], rows: Iterable[Sequence[object]], fmt: s
 
 def series_line(label: str, values: Sequence[float], fmt: str = "{:8.4f}") -> None:
     print(f"{label:24s} " + " ".join(fmt.format(v) for v in values))
+
+
+@pytest.fixture(scope="session", autouse=True)
+def repro_trace():
+    """Opt-in span tracing for benchmark runs.
+
+    ``REPRO_TRACE=1 pytest benchmarks/ ...`` records every instrumented
+    phase (engine steps, bucket reduces, simulator events) and, at session
+    end, writes a Chrome ``trace_event`` JSON alongside the pytest-benchmark
+    JSON results — ``REPRO_TRACE_PATH`` overrides the default output path.
+    """
+    if os.environ.get("REPRO_TRACE") != "1":
+        yield
+        return
+    from repro import obs
+
+    obs.configure(enabled=True, ring_size=1 << 20)
+    try:
+        yield
+    finally:
+        path = os.environ.get("REPRO_TRACE_PATH", "benchmarks_trace.json")
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(obs.tracer().to_chrome_trace(), fh, default=str)
+        obs.reset()
+        print(f"\n[repro] benchmark span trace written to {path}")
 
 
 @pytest.fixture

@@ -18,6 +18,9 @@ Public API tour
   ElasticDDP, on-demand checkpoints, the elastic engine.
 - :mod:`repro.sched` — Eq. (1) performance model, companion plan DB,
   intra-/inter-job schedulers, trace and co-location simulators.
+- :mod:`repro.obs` — the unified observability layer: span tracing
+  (Chrome-trace export), a metrics registry, and the per-step
+  determinism audit trail, all behind ``obs.configure(enabled=...)``.
 
 Quickstart::
 

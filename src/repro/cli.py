@@ -7,7 +7,10 @@ Gives the repository's main entry points a shell surface:
   verify bitwise consistency against the DDP reference;
 - ``trace-sim`` — replay a job trace under a chosen scheduler;
 - ``colocation`` — the two-day serving co-location statistic;
-- ``scan`` — the D2-eligibility scan for a workload.
+- ``scan`` — the D2-eligibility scan for a workload;
+- ``obs`` — observability tools: summarize a span trace, export it to
+  Chrome ``trace_event`` JSON, or diff two determinism audit trails
+  (``train --trace/--audit`` and ``trace-sim --trace`` produce the files).
 """
 
 from __future__ import annotations
@@ -49,6 +52,23 @@ def _parse_stage(stage: str):
 
 
 def _cmd_train(args: argparse.Namespace) -> int:
+    from repro import obs
+
+    if args.trace or args.audit:
+        obs.configure(enabled=True, audit_path=args.audit)
+    try:
+        return _run_train(args)
+    finally:
+        if args.trace:
+            obs.tracer().save(args.trace)
+            print(f"span trace written to {args.trace}")
+        if args.audit:
+            print(f"audit trail written to {args.audit}")
+        if args.trace or args.audit:
+            obs.reset()
+
+
+def _run_train(args: argparse.Namespace) -> int:
     from repro.core import (
         EasyScaleEngine,
         EasyScaleJobConfig,
@@ -104,6 +124,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
 
 
 def _cmd_trace_sim(args: argparse.Namespace) -> int:
+    from repro import obs
     from repro.hw import microbench_cluster
     from repro.sched import (
         ClusterSimulator,
@@ -112,6 +133,8 @@ def _cmd_trace_sim(args: argparse.Namespace) -> int:
         generate_trace,
     )
 
+    if args.trace:
+        obs.configure(enabled=True, clock="sim")
     jobs = generate_trace(
         num_jobs=args.jobs,
         seed=args.seed,
@@ -124,14 +147,67 @@ def _cmd_trace_sim(args: argparse.Namespace) -> int:
         "heter": lambda: EasyScalePolicy(True),
     }
     names = list(policies) if args.policy == "all" else [args.policy]
-    for name in names:
-        result = ClusterSimulator(microbench_cluster(), jobs, policies[name]()).run()
-        print(
-            f"{result.policy:<16} avg JCT {result.average_jct:>10.1f} s   "
-            f"makespan {result.makespan:>10.1f} s   "
-            f"completed {len(result.completed)}/{len(jobs)}"
-        )
+    try:
+        for name in names:
+            result = ClusterSimulator(microbench_cluster(), jobs, policies[name]()).run()
+            print(
+                f"{result.policy:<16} avg JCT {result.average_jct:>10.1f} s   "
+                f"makespan {result.makespan:>10.1f} s   "
+                f"completed {len(result.completed)}/{len(jobs)}"
+            )
+    finally:
+        if args.trace:
+            obs.tracer().save(args.trace)
+            print(f"span trace written to {args.trace}")
+            obs.reset()
     return 0
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from repro import obs
+
+    try:
+        return _run_obs(args, obs)
+    except FileNotFoundError as err:
+        print(f"error: no such file: {err.filename}", file=sys.stderr)
+        return 2
+    except ValueError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+
+
+def _run_obs(args: argparse.Namespace, obs) -> int:
+    if args.obs_command == "summarize":
+        tracer = obs.SpanTracer.load(args.trace_file)
+        if getattr(tracer, "truncated", False):
+            print(f"warning: {args.trace_file} has a truncated trailing line (skipped)")
+        spans = [r for r in tracer.records if r["kind"] == "span"]
+        instants = [r for r in tracer.records if r["kind"] == "instant"]
+        print(f"{len(spans)} spans, {len(instants)} instants from {args.trace_file}")
+        print(tracer.flame_summary(limit=args.limit))
+        return 0
+
+    if args.obs_command == "export-trace":
+        tracer = obs.SpanTracer.load(args.trace_file)
+        out = args.output or (args.trace_file + ".chrome.json")
+        tracer.save_chrome_trace(out)
+        print(f"{len(tracer)} records exported to {out} "
+              f"(load in chrome://tracing or https://ui.perfetto.dev)")
+        return 0
+
+    if args.obs_command == "diff-audit":
+        a = obs.AuditTrail.load(args.audit_a)
+        b = obs.AuditTrail.load(args.audit_b)
+        for path, trail in ((args.audit_a, a), (args.audit_b, b)):
+            if trail.truncated:
+                print(f"warning: {path} has a truncated trailing line (skipped)")
+        diff = obs.diff_audits(a, b)
+        print(f"A: {len(a)} steps ({args.audit_a})")
+        print(f"B: {len(b)} steps ({args.audit_b})")
+        print(diff.describe())
+        return 0 if diff.identical else 4
+
+    raise AssertionError(f"unhandled obs subcommand {args.obs_command!r}")
 
 
 def _cmd_colocation(args: argparse.Namespace) -> int:
@@ -203,6 +279,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     train.add_argument("--determinism", default="D1", choices=["D0", "D1", "D0+D2", "D1+D2"])
     train.add_argument("--verify", action="store_true", help="compare bitwise vs DDP")
+    train.add_argument("--trace", metavar="PATH", default=None,
+                       help="record a span trace (JSONL) of the run")
+    train.add_argument("--audit", metavar="PATH", default=None,
+                       help="record a per-step determinism audit trail (JSONL)")
 
     trace = sub.add_parser("trace-sim", help="replay a job trace")
     trace.add_argument("--policy", default="all", choices=["yarn", "homo", "heter", "all"])
@@ -210,6 +290,8 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--seed", type=int, default=4)
     trace.add_argument("--interarrival", type=float, default=45.0)
     trace.add_argument("--duration", type=float, default=1200.0)
+    trace.add_argument("--trace", metavar="PATH", default=None,
+                       help="record the simulator event timeline as a span trace (JSONL)")
 
     colo = sub.add_parser("colocation", help="two-day serving co-location stats")
     colo.add_argument("--gpus", type=int, default=3000)
@@ -221,6 +303,29 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("self-test", help="verify the bitwise guarantee on this machine")
 
+    obs_parser = sub.add_parser("obs", help="observability tools (traces, audits)")
+    obs_sub = obs_parser.add_subparsers(dest="obs_command", required=True)
+
+    summarize = obs_sub.add_parser(
+        "summarize", help="flamegraph-style summary of a span trace JSONL"
+    )
+    summarize.add_argument("trace_file")
+    summarize.add_argument("--limit", type=int, default=None,
+                           help="show at most N span paths")
+
+    export = obs_sub.add_parser(
+        "export-trace", help="convert a span trace JSONL to Chrome trace_event JSON"
+    )
+    export.add_argument("trace_file")
+    export.add_argument("-o", "--output", default=None,
+                        help="output path (default: <trace_file>.chrome.json)")
+
+    diff = obs_sub.add_parser(
+        "diff-audit", help="locate the first divergent step between two audit trails"
+    )
+    diff.add_argument("audit_a")
+    diff.add_argument("audit_b")
+
     return parser
 
 
@@ -231,6 +336,7 @@ COMMANDS = {
     "colocation": _cmd_colocation,
     "scan": _cmd_scan,
     "self-test": _cmd_selftest,
+    "obs": _cmd_obs,
 }
 
 

@@ -22,6 +22,8 @@ from typing import List, Sequence
 
 import numpy as np
 
+from repro import obs
+
 
 def _check_inputs(grads: Sequence[np.ndarray]) -> List[np.ndarray]:
     if not grads:
@@ -95,5 +97,15 @@ def allreduce_mean(grads: Sequence[np.ndarray], algorithm: str = "ring") -> np.n
     """Sum with the chosen association, then divide by world size (DDP avg)."""
     if algorithm not in ALGORITHMS:
         raise KeyError(f"unknown allreduce algorithm {algorithm!r}")
-    total = ALGORITHMS[algorithm](grads)
-    return total / np.float32(len(grads))
+    with obs.span(
+        "comm.allreduce",
+        cat="comm",
+        algorithm=algorithm,
+        world=len(grads),
+        elems=int(np.asarray(grads[0]).size) if len(grads) else 0,
+    ):
+        total = ALGORITHMS[algorithm](grads)
+        result = total / np.float32(len(grads))
+    if obs.is_enabled():
+        obs.metrics().counter("comm_allreduce_total", algorithm=algorithm).inc()
+    return result

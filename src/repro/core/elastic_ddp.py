@@ -21,6 +21,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.comm.allreduce import allreduce_mean
 from repro.comm.bucketing import BucketAssignment, build_initial_buckets, rebuild_from_arrival
 
@@ -73,11 +74,20 @@ class ElasticDDP:
             present = [n for n in bucket_names if n in grads_by_vrank[0]]
             if not present:
                 continue
-            sub = BucketAssignment([present])
-            flats = [sub.flatten_bucket(0, grads) for grads in grads_by_vrank]
-            reduced = allreduce_mean(flats, self.algorithm)
-            for name, grad in sub.unflatten_bucket(0, reduced, self.param_shapes).items():
-                averaged[name] = np.ascontiguousarray(grad)
+            elems = sum(self.param_sizes[n] for n in present)
+            with obs.span(
+                "ddp.bucket_reduce", cat="comm", bucket=bucket_idx, elems=elems
+            ):
+                sub = BucketAssignment([present])
+                flats = [sub.flatten_bucket(0, grads) for grads in grads_by_vrank]
+                reduced = allreduce_mean(flats, self.algorithm)
+                for name, grad in sub.unflatten_bucket(0, reduced, self.param_shapes).items():
+                    averaged[name] = np.ascontiguousarray(grad)
+            if obs.is_enabled():
+                obs.metrics().histogram(
+                    "ddp_bucket_elems",
+                    buckets=(256, 512, 1024, 2048, 4096, 8192, 16384, 65536),
+                ).observe(elems)
         return averaged
 
     # ------------------------------------------------------------------

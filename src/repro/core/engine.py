@@ -20,6 +20,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.core.checkpoint import Checkpoint
 from repro.core.determinism import DeterminismConfig, determinism_from_label
 from repro.core.elastic_ddp import ElasticDDP
@@ -33,6 +34,7 @@ from repro.models.registry import WorkloadSpec
 from repro.nn.module import Module
 from repro.optim.lr_scheduler import LRScheduler
 from repro.optim.optimizer import Optimizer
+from repro.utils.fingerprint import fingerprint_arrays, fingerprint_state_dict
 from repro.utils.rng import RNGBundle, derive_seed
 from repro.utils.telemetry import RunLog
 
@@ -191,6 +193,14 @@ class EasyScaleEngine:
             self.telemetry.scale_event(
                 self.global_step, [g.name for g in assignment.gpus]
             )
+        if obs.is_enabled():
+            obs.instant(
+                "engine.scale_event",
+                cat="engine",
+                step=self.global_step,
+                gpus=[g.name for g in assignment.gpus],
+            )
+            obs.metrics().counter("engine_scale_events_total").inc()
         est_by_vrank = {est.vrank: est for est in self.ests}
         self.workers = [
             EasyScaleWorker(
@@ -235,6 +245,10 @@ class EasyScaleEngine:
     def run_global_step(self) -> List[float]:
         """One synchronized global step across all ESTs; returns losses
         ordered by virtual rank."""
+        with obs.span("engine.global_step", cat="engine", step=self.global_step):
+            return self._run_global_step()
+
+    def _run_global_step(self) -> List[float]:
         self.loader.set_epoch(self.epoch)
         arrival: Optional[List[str]] = (
             [] if not self.elastic_ddp.reconstructed else None
@@ -253,23 +267,25 @@ class EasyScaleEngine:
             step_time = max(step_time, worker.step_time())
 
         results.sort(key=lambda r: r.vrank)
-        averaged = self.elastic_ddp.synchronize([r.grads for r in results])
-        for name, grad in averaged.items():
-            self._named_params[name].grad = grad
-        for result in results:  # virtual-rank order: canonical BN folding
-            for layer, mean, var in result.bn_journal:
-                layer.fold_stats(mean, var)
-        self.optimizer.step()
-        self.model.zero_grad()
+        # simulated time: slowest worker (sync barrier) + a simple
+        # bandwidth-model term for the cross-worker all-reduce
+        comm = self.spec.params_gb / 5.0 if len(self.workers) > 1 else self.spec.params_gb / 20.0
+        with obs.span("engine.sync", cat="engine", est=comm, num_ests=self.config.num_ests):
+            averaged = self.elastic_ddp.synchronize([r.grads for r in results])
+        with obs.span("engine.optimizer", cat="engine"):
+            for name, grad in averaged.items():
+                self._named_params[name].grad = grad
+            for result in results:  # virtual-rank order: canonical BN folding
+                for layer, mean, var in result.bn_journal:
+                    layer.fold_stats(mean, var)
+            self.optimizer.step()
+            self.model.zero_grad()
         for est in self.ests:
             est.staged_grads = None
 
         if arrival is not None:
             self.elastic_ddp.maybe_reconstruct(arrival)
 
-        # simulated time: slowest worker (sync barrier) + a simple
-        # bandwidth-model term for the cross-worker all-reduce
-        comm = self.spec.params_gb / 5.0 if len(self.workers) > 1 else self.spec.params_gb / 20.0
         self.sim_time += step_time + comm
 
         self.global_step += 1
@@ -285,7 +301,32 @@ class EasyScaleEngine:
             self.telemetry.step(
                 self.global_step - 1, losses, epoch=self.epoch, sim_time=self.sim_time
             )
+        if obs.is_enabled():
+            registry = obs.metrics()
+            registry.counter("engine_steps_total").inc()
+            registry.gauge("engine_sim_time_seconds").set(self.sim_time)
+            registry.histogram("engine_step_sim_seconds").observe(step_time + comm)
+            if obs.audit_trail() is not None:
+                self._audit_step(averaged)
         return losses
+
+    def _audit_step(self, averaged: Dict[str, np.ndarray]) -> None:
+        """Record this step's determinism fingerprints (params after the
+        optimizer update, gradients at bucket granularity, RNG, cursor)."""
+        bucket_fps: Dict[str, str] = {}
+        for idx, names in enumerate(self.elastic_ddp.buckets.buckets):
+            arrays = [averaged[n] for n in names if n in averaged]
+            if arrays:
+                bucket_fps[str(idx)] = fingerprint_arrays(arrays)
+        obs.audit_trail().capture(
+            step=self.global_step - 1,
+            params=fingerprint_state_dict(self.model.state_dict()),
+            buckets=bucket_fps,
+            rng=obs.fingerprint_rng_states([est.rng.get_state() for est in self.ests]),
+            loader={"epoch": self.epoch, "step_in_epoch": self.step_in_epoch},
+            policy=self.config.determinism.label,
+            dialects=[g.dialect for g in self.assignment.gpus],
+        )
 
     def train_steps(self, num_steps: int) -> List[float]:
         """Run ``num_steps`` global steps; returns the last EST's losses."""
@@ -315,6 +356,10 @@ class EasyScaleEngine:
     # ------------------------------------------------------------------
     def checkpoint(self) -> Checkpoint:
         """Snapshot at a global-step boundary (the only legal point)."""
+        with obs.span("engine.checkpoint_save", cat="engine", step=self.global_step):
+            return self._checkpoint()
+
+    def _checkpoint(self) -> Checkpoint:
         return Checkpoint(
             est_contexts=[est.save_context().to_state() for est in self.ests],
             extra={
@@ -343,6 +388,12 @@ class EasyScaleEngine:
         )
 
     def _load_checkpoint(self, ckpt: Checkpoint) -> None:
+        with obs.span(
+            "engine.checkpoint_restore", cat="engine", step=int(ckpt.extra["global_step"])
+        ):
+            self._restore_checkpoint(ckpt)
+
+    def _restore_checkpoint(self, ckpt: Checkpoint) -> None:
         if ckpt.num_ests != self.config.num_ests:
             raise ValueError(
                 f"checkpoint has {ckpt.num_ests} ESTs, job declares {self.config.num_ests}"

@@ -20,6 +20,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.core.est import EasyScaleThread
 from repro.ddp.ddp import micro_slices
 from repro.hw.gpu import GPUType
@@ -96,36 +97,53 @@ class EasyScaleWorker:
         per_batch = minibatch_time(self.spec, self.gpu, self.policy)
         switch = context_switch_time(self.spec, self.gpu)
         for position, est in enumerate(self.ests):
-            x, y = load_batch(est.vrank)
-            model.zero_grad()
-            micro_losses = []
-            with execution_context(self.gpu.dialect, self.policy), use_rng(
-                est.rng
-            ), collect_bn_stats() as journal:
-                for micro_x, micro_y in micro_slices(x, y, self.micro_batches):
-                    loss = self.spec.forward_loss(model, micro_x, micro_y)
-                    if arrival_sink is not None and est.vrank == 0:
-                        def on_grad(tensor) -> None:
-                            name = (param_names_by_id or {}).get(id(tensor))
-                            if name is not None and name not in arrival_sink:
-                                arrival_sink.append(name)
+            with obs.span(
+                "worker.local_step",
+                cat="worker",
+                est=per_batch,
+                worker=self.worker_id,
+                vrank=est.vrank,
+                gpu=self.gpu.name,
+            ):
+                x, y = load_batch(est.vrank)
+                model.zero_grad()
+                micro_losses = []
+                with execution_context(self.gpu.dialect, self.policy), use_rng(
+                    est.rng
+                ), collect_bn_stats() as journal:
+                    for micro_x, micro_y in micro_slices(x, y, self.micro_batches):
+                        loss = self.spec.forward_loss(model, micro_x, micro_y)
+                        if arrival_sink is not None and est.vrank == 0:
+                            def on_grad(tensor) -> None:
+                                name = (param_names_by_id or {}).get(id(tensor))
+                                if name is not None and name not in arrival_sink:
+                                    arrival_sink.append(name)
 
-                        with leaf_grad_hook(on_grad):
+                            with leaf_grad_hook(on_grad):
+                                loss.backward()
+                        else:
                             loss.backward()
-                    else:
-                        loss.backward()
-                    micro_losses.append(loss.item())
-            scale = np.float32(1.0 / self.micro_batches)
-            grads = {
-                name: (param.grad * scale if self.micro_batches > 1 else param.grad.copy())
-                for name, param in named_params.items()
-                if param.grad is not None
-            }
-            est.staged_grads = grads
+                        micro_losses.append(loss.item())
+                scale = np.float32(1.0 / self.micro_batches)
+                grads = {
+                    name: (param.grad * scale if self.micro_batches > 1 else param.grad.copy())
+                    for name, param in named_params.items()
+                    if param.grad is not None
+                }
+                est.staged_grads = grads
             # copy of this EST's grads overlaps the *next* EST's compute;
             # only the last EST in the slice exposes its staging latency,
             # and even that hides under gradient synchronization setup
             exposed = switch if position < len(self.ests) - 1 else 0.0
+            if exposed and obs.is_enabled():
+                with obs.span(
+                    "worker.context_switch",
+                    cat="worker",
+                    est=exposed,
+                    worker=self.worker_id,
+                    from_vrank=est.vrank,
+                ):
+                    pass
             results.append(
                 LocalStepResult(
                     vrank=est.vrank,
@@ -137,6 +155,12 @@ class EasyScaleWorker:
                 )
             )
         model.zero_grad()
+        if obs.is_enabled():
+            registry = obs.metrics()
+            registry.counter("worker_local_steps_total", gpu=self.gpu.name).inc(len(self.ests))
+            registry.histogram("worker_minibatch_sim_seconds", gpu=self.gpu.name).observe(
+                per_batch
+            )
         return results
 
     def step_time(self) -> float:

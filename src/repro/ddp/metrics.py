@@ -13,6 +13,7 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.data.datasets import Dataset
 from repro.models.registry import WorkloadSpec
 from repro.nn.module import Module
@@ -78,12 +79,16 @@ def evaluate_workload(
     spec: WorkloadSpec, model: Module, dataset: Dataset, num_samples: int = 256
 ) -> float:
     """Task-appropriate scalar quality metric for any Table-1 workload."""
-    if spec.name in ("neumf",):
-        return _binary_accuracy(model, dataset, num_samples)
-    if spec.name in ("yolov3",):
-        return _detection_class_accuracy(model, dataset, num_samples)
-    accuracy, _ = evaluate_classification(model, dataset, num_samples)
-    return accuracy
+    with obs.span("eval.workload", cat="eval", workload=spec.name, samples=num_samples):
+        if spec.name in ("neumf",):
+            score = _binary_accuracy(model, dataset, num_samples)
+        elif spec.name in ("yolov3",):
+            score = _detection_class_accuracy(model, dataset, num_samples)
+        else:
+            score, _ = evaluate_classification(model, dataset, num_samples)
+    if obs.is_enabled():
+        obs.metrics().gauge("eval_accuracy", workload=spec.name).set(score)
+    return score
 
 
 def _binary_accuracy(model: Module, dataset: Dataset, n: int) -> float:

@@ -1,0 +1,163 @@
+"""Unified observability layer: tracing, metrics, determinism audit.
+
+One module-level switch governs everything the stack reports:
+
+    from repro import obs
+
+    obs.configure(enabled=True)          # wall-clock tracing + metrics
+    obs.configure(enabled=True, clock="sim")      # simulated-clock mode
+    obs.configure(enabled=True, audit=True)       # + per-step audit trail
+    obs.configure(enabled=False)                  # back to (cheap) no-ops
+
+Instrumented call sites — the engine's global step, the worker's per-EST
+local steps, ElasticDDP's bucket reduces, the cluster simulator's event
+stream — all go through this module, so a disabled build pays only a
+module-attribute check and a shared null context manager per site.
+
+The three sinks:
+
+- :func:`span` / :func:`tracer` — nested timing spans (``obs.trace``),
+  exportable to Chrome ``trace_event`` JSON or a flame-style summary;
+- :func:`metrics` — counters/gauges/histograms (``obs.metrics``) with a
+  Prometheus text exposition;
+- :func:`audit_trail` — per-step determinism fingerprints (``obs.audit``)
+  with :func:`diff_audits` to localize the first divergence between runs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Union
+
+from repro.obs.audit import (
+    AuditDiff,
+    AuditRecord,
+    AuditTrail,
+    diff_audits,
+    fingerprint_rng_states,
+)
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    NullRegistry,
+)
+from repro.obs.trace import (
+    SimClock,
+    SpanTracer,
+    flame_summary,
+    records_to_chrome_trace,
+)
+
+__all__ = [
+    "configure",
+    "reset",
+    "is_enabled",
+    "tracer",
+    "metrics",
+    "audit_trail",
+    "span",
+    "instant",
+    "sim_clock",
+    "SpanTracer",
+    "SimClock",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "DEFAULT_BUCKETS",
+    "AuditTrail",
+    "AuditRecord",
+    "AuditDiff",
+    "diff_audits",
+    "fingerprint_rng_states",
+    "flame_summary",
+    "records_to_chrome_trace",
+]
+
+
+class _NullSpan:
+    """Shared do-nothing context manager returned while disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: Any) -> bool:
+        return False
+
+    def set(self, **attrs: Any) -> "_NullSpan":
+        return self
+
+
+_NULL_SPAN = _NullSpan()
+
+_enabled: bool = False
+_tracer: SpanTracer = SpanTracer()
+_metrics: MetricsRegistry = MetricsRegistry()
+_audit: Optional[AuditTrail] = None
+
+
+def configure(
+    enabled: bool = True,
+    *,
+    clock: Union[str, SimClock] = "wall",
+    ring_size: int = 65536,
+    audit: bool = False,
+    audit_path: Optional[str] = None,
+) -> None:
+    """(Re)configure the global observability state.
+
+    Always installs fresh tracer/metrics/audit objects, so successive
+    ``configure`` calls never mix records from different runs.  ``audit``
+    (or a non-None ``audit_path``) turns on the per-step determinism
+    trail; everything else costs nothing until a span/metric fires.
+    """
+    global _enabled, _tracer, _metrics, _audit
+    if _audit is not None:
+        _audit.close()
+    _enabled = bool(enabled)
+    _tracer = SpanTracer(clock=clock, ring_size=ring_size)
+    _metrics = MetricsRegistry()
+    _audit = AuditTrail(audit_path) if (audit or audit_path is not None) and enabled else None
+
+
+def reset() -> None:
+    """Return to the pristine disabled state (used by tests and the CLI)."""
+    configure(enabled=False)
+
+
+def is_enabled() -> bool:
+    return _enabled
+
+
+def tracer() -> SpanTracer:
+    """The active tracer (always exists; records only while enabled)."""
+    return _tracer
+
+
+def metrics() -> Union[MetricsRegistry, NullRegistry]:
+    """The active metrics registry, or the shared no-op one when disabled."""
+    return _metrics if _enabled else NULL_REGISTRY
+
+
+def audit_trail() -> Optional[AuditTrail]:
+    """The active audit trail, or None when auditing is off."""
+    return _audit if _enabled else None
+
+
+def span(name: str, cat: Optional[str] = None, est: Optional[float] = None, **attrs: Any):
+    """Open a span on the global tracer; a shared no-op when disabled."""
+    if not _enabled:
+        return _NULL_SPAN
+    return _tracer.span(name, cat=cat, est=est, **attrs)
+
+
+def instant(name: str, ts: Optional[float] = None, cat: Optional[str] = None, **attrs: Any) -> None:
+    """Record an instant marker on the global tracer (no-op when disabled)."""
+    if _enabled:
+        _tracer.instant(name, ts=ts, cat=cat, **attrs)
+
+
+def sim_clock() -> Optional[SimClock]:
+    """The tracer's simulated clock, when configured with ``clock="sim"``."""
+    return _tracer.sim_clock if _enabled else None

@@ -1,0 +1,283 @@
+"""Metrics registry: counters, gauges, and fixed-bucket histograms.
+
+Named instruments with label support, mirroring the Prometheus data model
+the production dashboards consume.  Design constraints:
+
+- **near-zero cost when disabled** — :data:`NULL_REGISTRY` hands out
+  shared no-op instruments, so instrumented call sites never branch on an
+  enabled flag themselves;
+- **snapshot/delta queries** — benchmarks take a snapshot before a phase
+  and diff after it, isolating that phase's counts;
+- **text exposition** — :meth:`MetricsRegistry.to_prometheus_text` dumps
+  the familiar ``name{label="v"} value`` format for scraping or diffing.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import threading
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+#: Default histogram bucket upper bounds (seconds-flavored; +Inf is implicit).
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0
+)
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Mapping[str, Any]) -> LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _format_labels(key: LabelKey, extra: Sequence[Tuple[str, str]] = ()) -> str:
+    pairs = list(key) + list(extra)
+    if not pairs:
+        return ""
+    return "{" + ",".join(f'{k}="{v}"' for k, v in pairs) + "}"
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a gauge for decrements")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down."""
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Fixed-bucket histogram with Prometheus ``le`` (<=) semantics.
+
+    A value exactly on a bucket boundary counts into that bucket; values
+    above the last bound land in the implicit +Inf overflow bucket.
+    """
+
+    def __init__(self, buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        bounds = [float(b) for b in buckets]
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if sorted(bounds) != bounds or len(set(bounds)) != len(bounds):
+            raise ValueError(f"bucket bounds must be strictly increasing, got {bounds}")
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)  # last slot = +Inf
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        if math.isnan(value):
+            raise ValueError("cannot observe NaN")
+        idx = bisect.bisect_left(self.bounds, value)
+        self.counts[idx] += 1
+        self.sum += value
+        self.count += 1
+
+    def cumulative(self) -> List[int]:
+        """Cumulative bucket counts, Prometheus-style (last entry == count)."""
+        out, running = [], 0
+        for c in self.counts:
+            running += c
+            out.append(running)
+        return out
+
+
+class _NullInstrument:
+    """Shared no-op stand-in for every instrument type when disabled."""
+
+    __slots__ = ()
+    value = 0.0
+    sum = 0.0
+    count = 0
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullRegistry:
+    """Registry stand-in returned when observability is disabled."""
+
+    enabled = False
+
+    def counter(self, name: str, **labels: Any) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str, **labels: Any) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def histogram(
+        self, name: str, buckets: Optional[Sequence[float]] = None, **labels: Any
+    ) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def delta(self, previous: Mapping[str, Mapping[str, Any]]) -> Dict[str, Dict[str, Any]]:
+        return self.snapshot()
+
+    def to_prometheus_text(self) -> str:
+        return ""
+
+    def reset(self) -> None:
+        pass
+
+
+NULL_REGISTRY = NullRegistry()
+
+
+class MetricsRegistry:
+    """Get-or-create instrument registry keyed by (name, labels)."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[Tuple[str, LabelKey], Counter] = {}
+        self._gauges: Dict[Tuple[str, LabelKey], Gauge] = {}
+        self._histograms: Dict[Tuple[str, LabelKey], Histogram] = {}
+        self._kinds: Dict[str, str] = {}
+
+    def _claim(self, name: str, kind: str) -> None:
+        existing = self._kinds.get(name)
+        if existing is not None and existing != kind:
+            raise ValueError(f"metric {name!r} already registered as a {existing}")
+        self._kinds[name] = kind
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        key = (name, _label_key(labels))
+        with self._lock:
+            self._claim(name, "counter")
+            if key not in self._counters:
+                self._counters[key] = Counter()
+            return self._counters[key]
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        key = (name, _label_key(labels))
+        with self._lock:
+            self._claim(name, "gauge")
+            if key not in self._gauges:
+                self._gauges[key] = Gauge()
+            return self._gauges[key]
+
+    def histogram(
+        self, name: str, buckets: Optional[Sequence[float]] = None, **labels: Any
+    ) -> Histogram:
+        key = (name, _label_key(labels))
+        with self._lock:
+            self._claim(name, "histogram")
+            if key not in self._histograms:
+                self._histograms[key] = Histogram(buckets or DEFAULT_BUCKETS)
+            return self._histograms[key]
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+            self._kinds.clear()
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """Plain-data view of every instrument, keyed by ``name{labels}``."""
+        with self._lock:
+            return {
+                "counters": {
+                    n + _format_labels(k): c.value for (n, k), c in self._counters.items()
+                },
+                "gauges": {
+                    n + _format_labels(k): g.value for (n, k), g in self._gauges.items()
+                },
+                "histograms": {
+                    n + _format_labels(k): {
+                        "bounds": list(h.bounds),
+                        "counts": list(h.counts),
+                        "sum": h.sum,
+                        "count": h.count,
+                    }
+                    for (n, k), h in self._histograms.items()
+                },
+            }
+
+    def delta(self, previous: Mapping[str, Mapping[str, Any]]) -> Dict[str, Dict[str, Any]]:
+        """What changed since a prior :meth:`snapshot` (gauges stay absolute)."""
+        current = self.snapshot()
+        prev_counters = previous.get("counters", {})
+        prev_hists = previous.get("histograms", {})
+        counters = {
+            key: value - prev_counters.get(key, 0.0)
+            for key, value in current["counters"].items()
+        }
+        histograms = {}
+        for key, h in current["histograms"].items():
+            prior = prev_hists.get(key)
+            if prior is None:
+                histograms[key] = h
+            else:
+                histograms[key] = {
+                    "bounds": h["bounds"],
+                    "counts": [a - b for a, b in zip(h["counts"], prior["counts"])],
+                    "sum": h["sum"] - prior["sum"],
+                    "count": h["count"] - prior["count"],
+                }
+        return {"counters": counters, "gauges": current["gauges"], "histograms": histograms}
+
+    def to_prometheus_text(self) -> str:
+        """Prometheus text exposition (counters, gauges, histograms)."""
+        lines: List[str] = []
+        with self._lock:
+            for (name, key), counter in sorted(self._counters.items()):
+                lines.append(f"# TYPE {name} counter")
+                lines.append(f"{name}{_format_labels(key)} {_fmt(counter.value)}")
+            for (name, key), gauge in sorted(self._gauges.items()):
+                lines.append(f"# TYPE {name} gauge")
+                lines.append(f"{name}{_format_labels(key)} {_fmt(gauge.value)}")
+            for (name, key), hist in sorted(self._histograms.items()):
+                lines.append(f"# TYPE {name} histogram")
+                cumulative = hist.cumulative()
+                for bound, count in zip(hist.bounds, cumulative):
+                    le = _format_labels(key, [("le", _fmt(bound))])
+                    lines.append(f"{name}_bucket{le} {count}")
+                inf = _format_labels(key, [("le", "+Inf")])
+                lines.append(f"{name}_bucket{inf} {cumulative[-1]}")
+                lines.append(f"{name}_sum{_format_labels(key)} {_fmt(hist.sum)}")
+                lines.append(f"{name}_count{_format_labels(key)} {hist.count}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _fmt(value: float) -> str:
+    return str(int(value)) if float(value).is_integer() else repr(float(value))

@@ -1,0 +1,365 @@
+"""Span tracer: nestable, thread-aware timing spans with bounded storage.
+
+The production EasyScale runtime streams per-phase timings (forward,
+backward, context switch, bucket reduce) to AIMaster dashboards; this is
+the local equivalent.  A :class:`SpanTracer` records *spans* — named,
+nested intervals opened with ``tracer.span("forward")`` — and *instants*
+(zero-duration markers, e.g. scale events).  Two clock modes exist:
+
+- **wall** (default): spans measure real elapsed time via
+  ``time.perf_counter``;
+- **simulated**: a :class:`SimClock` the caller advances; a span opened
+  with ``span("forward", est=3.0)`` advances the clock by its estimated
+  duration on exit, so purely-modeled phases still produce a timeline.
+
+Storage is a ring buffer (``collections.deque`` with ``maxlen``), so a
+long training run keeps the most recent spans under a fixed memory bound.
+Finished records export to Chrome ``trace_event`` JSON (loadable in
+``chrome://tracing`` / Perfetto) or to a plain-text flamegraph-style
+summary aggregated by span path.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from typing import Any, Dict, Iterable, List, Optional, Union
+
+#: JSONL schema version for saved traces.
+TRACE_FORMAT_VERSION = 1
+
+
+class SimClock:
+    """A manually-advanced clock for simulated-time tracing."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, dt: float) -> float:
+        if dt < 0:
+            raise ValueError(f"cannot advance clock by negative dt {dt}")
+        self._now += dt
+        return self._now
+
+    def set(self, t: float) -> None:
+        if t < self._now:
+            raise ValueError(f"clock cannot move backwards ({t} < {self._now})")
+        self._now = float(t)
+
+
+class _SpanCtx:
+    """One open span; records itself into the tracer on exit.
+
+    Exception-safe: the span is recorded (flagged ``error=True``) and the
+    per-thread stack unwound even when the body raises.
+    """
+
+    __slots__ = ("_tracer", "name", "cat", "est", "args", "_t0", "_path")
+
+    def __init__(
+        self,
+        tracer: "SpanTracer",
+        name: str,
+        cat: Optional[str],
+        est: Optional[float],
+        args: Dict[str, Any],
+    ) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.cat = cat
+        self.est = est
+        self.args = args
+        self._t0 = 0.0
+        self._path = ""
+
+    def set(self, **attrs: Any) -> "_SpanCtx":
+        """Attach extra attributes to the span while it is open."""
+        self.args.update(attrs)
+        return self
+
+    def __enter__(self) -> "_SpanCtx":
+        stack = self._tracer._stack()
+        stack.append(self.name)
+        self._path = ";".join(stack)
+        self._t0 = self._tracer.now()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        tracer = self._tracer
+        if self.est is not None and tracer.sim_clock is not None:
+            tracer.sim_clock.advance(self.est)
+        t1 = tracer.now()
+        stack = tracer._stack()
+        if stack and stack[-1] == self.name:
+            stack.pop()
+        args = self.args
+        if self.est is not None:
+            args = dict(args, est=self.est)
+        if exc_type is not None:
+            args = dict(args, error=exc_type.__name__)
+        tracer._record(
+            {
+                "kind": "span",
+                "name": self.name,
+                "cat": self.cat or "default",
+                "path": self._path,
+                "t0": self._t0,
+                "t1": t1,
+                "tid": tracer._tid(),
+                "depth": self._path.count(";"),
+                "args": args,
+            }
+        )
+        return False
+
+
+class SpanTracer:
+    """Thread-aware span recorder with a bounded ring buffer."""
+
+    def __init__(
+        self,
+        clock: Union[str, SimClock] = "wall",
+        ring_size: int = 65536,
+    ) -> None:
+        if ring_size <= 0:
+            raise ValueError("ring_size must be positive")
+        if isinstance(clock, SimClock):
+            self.sim_clock: Optional[SimClock] = clock
+        elif clock == "sim":
+            self.sim_clock = SimClock()
+        elif clock == "wall":
+            self.sim_clock = None
+        else:
+            raise ValueError(f"unknown clock mode {clock!r}; use 'wall', 'sim', or a SimClock")
+        self.ring_size = ring_size
+        self._records: deque = deque(maxlen=ring_size)
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._tracks: Dict[str, int] = {}
+        #: total records ever emitted (>= len(records) once the ring wraps)
+        self.emitted = 0
+
+    # ------------------------------------------------------------------
+    # clock and per-thread state
+    # ------------------------------------------------------------------
+    def now(self) -> float:
+        return self.sim_clock.now() if self.sim_clock is not None else time.perf_counter()
+
+    def _stack(self) -> List[str]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _tid(self) -> int:
+        return threading.get_ident() & 0xFFFF
+
+    def _record(self, record: Dict[str, Any]) -> None:
+        with self._lock:
+            self._records.append(record)
+            self.emitted += 1
+
+    # ------------------------------------------------------------------
+    # recording API
+    # ------------------------------------------------------------------
+    def span(
+        self, name: str, cat: Optional[str] = None, est: Optional[float] = None, **attrs: Any
+    ) -> _SpanCtx:
+        """Open a nested span: ``with tracer.span("forward", est=3.0): ...``"""
+        return _SpanCtx(self, name, cat, est, attrs)
+
+    def instant(
+        self, name: str, ts: Optional[float] = None, cat: Optional[str] = None, **attrs: Any
+    ) -> None:
+        """A zero-duration marker, at ``ts`` if given else the current clock."""
+        t = self.now() if ts is None else float(ts)
+        self._record(
+            {
+                "kind": "instant",
+                "name": name,
+                "cat": cat or "default",
+                "path": name,
+                "t0": t,
+                "t1": t,
+                "tid": self._tid(),
+                "depth": 0,
+                "args": attrs,
+            }
+        )
+
+    def add_span(
+        self,
+        name: str,
+        start: float,
+        end: float,
+        cat: Optional[str] = None,
+        track: Optional[str] = None,
+        **attrs: Any,
+    ) -> None:
+        """Record a completed span with explicit timestamps.
+
+        Used by the cluster simulator, where event times are simulation
+        time, not this process's clock.  ``track`` names a logical lane
+        (e.g. a job id) mapped to a stable synthetic thread id so each
+        lane renders as its own row in Perfetto.
+        """
+        if end < start:
+            raise ValueError(f"span {name!r} ends before it starts ({end} < {start})")
+        self._record(
+            {
+                "kind": "span",
+                "name": name,
+                "cat": cat or "default",
+                "path": name,
+                "t0": float(start),
+                "t1": float(end),
+                "tid": self.track_id(track) if track is not None else self._tid(),
+                "depth": 0,
+                "args": attrs,
+            }
+        )
+
+    def track_id(self, label: str) -> int:
+        """Stable synthetic thread id for a named timeline lane."""
+        with self._lock:
+            if label not in self._tracks:
+                # offset away from real thread ids' masked range
+                self._tracks[label] = 0x10000 + len(self._tracks)
+            return self._tracks[label]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._records.clear()
+            self._tracks.clear()
+            self.emitted = 0
+
+    @property
+    def records(self) -> List[Dict[str, Any]]:
+        with self._lock:
+            return list(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    # ------------------------------------------------------------------
+    # persistence (JSONL; tolerant of a truncated trailing line)
+    # ------------------------------------------------------------------
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(
+                json.dumps(
+                    {
+                        "kind": "meta",
+                        "version": TRACE_FORMAT_VERSION,
+                        "clock": "sim" if self.sim_clock is not None else "wall",
+                    }
+                )
+                + "\n"
+            )
+            for record in self.records:
+                fh.write(json.dumps(record, sort_keys=True, default=str) + "\n")
+
+    @classmethod
+    def load(cls, path: str) -> "SpanTracer":
+        """Rebuild a tracer (records only) from a saved JSONL trace.
+
+        A truncated final line — the crash-mid-write case — is skipped and
+        flagged via the ``truncated`` attribute; a malformed line anywhere
+        else raises with the file path and line number.
+        """
+        tracer = cls()
+        tracer.truncated = False  # type: ignore[attr-defined]
+        with open(path, "r", encoding="utf-8") as fh:
+            lines = fh.readlines()
+        last_content = max(
+            (i for i, line in enumerate(lines) if line.strip()), default=-1
+        )
+        for lineno, line in enumerate(lines, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as err:
+                if lineno - 1 == last_content:
+                    tracer.truncated = True  # type: ignore[attr-defined]
+                    continue
+                raise ValueError(f"{path}:{lineno}: malformed trace line: {err}") from err
+            if payload.get("kind") == "meta":
+                if payload.get("clock") == "sim":
+                    tracer.sim_clock = SimClock()
+                continue
+            tracer._record(payload)
+        return tracer
+
+    # ------------------------------------------------------------------
+    # exporters
+    # ------------------------------------------------------------------
+    def to_chrome_trace(self) -> Dict[str, Any]:
+        """Chrome ``trace_event`` format (one complete/instant event per record)."""
+        return records_to_chrome_trace(self.records)
+
+    def save_chrome_trace(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_chrome_trace(), fh, default=str)
+
+    def flame_summary(self, limit: Optional[int] = None) -> str:
+        """Flamegraph-style text: per-path total/self time and call counts."""
+        return flame_summary(self.records, limit=limit)
+
+
+def records_to_chrome_trace(records: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
+    """Convert span/instant records to the Chrome ``trace_event`` dict."""
+    events: List[Dict[str, Any]] = []
+    for r in records:
+        base = {
+            "name": r["name"],
+            "cat": r.get("cat", "default"),
+            "pid": 0,
+            "tid": r.get("tid", 0),
+            "ts": r["t0"] * 1e6,  # trace_event timestamps are microseconds
+            "args": r.get("args", {}),
+        }
+        if r["kind"] == "instant":
+            events.append({**base, "ph": "i", "s": "t"})
+        else:
+            events.append({**base, "ph": "X", "dur": max(r["t1"] - r["t0"], 0.0) * 1e6})
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def flame_summary(records: Iterable[Dict[str, Any]], limit: Optional[int] = None) -> str:
+    """Aggregate records by nesting path into a flamegraph-style table.
+
+    ``self`` time is total minus the total of direct children, so a hot
+    leaf stands out even when its parents dominate wall clock.
+    """
+    totals: Dict[str, float] = {}
+    counts: Dict[str, int] = {}
+    for r in records:
+        if r["kind"] != "span":
+            continue
+        path = r.get("path") or r["name"]
+        totals[path] = totals.get(path, 0.0) + (r["t1"] - r["t0"])
+        counts[path] = counts.get(path, 0) + 1
+    child_time: Dict[str, float] = {}
+    for path, total in totals.items():
+        if ";" in path:
+            parent = path.rsplit(";", 1)[0]
+            child_time[parent] = child_time.get(parent, 0.0) + total
+    lines = [f"{'total_s':>12} {'self_s':>12} {'calls':>8}  span path"]
+    # depth-first path order: each subtree prints under its parent
+    ordered = sorted(totals, key=lambda p: p.split(";"))
+    if limit is not None:
+        ordered = ordered[:limit]
+    for path in ordered:
+        total = totals[path]
+        self_time = total - child_time.get(path, 0.0)
+        depth = path.count(";")
+        label = "  " * depth + path.rsplit(";", 1)[-1]
+        lines.append(f"{total:>12.6f} {self_time:>12.6f} {counts[path]:>8}  {label}")
+    return "\n".join(lines)

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.hw.cluster import Cluster
 from repro.sched.trace import TraceJob
 from repro.utils.events import EventLog
@@ -123,7 +124,9 @@ class ClusterSimulator:
             JobRuntime(job=j, remaining_work=j.total_work)
             for j in sorted(jobs, key=lambda j: j.arrival_time)
         ]
-        self.events = EventLog()
+        # mirror simulator events into the span tracer when observability
+        # is on, so trace-sim runs export one merged timeline
+        self.events = EventLog(tracer=obs.tracer() if obs.is_enabled() else None)
         self.now = 0.0
         self._timeline: List[Tuple[float, int]] = []
 
@@ -207,6 +210,18 @@ class ClusterSimulator:
                     self.events.emit(
                         self.now, "job_done", job=runtime.job.job_id, released=released
                     )
+                    if obs.is_enabled() and runtime.start_time is not None:
+                        obs.tracer().add_span(
+                            f"job:{runtime.job.job_id}",
+                            start=runtime.start_time,
+                            end=self.now,
+                            cat="sched",
+                            track=runtime.job.job_id,
+                            policy=self.policy.name,
+                        )
+                        obs.metrics().counter(
+                            "sim_jobs_completed_total", policy=self.policy.name
+                        ).inc()
 
             self.policy.reschedule(self, self.now)
             self._timeline.append((self.now, self.cluster.allocated_count()))

@@ -31,10 +31,16 @@ class Event:
 
 
 class EventLog:
-    """Append-only, time-ordered event collection with simple queries."""
+    """Append-only, time-ordered event collection with simple queries.
 
-    def __init__(self) -> None:
+    An optional ``tracer`` (a :class:`repro.obs.trace.SpanTracer`) mirrors
+    every event as an instant marker at its simulation timestamp, so a
+    trace-sim run and any span-producing code export one merged timeline.
+    """
+
+    def __init__(self, tracer: Optional[Any] = None) -> None:
         self._events: List[Event] = []
+        self._tracer = tracer
 
     def emit(self, time: float, kind: str, **payload: Any) -> Event:
         event = Event(time=time, kind=kind, payload=payload)
@@ -43,6 +49,8 @@ class EventLog:
                 f"event out of order: {kind} at t={time} after t={self._events[-1].time}"
             )
         self._events.append(event)
+        if self._tracer is not None:
+            self._tracer.instant(kind, ts=time, cat="sched", **payload)
         return event
 
     def __len__(self) -> int:

@@ -13,7 +13,7 @@ from __future__ import annotations
 import json
 import os
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, List, Optional
+from typing import Any, Dict, List, Optional
 
 _ALLOWED_KINDS = ("step", "scale_event", "checkpoint", "eval", "note")
 
@@ -38,8 +38,13 @@ class Record:
     @classmethod
     def from_json(cls, line: str) -> "Record":
         payload = json.loads(line)
-        kind = payload.pop("kind")
-        step = payload.pop("step")
+        try:
+            kind = payload.pop("kind")
+            step = payload.pop("step")
+        except KeyError as err:
+            raise ValueError(
+                f"telemetry record missing required field {err}: {line[:80]!r}"
+            ) from err
         return cls(kind=kind, step=int(step), data=payload)
 
 
@@ -48,6 +53,8 @@ class RunLog:
 
     def __init__(self, path: Optional[str] = None) -> None:
         self.records: List[Record] = []
+        #: set by :meth:`load` when the file ended in a partial line
+        self.truncated = False
         self._path = os.fspath(path) if path is not None else None
         self._fh = open(self._path, "a", encoding="utf-8") if self._path else None
 
@@ -117,10 +124,30 @@ class RunLog:
     # ------------------------------------------------------------------
     @classmethod
     def load(cls, path: str) -> "RunLog":
+        """Load a JSONL run log.
+
+        A truncated trailing line — what a crash mid-``write`` leaves
+        behind — is tolerated and flagged via the ``truncated`` attribute
+        instead of making the whole log unreadable.  A malformed line
+        anywhere else, or a structurally invalid record, raises a
+        :class:`ValueError` carrying the file path and line number.
+        """
         log = cls()
+        log.truncated = False
         with open(path, "r", encoding="utf-8") as fh:
-            for line in fh:
-                line = line.strip()
-                if line:
-                    log.records.append(Record.from_json(line))
+            lines = fh.readlines()
+        last_content = max((i for i, line in enumerate(lines) if line.strip()), default=-1)
+        for lineno, line in enumerate(lines, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                log.records.append(Record.from_json(line))
+            except json.JSONDecodeError as err:
+                if lineno - 1 == last_content:
+                    log.truncated = True
+                    continue
+                raise ValueError(f"{path}:{lineno}: malformed telemetry line: {err}") from err
+            except ValueError as err:
+                raise ValueError(f"{path}:{lineno}: {err}") from err
         return log

@@ -1,0 +1,192 @@
+"""Determinism audit trail: recording, persistence, divergence diffing."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.core import (
+    EasyScaleEngine,
+    EasyScaleJobConfig,
+    WorkerAssignment,
+    determinism_from_label,
+)
+from repro.models import get_workload
+from repro.obs.audit import AuditRecord, AuditTrail, diff_audits
+from repro.optim import SGD
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    obs.reset()
+    yield
+    obs.reset()
+
+
+def _record(step, params="p", buckets=None, rng="r", loader=None, policy="D1", dialects=("v100",)):
+    return AuditRecord(
+        step=step,
+        params=params,
+        buckets=buckets if buckets is not None else {"0": "b0", "1": "b1"},
+        rng=rng,
+        loader=loader if loader is not None else {"epoch": 0, "step_in_epoch": step},
+        policy=policy,
+        dialects=tuple(dialects),
+    )
+
+
+class TestAuditTrail:
+    def test_steps_must_increase(self):
+        trail = AuditTrail()
+        trail.record(_record(0))
+        trail.record(_record(1))
+        with pytest.raises(ValueError, match="must increase"):
+            trail.record(_record(1))
+
+    def test_jsonl_round_trip(self, tmp_path):
+        path = tmp_path / "audit.jsonl"
+        with AuditTrail(str(path)) as trail:
+            trail.record(_record(0))
+            trail.record(_record(1, params="q"))
+        loaded = AuditTrail.load(str(path))
+        assert not loaded.truncated
+        assert loaded.records == trail.records
+
+    def test_truncated_trailing_line_tolerated(self, tmp_path):
+        path = tmp_path / "audit.jsonl"
+        with AuditTrail(str(path)) as trail:
+            trail.record(_record(0))
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"step": 1, "par')
+        loaded = AuditTrail.load(str(path))
+        assert loaded.truncated
+        assert [r.step for r in loaded.records] == [0]
+
+    def test_malformed_middle_line_raises_with_location(self, tmp_path):
+        path = tmp_path / "audit.jsonl"
+        path.write_text(_record(0).to_json() + "\njunk\n" + _record(1).to_json() + "\n")
+        with pytest.raises(ValueError, match=r"audit\.jsonl:2"):
+            AuditTrail.load(str(path))
+
+    def test_missing_field_names_the_field(self):
+        with pytest.raises(ValueError, match="missing required field"):
+            AuditRecord.from_json(json.dumps({"params": "p"}))
+
+
+class TestDiffAudits:
+    def test_identical_trails(self):
+        a, b = AuditTrail(), AuditTrail()
+        for s in range(3):
+            a.record(_record(s))
+            b.record(_record(s))
+        diff = diff_audits(a, b)
+        assert diff.identical
+        assert diff.first_divergent_step is None
+        assert diff.common_steps == 3
+        assert "no divergence" in diff.describe()
+
+    def test_pinpoints_step_and_bucket(self):
+        a, b = AuditTrail(), AuditTrail()
+        for s in range(4):
+            a.record(_record(s))
+            if s < 2:
+                b.record(_record(s))
+            else:
+                b.record(
+                    _record(
+                        s,
+                        params="different",
+                        buckets={"0": "b0", "1": "CHANGED"},
+                        policy="D0",
+                        dialects=("t4",),
+                    )
+                )
+        diff = diff_audits(a, b)
+        assert diff.first_divergent_step == 2
+        assert diff.fields == ("params", "buckets")
+        assert diff.buckets == ("1",)
+        assert diff.policy_a == "D1" and diff.policy_b == "D0"
+        assert diff.dialects_b == ("t4",)
+        text = diff.describe()
+        assert "step 2" in text and "1" in text and "D0" in text
+
+    def test_step_coverage_mismatch_reported(self):
+        a, b = AuditTrail(), AuditTrail()
+        for s in range(3):
+            a.record(_record(s))
+        b.record(_record(0))
+        diff = diff_audits(a, b)
+        assert not diff.identical
+        assert diff.only_in_a == 2 and diff.only_in_b == 0
+
+    def test_bucket_present_on_one_side_only_diverges(self):
+        a, b = AuditTrail(), AuditTrail()
+        a.record(_record(0, buckets={"0": "x"}))
+        b.record(_record(0, buckets={"0": "x", "1": "y"}))
+        diff = diff_audits(a, b)
+        assert diff.first_divergent_step == 0
+        assert diff.buckets == ("1",)
+
+
+def _train_audited(tmp_path, name, flip_policy_mid_run):
+    """6 steps of resnet18 with a reconfigure after step 3; optionally the
+    restored engine flips to D2 (hardware-agnostic) kernels — the seeded
+    divergence the audit diff must localize."""
+    spec = get_workload("resnet18")
+    dataset = spec.build_dataset(64, seed=3)
+    path = tmp_path / f"{name}.jsonl"
+    obs.configure(enabled=True, audit_path=str(path))
+
+    def optimizer(model):
+        return SGD(model.named_parameters(), lr=0.05, momentum=0.9)
+
+    config = EasyScaleJobConfig(
+        num_ests=2, seed=3, batch_size=4, determinism=determinism_from_label("D1")
+    )
+    engine = EasyScaleEngine(
+        spec, dataset, config, optimizer, WorkerAssignment.named(["V100", "V100"], 2)
+    )
+    engine.train_steps(3)
+    ckpt = engine.checkpoint()
+    new_config = (
+        EasyScaleJobConfig(
+            num_ests=2, seed=3, batch_size=4, determinism=determinism_from_label("D1+D2")
+        )
+        if flip_policy_mid_run
+        else config
+    )
+    engine = EasyScaleEngine.from_checkpoint(
+        spec,
+        dataset,
+        ckpt,
+        optimizer,
+        WorkerAssignment.named(["V100"], 2),
+        config=new_config,
+    )
+    engine.train_steps(3)
+    obs.audit_trail().close()
+    obs.reset()
+    return path
+
+
+class TestEndToEndAudit:
+    def test_kernel_policy_flip_is_localized(self, tmp_path):
+        path_a = _train_audited(tmp_path, "d1", flip_policy_mid_run=False)
+        path_b = _train_audited(tmp_path, "d1d2", flip_policy_mid_run=True)
+        a = AuditTrail.load(str(path_a))
+        b = AuditTrail.load(str(path_b))
+        assert [r.step for r in a.records] == list(range(6))
+        diff = diff_audits(a, b)
+        # steps 0-2 ran under identical D1 config; the flipped kernel policy
+        # takes effect at step 3, the first step after the restore
+        assert diff.first_divergent_step == 3
+        assert "buckets" in diff.fields
+        assert diff.buckets  # at least one gradient bucket named
+        assert diff.policy_a == "D1" and diff.policy_b == "D1+D2"
+        assert "agnostic" in diff.dialects_b or diff.dialects_b == ("v100",)
+
+    def test_identical_runs_produce_identical_trails(self, tmp_path):
+        path_a = _train_audited(tmp_path, "run1", flip_policy_mid_run=False)
+        path_b = _train_audited(tmp_path, "run2", flip_policy_mid_run=False)
+        diff = diff_audits(AuditTrail.load(str(path_a)), AuditTrail.load(str(path_b)))
+        assert diff.identical

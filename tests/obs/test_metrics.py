@@ -1,0 +1,149 @@
+"""Metrics registry: instruments, labels, snapshots, exposition, no-ops."""
+
+import pytest
+
+from repro import obs
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    NULL_REGISTRY,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    obs.reset()
+    yield
+    obs.reset()
+
+
+class TestCountersAndGauges:
+    def test_counter_accumulates(self):
+        reg = MetricsRegistry()
+        reg.counter("steps").inc()
+        reg.counter("steps").inc(4)
+        assert reg.counter("steps").value == 5
+
+    def test_counter_rejects_decrement(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("steps").inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        g = MetricsRegistry().gauge("queue_depth")
+        g.set(10)
+        g.dec(3)
+        g.inc()
+        assert g.value == 8
+
+    def test_labels_distinguish_instruments(self):
+        reg = MetricsRegistry()
+        reg.counter("ops", gpu="V100").inc()
+        reg.counter("ops", gpu="T4").inc(2)
+        snap = reg.snapshot()["counters"]
+        assert snap['ops{gpu="V100"}'] == 1
+        assert snap['ops{gpu="T4"}'] == 2
+
+    def test_kind_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.gauge("x")
+
+
+class TestHistogram:
+    def test_boundary_value_lands_in_its_bucket(self):
+        h = Histogram(buckets=[1.0, 2.0, 4.0])
+        h.observe(2.0)  # exactly on a bound: le semantics => that bucket
+        assert h.counts == [0, 1, 0, 0]
+
+    def test_below_first_and_above_last(self):
+        h = Histogram(buckets=[1.0, 2.0])
+        h.observe(0.5)
+        h.observe(99.0)
+        assert h.counts == [1, 0, 1]
+        assert h.count == 2
+        assert h.sum == pytest.approx(99.5)
+
+    def test_cumulative_counts(self):
+        h = Histogram(buckets=[1.0, 2.0])
+        for v in (0.5, 1.5, 1.7, 5.0):
+            h.observe(v)
+        assert h.cumulative() == [1, 3, 4]
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram(buckets=[1.0]).observe(float("nan"))
+
+    def test_unsorted_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram(buckets=[2.0, 1.0])
+        with pytest.raises(ValueError):
+            Histogram(buckets=[1.0, 1.0])
+        with pytest.raises(ValueError):
+            Histogram(buckets=[])
+
+    def test_default_buckets_are_increasing(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+
+class TestSnapshotDelta:
+    def test_delta_isolates_a_phase(self):
+        reg = MetricsRegistry()
+        reg.counter("ops").inc(10)
+        reg.histogram("lat", buckets=[1.0]).observe(0.5)
+        before = reg.snapshot()
+        reg.counter("ops").inc(3)
+        reg.histogram("lat", buckets=[1.0]).observe(2.0)
+        delta = reg.delta(before)
+        assert delta["counters"]["ops"] == 3
+        assert delta["histograms"]["lat"]["count"] == 1
+        assert delta["histograms"]["lat"]["counts"] == [0, 1]
+
+    def test_snapshot_is_plain_data(self):
+        import json
+
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.gauge("g").set(1.5)
+        reg.histogram("h").observe(0.01)
+        json.dumps(reg.snapshot())  # must not raise
+
+
+class TestPrometheusText:
+    def test_exposition_format(self):
+        reg = MetricsRegistry()
+        reg.counter("steps_total").inc(7)
+        reg.gauge("sim_time", job="a").set(1.5)
+        reg.histogram("lat", buckets=[0.1, 1.0]).observe(0.1)
+        text = reg.to_prometheus_text()
+        assert "# TYPE steps_total counter\nsteps_total 7" in text
+        assert 'sim_time{job="a"} 1.5' in text
+        assert 'lat_bucket{le="0.1"} 1' in text
+        assert 'lat_bucket{le="+Inf"} 1' in text
+        assert "lat_sum 0.1" in text
+        assert "lat_count 1" in text
+
+    def test_empty_registry_empty_text(self):
+        assert MetricsRegistry().to_prometheus_text() == ""
+
+
+class TestDisabledMode:
+    def test_null_registry_is_shared_and_inert(self):
+        assert obs.metrics() is NULL_REGISTRY
+        c = obs.metrics().counter("anything", gpu="V100")
+        c.inc(1000)
+        assert c.value == 0
+        obs.metrics().histogram("h").observe(3.0)
+        obs.metrics().gauge("g").set(9.0)
+        assert obs.metrics().snapshot() == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+        assert obs.metrics().to_prometheus_text() == ""
+
+    def test_enabled_registry_records(self):
+        obs.configure(enabled=True)
+        obs.metrics().counter("real").inc()
+        assert obs.metrics().snapshot()["counters"]["real"] == 1

@@ -1,5 +1,7 @@
 """CLI: argument parsing and command smoke tests."""
 
+import json
+
 import pytest
 
 from repro.cli import _parse_stage, build_parser, main
@@ -76,6 +78,116 @@ class TestCommands:
     def test_trace_sim_single_policy(self, capsys):
         assert main(["trace-sim", "--policy", "homo", "--jobs", "6"]) == 0
         assert "easyscale-homo" in capsys.readouterr().out
+
+
+class TestObsCommands:
+    @pytest.fixture
+    def trace_file(self, tmp_path):
+        from repro.obs.trace import SpanTracer
+
+        tracer = SpanTracer(clock="sim")
+        with tracer.span("engine.global_step", est=2.0, step=0):
+            with tracer.span("worker.local_step", est=1.0, vrank=0):
+                pass
+        tracer.instant("engine.scale_event", ts=0.5, gpus=["V100"])
+        path = tmp_path / "run.jsonl"
+        tracer.save(str(path))
+        return str(path)
+
+    @pytest.fixture
+    def audit_pair(self, tmp_path):
+        from repro.obs.audit import AuditRecord, AuditTrail
+
+        paths = []
+        for name, fp in (("a", "same"), ("b", "flipped")):
+            path = tmp_path / f"{name}.jsonl"
+            with AuditTrail(str(path)) as trail:
+                trail.record(
+                    AuditRecord(step=0, params="x", buckets={"0": "y"}, policy="D1")
+                )
+                trail.record(
+                    AuditRecord(step=1, params=fp, buckets={"0": fp}, policy="D1")
+                )
+            paths.append(str(path))
+        return paths
+
+    def test_summarize(self, trace_file, capsys):
+        assert main(["obs", "summarize", trace_file]) == 0
+        out = capsys.readouterr().out
+        assert "2 spans, 1 instants" in out
+        assert "engine.global_step" in out and "worker.local_step" in out
+
+    def test_export_trace(self, trace_file, tmp_path, capsys):
+        out_path = tmp_path / "chrome.json"
+        assert main(["obs", "export-trace", trace_file, "-o", str(out_path)]) == 0
+        chrome = json.loads(out_path.read_text())
+        names = {e["name"] for e in chrome["traceEvents"]}
+        assert {"engine.global_step", "worker.local_step", "engine.scale_event"} <= names
+
+    def test_export_trace_default_output(self, trace_file, capsys):
+        assert main(["obs", "export-trace", trace_file]) == 0
+        assert "chrome.json" in capsys.readouterr().out
+
+    def test_diff_audit_divergent(self, audit_pair, capsys):
+        assert main(["obs", "diff-audit", *audit_pair]) == 4
+        out = capsys.readouterr().out
+        assert "first divergence at step 1" in out
+
+    def test_diff_audit_identical(self, audit_pair, capsys):
+        assert main(["obs", "diff-audit", audit_pair[0], audit_pair[0]]) == 0
+        assert "no divergence" in capsys.readouterr().out
+
+    def test_obs_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["obs"])
+
+    def test_missing_file_is_a_clean_error(self, capsys):
+        assert main(["obs", "summarize", "no-such-trace.jsonl"]) == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_malformed_trace_reports_location(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"kind": "meta", "version": 1, "clock": "wall"}\njunk\n{}\n')
+        assert main(["obs", "summarize", str(bad)]) == 2
+        assert "bad.jsonl:2" in capsys.readouterr().err
+
+    def test_train_writes_trace_and_audit(self, tmp_path, capsys):
+        from repro import obs
+
+        trace = tmp_path / "train.jsonl"
+        audit = tmp_path / "audit.jsonl"
+        code = main(
+            [
+                "train",
+                "resnet18",
+                "--schedule", "2xV100", "1xV100",
+                "--steps-per-stage", "2",
+                "--samples", "64",
+                "--ests", "2",
+                "--batch-size", "4",
+                "--trace", str(trace),
+                "--audit", str(audit),
+            ]
+        )
+        assert code == 0
+        assert not obs.is_enabled()  # CLI resets the global switch
+        loaded = obs.SpanTracer.load(str(trace))
+        cats = {r["cat"] for r in loaded.records}
+        assert {"engine", "worker", "comm"} <= cats
+        trail = obs.AuditTrail.load(str(audit))
+        assert [r.step for r in trail.records] == [0, 1, 2, 3]
+
+    def test_trace_sim_writes_merged_timeline(self, tmp_path, capsys):
+        from repro import obs
+
+        trace = tmp_path / "sim.jsonl"
+        assert main(
+            ["trace-sim", "--policy", "homo", "--jobs", "4", "--trace", str(trace)]
+        ) == 0
+        loaded = obs.SpanTracer.load(str(trace))
+        kinds = {r["name"] for r in loaded.records}
+        assert "job_submit" in kinds and "job_done" in kinds
+        assert any(r["name"].startswith("job:") for r in loaded.records)
 
 
 class TestSelfTestCommand:

@@ -1,0 +1,64 @@
+"""Lightweight lint gate: every source file must compile, and (when
+pyflakes is installed) carry no unused imports or undefined names.
+
+This rides in the regular suite so a syntax error or a dead import in a
+rarely-exercised module fails CI immediately, without requiring any
+linter to be present in minimal environments.
+"""
+
+import compileall
+import os
+import sys
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO_ROOT, "src", "repro")
+
+
+def _python_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames if d not in ("__pycache__", ".git")]
+        for name in filenames:
+            if name.endswith(".py"):
+                yield os.path.join(dirpath, name)
+
+
+def test_source_tree_compiles():
+    assert compileall.compile_dir(SRC, quiet=2, force=False), (
+        "a module under src/repro failed to byte-compile"
+    )
+
+
+def test_no_pyflakes_errors():
+    pyflakes_api = pytest.importorskip(
+        "pyflakes.api", reason="pyflakes not installed; compile check still ran"
+    )
+    from pyflakes.reporter import Reporter
+
+    class _Collector:
+        def __init__(self):
+            self.messages = []
+
+        def write(self, text):
+            if text.strip():
+                self.messages.append(text.strip())
+
+    out, err = _Collector(), _Collector()
+    reporter = Reporter(out, err)
+    total = 0
+    for path in sorted(_python_files(SRC)):
+        total += pyflakes_api.checkPath(path, reporter=reporter)
+    problems = out.messages + err.messages
+    assert total == 0, "pyflakes findings:\n" + "\n".join(problems)
+
+
+def test_lint_gate_runs_under_expected_interpreter():
+    # guards against the suite silently running a different tree than src/
+    import repro
+
+    module_root = os.path.dirname(os.path.abspath(repro.__file__))
+    assert os.path.samefile(module_root, SRC), (
+        f"tests import repro from {module_root}, lint checks {SRC}"
+    )
+    assert sys.version_info >= (3, 8)

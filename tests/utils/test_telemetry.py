@@ -58,3 +58,47 @@ class TestRunLog:
         path = tmp_path / "run.jsonl"
         path.write_text('{"kind": "note", "step": 0, "message": "x"}\n\n')
         assert len(RunLog.load(path)) == 1
+
+
+class TestRobustLoading:
+    """Crash-mid-write and malformed-line handling (the repaired paths)."""
+
+    def test_truncated_trailing_line_tolerated_and_flagged(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunLog(path) as log:
+            log.step(0, [1.0])
+            log.step(1, [2.0])
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"kind": "step", "step": 2, "los')  # crash mid-write
+        loaded = RunLog.load(path)
+        assert loaded.truncated
+        assert [r.step for r in loaded.records] == [0, 1]
+
+    def test_fresh_log_is_not_truncated(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunLog(path) as log:
+            log.step(0, [1.0])
+        assert RunLog.load(path).truncated is False
+        assert RunLog().truncated is False
+
+    def test_malformed_middle_line_raises_with_path_and_lineno(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text(
+            '{"kind": "step", "step": 0, "losses": [1.0]}\n'
+            "garbage\n"
+            '{"kind": "step", "step": 1, "losses": [2.0]}\n'
+        )
+        with pytest.raises(ValueError, match=r"run\.jsonl:2"):
+            RunLog.load(path)
+
+    def test_missing_field_raises_with_path_and_lineno(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text('{"kind": "step", "step": 0, "losses": [1.0]}\n{"kind": "step"}\n')
+        with pytest.raises(ValueError) as excinfo:
+            RunLog.load(path)
+        message = str(excinfo.value)
+        assert "run.jsonl:2" in message and "step" in message
+
+    def test_from_json_missing_field_is_a_value_error(self):
+        with pytest.raises(ValueError, match="missing required field"):
+            Record.from_json('{"kind": "step"}')
