@@ -18,10 +18,10 @@ from repro.elastic import ElasticBaselineTrainer, PolluxScaling, TorchElasticSca
 from repro.models import get_workload
 from repro.optim import SGD
 
-from benchmarks.conftest import print_header, series_line
+from benchmarks.conftest import print_header, series_line, smoke_scale
 
 SEED = 5
-EPOCHS = 6
+EPOCHS = smoke_scale(6, 3)
 TRAIN_N = 192
 EVAL_N = 160
 BATCH = 8

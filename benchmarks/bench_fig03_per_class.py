@@ -17,10 +17,10 @@ from repro.ddp import evaluate_classification
 from repro.elastic import ElasticBaselineTrainer, PolluxScaling, TorchElasticScaling, TrainSegment
 from repro.models import get_workload
 
-from benchmarks.conftest import print_header, print_table
+from benchmarks.conftest import print_header, print_table, smoke_scale
 
 SEED = 5
-EPOCHS = 6
+EPOCHS = smoke_scale(6, 2)
 TRAIN_N = 192
 EVAL_N = 160
 BATCH = 8

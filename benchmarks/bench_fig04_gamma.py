@@ -17,12 +17,12 @@ from repro.elastic import ElasticBaselineTrainer, PolluxScaling, TrainSegment
 from repro.elastic.base import ScalingStrategy
 from repro.models import get_workload
 
-from benchmarks.conftest import print_header, series_line
+from benchmarks.conftest import print_header, series_line, smoke_scale
 
 SEED = 7
 EPOCHS = 8
 DECAY_EPOCH = 3  # scaled-down stand-in for the paper's epoch-20 decay
-TRAIN_N = 160
+TRAIN_N = smoke_scale(160, 120)
 BATCH = 8
 GAMMAS = (0.1, 0.3, 0.5)
 

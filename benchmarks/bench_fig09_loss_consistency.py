@@ -29,10 +29,10 @@ from repro.models import get_workload
 from repro.optim import SGD
 from repro.utils.fingerprint import fingerprint_state_dict
 
-from benchmarks.conftest import print_header, print_table
+from benchmarks.conftest import print_header, print_table, smoke_scale
 
 SEED = 5
-STEPS_PER_STAGE = 8
+STEPS_PER_STAGE = smoke_scale(8, 3)
 NUM_ESTS = 4
 BATCH = 8
 STAGES = [

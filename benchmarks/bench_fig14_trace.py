@@ -18,12 +18,12 @@ from repro.sched import (
     generate_trace,
 )
 
-from benchmarks.conftest import print_header, print_table
+from benchmarks.conftest import print_header, print_table, smoke_scale
 
 TRACE = dict(
-    num_jobs=60,
+    num_jobs=smoke_scale(60, 20),
     seed=4,
-    mean_interarrival_s=45,
+    mean_interarrival_s=smoke_scale(45, 15),
     mean_duration_s=1500,
     burst_fraction=0.5,
     type_weights={"v100": 0.3, "p100": 0.4, "t4": 0.3},
@@ -70,8 +70,12 @@ def test_fig14_trace_jct_makespan(run_once):
 
     for result in results.values():
         assert len(result.completed) == TRACE["num_jobs"]
-    assert homo.average_jct < yarn.average_jct / 3
-    assert heter.average_jct < yarn.average_jct / 3
-    assert homo.makespan < yarn.makespan / 1.5
-    assert heter.makespan < yarn.makespan / 1.5
+    # the JCT gap widens with backlog depth; the smoke trace is shallower,
+    # so it asserts a proportionally smaller (still decisive) margin
+    jct_factor = smoke_scale(3.0, 2.0)
+    makespan_factor = smoke_scale(1.5, 1.4)
+    assert homo.average_jct < yarn.average_jct / jct_factor
+    assert heter.average_jct < yarn.average_jct / jct_factor
+    assert homo.makespan < yarn.makespan / makespan_factor
+    assert heter.makespan < yarn.makespan / makespan_factor
     assert heter.average_jct <= homo.average_jct * 1.05

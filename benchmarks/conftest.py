@@ -15,6 +15,17 @@ from typing import Iterable, List, Sequence
 
 import pytest
 
+#: ``REPRO_BENCH_SMOKE=1`` shrinks every regenerator to a fast smoke run:
+#: same experiment, same qualitative assertions, reduced epochs/steps/jobs.
+#: ``tests/test_bench_smoke.py`` (marker ``bench_smoke``) drives the whole
+#: suite this way as a tier-2 target.
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+
+def smoke_scale(full, reduced):
+    """Pick a knob value: the paper-scale one, or the smoke-run one."""
+    return reduced if SMOKE else full
+
 
 def print_header(title: str) -> None:
     bar = "=" * max(len(title), 20)

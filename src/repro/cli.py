@@ -8,9 +8,15 @@ Gives the repository's main entry points a shell surface:
 - ``trace-sim`` — replay a job trace under a chosen scheduler;
 - ``colocation`` — the two-day serving co-location statistic;
 - ``scan`` — the D2-eligibility scan for a workload;
-- ``obs`` — observability tools: summarize a span trace, export it to
-  Chrome ``trace_event`` JSON, or diff two determinism audit trails
-  (``train --trace/--audit`` and ``trace-sim --trace`` produce the files).
+- ``obs`` — observability tools: summarize a span trace or telemetry log,
+  export a trace to Chrome ``trace_event`` JSON, diff two determinism
+  audit trails, replay a span trace through the online profiler
+  (``obs profile``), or build a cluster utilization report from a
+  trace-sim event log (``obs report``).  ``train --trace/--audit/--profile``
+  and ``trace-sim --trace/--events`` produce the input files.
+
+Exit codes: 0 success; 2 missing/malformed input file; 3 failed
+self-test; 4 divergent audit trails (``obs diff-audit``).
 """
 
 from __future__ import annotations
@@ -76,9 +82,12 @@ def _run_train(args: argparse.Namespace) -> int:
         determinism_from_label,
     )
     from repro.ddp import DDPTrainer, ddp_heter_config, ddp_homo_config
+    from repro.hw import static_capability
     from repro.models import get_workload
+    from repro.obs.profiler import OnlineProfiler
     from repro.optim import SGD
     from repro.utils.fingerprint import fingerprint_state_dict
+    from repro.utils.telemetry import RunLog
 
     spec = get_workload(args.workload)
     dataset = spec.build_dataset(args.samples, seed=args.seed)
@@ -92,8 +101,18 @@ def _run_train(args: argparse.Namespace) -> int:
         num_ests=args.ests, seed=args.seed, batch_size=args.batch_size,
         determinism=determinism,
     )
+    profiler = (
+        OnlineProfiler(
+            static_capability=static_capability(spec, determinism.kernel_policy)
+        )
+        if args.profile
+        else None
+    )
+    telemetry = RunLog(args.telemetry) if args.telemetry else None
     engine = EasyScaleEngine(
-        spec, dataset, config, optimizer, WorkerAssignment.balanced(stages[0], args.ests)
+        spec, dataset, config, optimizer,
+        WorkerAssignment.balanced(stages[0], args.ests),
+        telemetry=telemetry, profiler=profiler,
     )
     total = 0
     for i, gpus in enumerate(stages):
@@ -104,6 +123,16 @@ def _run_train(args: argparse.Namespace) -> int:
         total += len(losses)
         print(f"stage {i}: steps {total - len(losses)}..{total - 1}, "
               f"last loss {losses[-1]:.6f}")
+
+    if profiler is not None:
+        profiler.flush()
+        print()
+        print(profiler.describe())
+        if telemetry is not None:
+            telemetry.profile(engine.global_step, profiler.summary())
+    if telemetry is not None:
+        telemetry.close()
+        print(f"telemetry written to {args.telemetry}")
 
     if args.verify:
         heter = determinism.heterogeneous
@@ -123,15 +152,54 @@ def _run_train(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_calibration(path: str) -> dict:
+    """Read a ``trace-sim --calibrate`` JSON file into per-type scale factors.
+
+    Accepts either ``{"scale": {"t4": 0.8, ...}}`` (as written by hand or
+    derived from ``OnlineProfiler`` calibration deltas) or a flat
+    ``{"t4": 0.8, ...}`` mapping.
+    """
+    import json
+
+    with open(path, "r", encoding="utf-8") as fh:
+        payload = json.load(fh)
+    if not isinstance(payload, dict):
+        raise ValueError(f"{path}: calibration file must be a JSON object")
+    scale = payload.get("scale", payload)
+    if not isinstance(scale, dict) or not scale:
+        raise ValueError(f"{path}: no per-GPU-type scale factors found")
+    try:
+        factors = {str(k).lower(): float(v) for k, v in scale.items()}
+    except (TypeError, ValueError) as err:
+        raise ValueError(f"{path}: malformed scale factor: {err}") from err
+    bad = {k: v for k, v in factors.items() if v <= 0 or v != v}
+    if bad:
+        raise ValueError(f"{path}: scale factors must be positive, got {bad}")
+    return factors
+
+
 def _cmd_trace_sim(args: argparse.Namespace) -> int:
     from repro import obs
     from repro.hw import microbench_cluster
+    from repro.obs.report import save_events_jsonl
     from repro.sched import (
         ClusterSimulator,
         EasyScalePolicy,
         YarnCapacityScheduler,
         generate_trace,
     )
+
+    calibration = None
+    if args.calibrate:
+        try:
+            calibration = _load_calibration(args.calibrate)
+        except FileNotFoundError as err:
+            print(f"error: no such file: {err.filename}", file=sys.stderr)
+            return 2
+        except ValueError as err:
+            print(f"error: {err}", file=sys.stderr)
+            return 2
+        print(f"calibrated capability scales: {calibration}")
 
     if args.trace:
         obs.configure(enabled=True, clock="sim")
@@ -143,18 +211,28 @@ def _cmd_trace_sim(args: argparse.Namespace) -> int:
     )
     policies = {
         "yarn": YarnCapacityScheduler,
-        "homo": lambda: EasyScalePolicy(False),
-        "heter": lambda: EasyScalePolicy(True),
+        "homo": lambda: EasyScalePolicy(False, capability_scale=calibration),
+        "heter": lambda: EasyScalePolicy(True, capability_scale=calibration),
     }
     names = list(policies) if args.policy == "all" else [args.policy]
     try:
         for name in names:
-            result = ClusterSimulator(microbench_cluster(), jobs, policies[name]()).run()
+            sim = ClusterSimulator(microbench_cluster(), jobs, policies[name]())
+            result = sim.run()
             print(
                 f"{result.policy:<16} avg JCT {result.average_jct:>10.1f} s   "
                 f"makespan {result.makespan:>10.1f} s   "
                 f"completed {len(result.completed)}/{len(jobs)}"
             )
+            if args.events:
+                # one file per policy when replaying several
+                path = (
+                    args.events
+                    if len(names) == 1
+                    else f"{args.events}.{name}"
+                )
+                count = save_events_jsonl(result.events, path)
+                print(f"{count} events written to {path} (see: repro obs report)")
     finally:
         if args.trace:
             obs.tracer().save(args.trace)
@@ -176,8 +254,61 @@ def _cmd_obs(args: argparse.Namespace) -> int:
         return 2
 
 
+def _is_telemetry_file(path: str) -> bool:
+    """True when the first JSON line looks like a RunLog record rather
+    than a span-trace record (telemetry kinds vs span/instant)."""
+    import json
+
+    from repro.utils.telemetry import _ALLOWED_KINDS
+
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError:
+                return False
+            return isinstance(row, dict) and row.get("kind") in _ALLOWED_KINDS
+    return False
+
+
+def _summarize_telemetry(path: str) -> int:
+    from repro.utils.telemetry import RunLog
+
+    log = RunLog.load(path)
+    if log.truncated:
+        print(f"warning: {path} has a truncated trailing line (skipped)")
+    kinds = {}
+    for record in log.records:
+        kinds[record.kind] = kinds.get(record.kind, 0) + 1
+    print(f"{len(log)} telemetry records from {path} "
+          f"({', '.join(f'{k}: {v}' for k, v in sorted(kinds.items()))})")
+    losses = log.loss_series()
+    if losses:
+        print(f"loss: first {losses[0]:.6f}  last {losses[-1]:.6f}  over {len(losses)} steps")
+    for record in log.of_kind("scale_event"):
+        print(f"  step {record.step}: scaled to {record.data.get('gpus')}")
+    for record in log.of_kind("profile"):
+        summary = record.data.get("summary", {})
+        workers = summary.get("workers", {})
+        print(f"  step {record.step}: profile over {summary.get('windows', 0)} windows, "
+              f"{len(workers)} workers, {len(summary.get('stragglers', []))} straggler events")
+        for wid, w in sorted(workers.items()):
+            print(f"    worker {wid} ({w.get('gpu')}): "
+                  f"p50 {w.get('p50_s', 0.0):.6f}s  p99 {w.get('p99_s', 0.0):.6f}s")
+        observed = summary.get("calibration", {}).get("observed", {})
+        if observed:
+            print(f"    calibrated capability: "
+                  f"{ {k: round(v, 3) for k, v in sorted(observed.items())} }")
+    return 0
+
+
 def _run_obs(args: argparse.Namespace, obs) -> int:
     if args.obs_command == "summarize":
+        if _is_telemetry_file(args.trace_file):
+            return _summarize_telemetry(args.trace_file)
         tracer = obs.SpanTracer.load(args.trace_file)
         if getattr(tracer, "truncated", False):
             print(f"warning: {args.trace_file} has a truncated trailing line (skipped)")
@@ -185,6 +316,69 @@ def _run_obs(args: argparse.Namespace, obs) -> int:
         instants = [r for r in tracer.records if r["kind"] == "instant"]
         print(f"{len(spans)} spans, {len(instants)} instants from {args.trace_file}")
         print(tracer.flame_summary(limit=args.limit))
+        return 0
+
+    if args.obs_command == "profile":
+        import json
+
+        from repro.obs.profiler import ProfilerConfig, profile_from_trace
+
+        tracer = obs.SpanTracer.load(args.trace_file)
+        if getattr(tracer, "truncated", False):
+            print(f"warning: {args.trace_file} has a truncated trailing line (skipped)")
+        static = None
+        if args.workload:
+            from repro.hw import static_capability
+            from repro.models import get_workload
+
+            static = static_capability(get_workload(args.workload))
+        config = ProfilerConfig(
+            window_size=args.window,
+            straggler_factor=args.factor,
+            straggler_windows=args.consecutive,
+        )
+        profiler = profile_from_trace(
+            tracer.records, config=config, static_capability=static
+        )
+        if not profiler.windows_closed and not profiler.observed_capability:
+            raise ValueError(
+                f"{args.trace_file}: no worker.local_step spans to profile "
+                "(produce one with: repro train <workload> --trace PATH)"
+            )
+        print(profiler.describe())
+        if args.json:
+            with open(args.json, "w", encoding="utf-8") as fh:
+                json.dump(profiler.summary(), fh, indent=2, sort_keys=True)
+            print(f"profile summary written to {args.json}")
+        return 0
+
+    if args.obs_command == "report":
+        import json
+
+        from repro.obs.report import (
+            ClusterUtilizationReport,
+            events_from_trace,
+            load_events_jsonl,
+        )
+
+        rows = load_events_jsonl(args.events_file)
+        if rows and rows[0].get("kind") in ("span", "instant"):
+            rows = events_from_trace(rows)  # a span trace: use sched instants
+        if not rows:
+            raise ValueError(
+                f"{args.events_file}: no simulator events found "
+                "(produce a log with: repro trace-sim --events PATH)"
+            )
+        report = ClusterUtilizationReport.from_events(rows)
+        print(report.to_text())
+        if args.html:
+            with open(args.html, "w", encoding="utf-8") as fh:
+                fh.write(report.to_html(title=f"Cluster utilization — {args.events_file}"))
+            print(f"HTML report written to {args.html}")
+        if args.json:
+            with open(args.json, "w", encoding="utf-8") as fh:
+                json.dump(report.summary(), fh, indent=2, sort_keys=True)
+            print(f"JSON summary written to {args.json}")
         return 0
 
     if args.obs_command == "export-trace":
@@ -283,6 +477,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="record a span trace (JSONL) of the run")
     train.add_argument("--audit", metavar="PATH", default=None,
                        help="record a per-step determinism audit trail (JSONL)")
+    train.add_argument("--profile", action="store_true",
+                       help="attach the online profiler (windowed step times, "
+                            "stragglers, capability calibration); observation "
+                            "only — results stay bitwise identical")
+    train.add_argument("--telemetry", metavar="PATH", default=None,
+                       help="stream a RunLog (JSONL) of steps/scale events; "
+                            "with --profile the final profiler summary is "
+                            "included (view with: repro obs summarize PATH)")
 
     trace = sub.add_parser("trace-sim", help="replay a job trace")
     trace.add_argument("--policy", default="all", choices=["yarn", "homo", "heter", "all"])
@@ -292,6 +494,15 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--duration", type=float, default=1200.0)
     trace.add_argument("--trace", metavar="PATH", default=None,
                        help="record the simulator event timeline as a span trace (JSONL)")
+    trace.add_argument("--events", metavar="PATH", default=None,
+                       help="save the simulator event log (JSONL) for "
+                            "'repro obs report' (suffix .<policy> when "
+                            "replaying multiple policies)")
+    trace.add_argument("--calibrate", metavar="PATH", default=None,
+                       help="JSON file with per-GPU-type capability scale "
+                            "factors, e.g. {\"scale\": {\"t4\": 0.8}} — "
+                            "profiler-measured corrections to the static "
+                            "capability table")
 
     colo = sub.add_parser("colocation", help="two-day serving co-location stats")
     colo.add_argument("--gpus", type=int, default=3000)
@@ -325,6 +536,36 @@ def build_parser() -> argparse.ArgumentParser:
     )
     diff.add_argument("audit_a")
     diff.add_argument("audit_b")
+
+    profile = obs_sub.add_parser(
+        "profile",
+        help="replay a span trace through the online profiler "
+             "(per-worker p50/p99, stragglers, capability calibration)",
+    )
+    profile.add_argument("trace_file")
+    profile.add_argument("--workload", default=None,
+                         help="normalize against this workload's static "
+                              "capability table (heterogeneous-aware "
+                              "straggler detection)")
+    profile.add_argument("--window", type=int, default=8,
+                         help="steps per profiling window (default 8)")
+    profile.add_argument("--factor", type=float, default=1.5,
+                         help="straggler threshold vs peer median (default 1.5)")
+    profile.add_argument("--consecutive", type=int, default=3,
+                         help="consecutive slow windows before flagging (default 3)")
+    profile.add_argument("--json", metavar="PATH", default=None,
+                         help="also write the JSON profile summary")
+
+    report = obs_sub.add_parser(
+        "report",
+        help="cluster utilization report (idle GPU-seconds, queueing delay, "
+             "per-job allocation timelines) from a trace-sim event log",
+    )
+    report.add_argument("events_file")
+    report.add_argument("--html", metavar="PATH", default=None,
+                        help="also write a self-contained HTML report")
+    report.add_argument("--json", metavar="PATH", default=None,
+                        help="also write the JSON summary")
 
     return parser
 

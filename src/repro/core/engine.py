@@ -35,6 +35,7 @@ from repro.nn.module import Module
 from repro.optim.lr_scheduler import LRScheduler
 from repro.optim.optimizer import Optimizer
 from repro.utils.fingerprint import fingerprint_arrays, fingerprint_state_dict
+from repro.obs.profiler import OnlineProfiler
 from repro.utils.rng import RNGBundle, derive_seed
 from repro.utils.telemetry import RunLog
 
@@ -135,6 +136,7 @@ class EasyScaleEngine:
         transform: Optional[Transform] = None,
         scheduler_factory: Optional[Callable[[Optimizer], LRScheduler]] = None,
         telemetry: Optional["RunLog"] = None,
+        profiler: Optional["OnlineProfiler"] = None,
         _restore: Optional[Checkpoint] = None,
     ) -> None:
         if assignment.num_ests != config.num_ests:
@@ -148,6 +150,9 @@ class EasyScaleEngine:
         self.optimizer_factory = optimizer_factory
         self.scheduler_factory = scheduler_factory
         self.telemetry = telemetry
+        # passive observer of per-worker step times; never touches model,
+        # RNG, or loader state, so attaching one preserves bitwise results
+        self.profiler = profiler
 
         self.model = spec.build_model(RNGBundle(derive_seed(config.seed, "model")))
         self.optimizer = optimizer_factory(self.model)
@@ -201,6 +206,8 @@ class EasyScaleEngine:
                 gpus=[g.name for g in assignment.gpus],
             )
             obs.metrics().counter("engine_scale_events_total").inc()
+        if self.profiler is not None:
+            self.profiler.on_scale_event([g.name for g in assignment.gpus])
         est_by_vrank = {est.vrank: est for est in self.ests}
         self.workers = [
             EasyScaleWorker(
@@ -233,6 +240,7 @@ class EasyScaleEngine:
             transform=self.transform,
             scheduler_factory=self.scheduler_factory,
             telemetry=self.telemetry,
+            profiler=self.profiler,
         )
 
     # ------------------------------------------------------------------
@@ -265,6 +273,18 @@ class EasyScaleEngine:
             )
             results.extend(worker_results)
             step_time = max(step_time, worker.step_time())
+            if self.profiler is not None:
+                self.profiler.observe_worker_step(
+                    self.global_step,
+                    worker.worker_id,
+                    worker.gpu.name,
+                    len(worker.ests),
+                    worker.step_time(),
+                )
+                for result in worker_results:
+                    self.profiler.observe_est_step(
+                        self.global_step, result.vrank, result.compute_time
+                    )
 
         results.sort(key=lambda r: r.vrank)
         # simulated time: slowest worker (sync barrier) + a simple
@@ -427,6 +447,7 @@ class EasyScaleEngine:
         scheduler_factory: Optional[Callable[[Optimizer], LRScheduler]] = None,
         config: Optional[EasyScaleJobConfig] = None,
         telemetry: Optional["RunLog"] = None,
+        profiler: Optional["OnlineProfiler"] = None,
     ) -> "EasyScaleEngine":
         """Resume a job from an on-demand checkpoint on a new allocation."""
         if config is None:
@@ -449,5 +470,6 @@ class EasyScaleEngine:
             transform=transform,
             scheduler_factory=scheduler_factory,
             telemetry=telemetry,
+            profiler=profiler,
             _restore=ckpt,
         )

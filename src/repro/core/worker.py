@@ -57,17 +57,25 @@ class EasyScaleWorker:
         policy: KernelPolicy,
         validate_memory: bool = True,
         micro_batches: int = 1,
+        slowdown: float = 1.0,
     ) -> None:
         if not ests:
             raise ValueError(f"worker {worker_id} has no ESTs assigned")
         if micro_batches <= 0:
             raise ValueError("micro_batches must be positive")
+        if slowdown <= 0:
+            raise ValueError("slowdown must be positive")
         self.worker_id = worker_id
         self.gpu = gpu
         self.ests = list(ests)
         self.spec = spec
         self.policy = policy
         self.micro_batches = micro_batches
+        #: multiplier on this worker's *modeled* time only (a degraded or
+        #: contended device); numerics are untouched, so a slowed worker
+        #: still produces bitwise-identical gradients — it just lets the
+        #: profiler's straggler detection be exercised deterministically
+        self.slowdown = slowdown
         if validate_memory:
             check_fits(easyscale_memory_gb(spec, len(ests)), gpu)
 
@@ -94,8 +102,8 @@ class EasyScaleWorker:
         from repro.tensor.tensor import leaf_grad_hook
 
         results: List[LocalStepResult] = []
-        per_batch = minibatch_time(self.spec, self.gpu, self.policy)
-        switch = context_switch_time(self.spec, self.gpu)
+        per_batch = minibatch_time(self.spec, self.gpu, self.policy) * self.slowdown
+        switch = context_switch_time(self.spec, self.gpu) * self.slowdown
         for position, est in enumerate(self.ests):
             with obs.span(
                 "worker.local_step",
@@ -167,4 +175,4 @@ class EasyScaleWorker:
         """Simulated wall-clock of one global step on this worker."""
         per_batch = minibatch_time(self.spec, self.gpu, self.policy)
         switches = max(len(self.ests) - 1, 0) * context_switch_time(self.spec, self.gpu)
-        return len(self.ests) * per_batch + switches
+        return (len(self.ests) * per_batch + switches) * self.slowdown

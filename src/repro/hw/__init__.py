@@ -16,6 +16,7 @@ from repro.hw.timing import (
     easyscale_step_time,
     minibatch_time,
     packing_aggregate_throughput,
+    static_capability,
 )
 from repro.hw.cluster import Cluster, Machine, microbench_cluster, production_cluster
 
@@ -36,6 +37,7 @@ __all__ = [
     "max_packed_workers",
     "max_easyscale_ests",
     "minibatch_time",
+    "static_capability",
     "context_switch_time",
     "easyscale_step_time",
     "easyscale_aggregate_throughput",

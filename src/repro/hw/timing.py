@@ -18,7 +18,9 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from repro.hw.gpu import GPUType
+from typing import Dict
+
+from repro.hw.gpu import GPU_TYPES, GPUType
 from repro.models.registry import WorkloadSpec
 from repro.tensor.kernels import KernelPolicy
 
@@ -59,6 +61,24 @@ def minibatch_time(
     if policy is not None and policy.hardware_agnostic:
         time *= 1.0 + (D2_CONV_OVERHEAD if spec.conv_heavy else D2_LIGHT_OVERHEAD)
     return time
+
+
+def static_capability(
+    spec: WorkloadSpec,
+    policy: KernelPolicy | None = None,
+    elastic_determinism: bool = True,
+) -> Dict[str, float]:
+    """The static per-GPU-type capability table ``C_i`` (mini-batches/s).
+
+    This is the analytical prior the Eq. (1) scheduler starts from; the
+    online profiler (``repro.obs.profiler``) refines it with measured
+    rates, and calibration-aware consumers prefer the refined values.
+    Keys are lower-case type names, matching the scheduler's convention.
+    """
+    return {
+        name.lower(): 1.0 / minibatch_time(spec, gtype, policy, elastic_determinism)
+        for name, gtype in GPU_TYPES.items()
+    }
 
 
 def context_switch_time(spec: WorkloadSpec, gpu: GPUType) -> float:

@@ -47,6 +47,18 @@ from repro.obs.trace import (
     flame_summary,
     records_to_chrome_trace,
 )
+from repro.obs.profiler import (
+    OnlineProfiler,
+    ProfilerConfig,
+    StragglerEvent,
+    profile_from_trace,
+)
+from repro.obs.report import (
+    ClusterUtilizationReport,
+    events_from_trace,
+    load_events_jsonl,
+    save_events_jsonl,
+)
 
 __all__ = [
     "configure",
@@ -71,6 +83,14 @@ __all__ = [
     "fingerprint_rng_states",
     "flame_summary",
     "records_to_chrome_trace",
+    "OnlineProfiler",
+    "ProfilerConfig",
+    "StragglerEvent",
+    "profile_from_trace",
+    "ClusterUtilizationReport",
+    "events_from_trace",
+    "load_events_jsonl",
+    "save_events_jsonl",
 ]
 
 

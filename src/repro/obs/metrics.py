@@ -51,13 +51,24 @@ class Counter:
 
 
 class Gauge:
-    """A value that can go up and down."""
+    """A value that can go up and down.
+
+    NaN/inf inputs to :meth:`set` are rejected without corrupting the
+    stored value; they are tallied in :attr:`nonfinite` instead, so a
+    single bad sample (a 0/0 throughput, an uninitialized timer) never
+    poisons a dashboard series.
+    """
 
     def __init__(self) -> None:
         self.value = 0.0
+        self.nonfinite = 0
 
     def set(self, value: float) -> None:
-        self.value = float(value)
+        value = float(value)
+        if not math.isfinite(value):
+            self.nonfinite += 1
+            return
+        self.value = value
 
     def inc(self, amount: float = 1.0) -> None:
         self.value += amount
@@ -71,6 +82,9 @@ class Histogram:
 
     A value exactly on a bucket boundary counts into that bucket; values
     above the last bound land in the implicit +Inf overflow bucket.
+    NaN/inf observations are counted in :attr:`nonfinite` rather than
+    recorded — a NaN would otherwise bisect into an arbitrary bucket and
+    make ``sum`` permanently NaN.
     """
 
     def __init__(self, buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
@@ -83,11 +97,13 @@ class Histogram:
         self.counts = [0] * (len(bounds) + 1)  # last slot = +Inf
         self.sum = 0.0
         self.count = 0
+        self.nonfinite = 0
 
     def observe(self, value: float) -> None:
         value = float(value)
-        if math.isnan(value):
-            raise ValueError("cannot observe NaN")
+        if not math.isfinite(value):
+            self.nonfinite += 1
+            return
         idx = bisect.bisect_left(self.bounds, value)
         self.counts[idx] += 1
         self.sum += value
@@ -101,14 +117,48 @@ class Histogram:
             out.append(running)
         return out
 
+    def quantile(self, q: float) -> float:
+        """Linear-interpolation quantile estimate from the bucket counts.
+
+        Standard Prometheus ``histogram_quantile`` semantics: find the
+        bucket holding the q-th observation and interpolate linearly
+        within its bounds (the first bucket interpolates from 0, so the
+        estimator assumes non-negative observations).  Values in the +Inf
+        overflow bucket clamp to the last finite bound.  Returns NaN for
+        an empty histogram.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return float("nan")
+        target = q * self.count
+        cumulative = 0
+        for idx, count in enumerate(self.counts):
+            if cumulative + count >= target and count > 0:
+                if idx >= len(self.bounds):
+                    return self.bounds[-1]
+                lower = 0.0 if idx == 0 else self.bounds[idx - 1]
+                upper = self.bounds[idx]
+                return lower + (upper - lower) * ((target - cumulative) / count)
+            cumulative += count
+        return self.bounds[-1]
+
 
 class _NullInstrument:
-    """Shared no-op stand-in for every instrument type when disabled."""
+    """Shared no-op stand-in for every instrument type when disabled.
+
+    Mirrors the full public surface (and signatures) of
+    :class:`Counter`, :class:`Gauge`, and :class:`Histogram` — asserted
+    by the API-parity test — so disabled-mode call sites can never drift
+    from the enabled ones.
+    """
 
     __slots__ = ()
     value = 0.0
     sum = 0.0
     count = 0
+    nonfinite = 0
+    bounds: List[float] = []
 
     def inc(self, amount: float = 1.0) -> None:
         pass
@@ -121,6 +171,12 @@ class _NullInstrument:
 
     def observe(self, value: float) -> None:
         pass
+
+    def cumulative(self) -> List[int]:
+        return []
+
+    def quantile(self, q: float) -> float:
+        return float("nan")
 
 
 _NULL_INSTRUMENT = _NullInstrument()
@@ -228,6 +284,7 @@ class MetricsRegistry:
                         "counts": list(h.counts),
                         "sum": h.sum,
                         "count": h.count,
+                        "nonfinite": h.nonfinite,
                     }
                     for (n, k), h in self._histograms.items()
                 },
@@ -253,6 +310,7 @@ class MetricsRegistry:
                     "counts": [a - b for a, b in zip(h["counts"], prior["counts"])],
                     "sum": h["sum"] - prior["sum"],
                     "count": h["count"] - prior["count"],
+                    "nonfinite": h.get("nonfinite", 0) - prior.get("nonfinite", 0),
                 }
         return {"counters": counters, "gauges": current["gauges"], "histograms": histograms}
 

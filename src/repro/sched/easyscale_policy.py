@@ -14,7 +14,7 @@ a companion plan database) and the global
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Mapping, Optional
 
 from repro.sched.companion import CompanionModule
 from repro.sched.inter import InterJobScheduler
@@ -31,9 +31,20 @@ class EasyScalePolicy(SchedulingPolicy):
         heterogeneous: bool,
         max_ests_cap: int = 16,
         restrict_conv_heavy: bool = False,
+        capability_scale: Optional[Mapping[str, float]] = None,
     ) -> None:
         self.heterogeneous = heterogeneous
         self.max_ests_cap = max_ests_cap
+        #: per-GPU-type multipliers applied to every job's static
+        #: capability table — the hook through which profiler-calibrated
+        #: rates reach the simulator (``trace-sim --calibrate``): a 0.8
+        #: entry for ``t4`` means "T4s measured 20% slower than the prior"
+        self.capability_scale = {
+            k.lower(): float(v) for k, v in (capability_scale or {}).items()
+        }
+        for gtype, factor in self.capability_scale.items():
+            if factor <= 0:
+                raise ValueError(f"capability scale for {gtype} must be positive")
         #: when True, conv-heavy (vendor-kernel-reliant) jobs are confined
         #: to homogeneous plans even under the heterogeneous policy — the
         #: conservative D2 deployment mode; the trace experiment of §5.2
@@ -52,9 +63,13 @@ class EasyScalePolicy(SchedulingPolicy):
         homogeneous_only = (not self.heterogeneous) or (
             self.restrict_conv_heavy and job.conv_heavy
         )
+        capability = dict(job.capability)
+        for gtype, factor in self.capability_scale.items():
+            if gtype in capability:
+                capability[gtype] *= factor
         companion = CompanionModule(
             max_p=job.requested_gpus,
-            capability=job.capability,
+            capability=capability,
             homogeneous_only=homogeneous_only,
         )
         runtime.agent = IntraJobScheduler(job.job_id, companion)

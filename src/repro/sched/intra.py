@@ -114,6 +114,24 @@ class IntraJobScheduler:
         self.current_plan = best.plan
         return best
 
+    def apply_calibration(self, calibrated: Mapping[str, float]) -> Dict[str, float]:
+        """Adopt profiler-calibrated capabilities ``C_i`` (mini-batches/s).
+
+        The online profiler (``repro.obs.profiler``) refines the static
+        analytical table with EWMA-smoothed observed rates; feeding them
+        back here makes every subsequent :meth:`apply_best_plan` /
+        :meth:`propose` score plans against reality instead of the prior.
+        Only types the companion already knows are updated (a job cannot
+        gain hardware support from a measurement), and non-positive rates
+        are ignored.  Returns the superseded table for fallback.
+        """
+        previous = dict(self.companion.capability)
+        for gtype, rate in calibrated.items():
+            key = gtype.lower()
+            if key in self.companion.capability and rate > 0:
+                self.companion.capability[key] = float(rate)
+        return previous
+
     def current_assignment(self) -> Optional[WorkerAssignment]:
         if self.current_plan is None:
             return None

@@ -91,6 +91,12 @@ def overload_factor(plan: Plan, capability: Mapping[str, float]) -> float:
     return worst
 
 
+#: magnitude below which a negative waste is float round-off, not a model
+#: error: the Eq. (1c) subtraction ``C_i - A_i/f`` can land a few ulps
+#: under zero when ``f == A_i/C_i`` doesn't round-trip exactly
+_WASTE_EPS = 1e-9
+
+
 def waste(plan: Plan, capability: Mapping[str, float]) -> float:
     """Eq. (1c): stranded capability from imbalance + over-provisioning."""
     if not plan.is_feasible:
@@ -102,7 +108,31 @@ def waste(plan: Plan, capability: Mapping[str, float]) -> float:
         n * (capability[gtype] - a / f) for gtype, n, a in plan.alloc
     )
     over_provision = (plan.n_est_capacity - plan.max_p) / f
-    return imbalance + over_provision
+    total = imbalance + over_provision
+    if -_WASTE_EPS < total < 0.0:
+        return 0.0
+    return total
+
+
+def observed_waste(
+    plan: Plan, capability: Mapping[str, float], f_observed: float
+) -> float:
+    """Eq. (1c) evaluated at a *measured* overload factor.
+
+    The online profiler substitutes the observed seconds-per-global-step
+    for the analytical Eq. (1b) bottleneck, yielding the waste the plan
+    actually incurred rather than the waste the model predicted.
+    """
+    if f_observed <= 0:
+        raise ValueError(f"observed overload factor must be positive, got {f_observed}")
+    imbalance = sum(
+        n * (capability[gtype] - a / f_observed) for gtype, n, a in plan.alloc
+    )
+    over_provision = (plan.n_est_capacity - plan.max_p) / f_observed
+    total = imbalance + over_provision
+    if -_WASTE_EPS < total < 0.0:
+        return 0.0
+    return total
 
 
 def estimated_throughput(plan: Plan, capability: Mapping[str, float]) -> float:

@@ -129,6 +129,14 @@ class ClusterSimulator:
         self.events = EventLog(tracer=obs.tracer() if obs.is_enabled() else None)
         self.now = 0.0
         self._timeline: List[Tuple[float, int]] = []
+        # lead the log with the cluster's per-type capacity so a saved
+        # event stream is self-describing (the utilization report derives
+        # idle GPU-seconds from it without access to the Cluster object)
+        self.events.emit(
+            0.0,
+            "cluster_capacity",
+            **{name.lower(): cluster.total(name) for name in cluster.type_names()},
+        )
 
     # ------------------------------------------------------------------
     # allocation helpers used by policies

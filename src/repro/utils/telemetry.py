@@ -15,7 +15,7 @@ import os
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
-_ALLOWED_KINDS = ("step", "scale_event", "checkpoint", "eval", "note")
+_ALLOWED_KINDS = ("step", "scale_event", "checkpoint", "eval", "note", "profile")
 
 
 @dataclass(frozen=True)
@@ -89,6 +89,12 @@ class RunLog:
 
     def note(self, step: int, message: str) -> None:
         self._emit(Record(kind="note", step=step, data={"message": message}))
+
+    def profile(self, step: int, summary: Dict[str, Any], **extra: Any) -> None:
+        """Final (or periodic) online-profiler summary: per-worker
+        p50/p99 step times, straggler events, and calibration deltas, as
+        produced by ``OnlineProfiler.summary()``."""
+        self._emit(Record(kind="profile", step=step, data={"summary": summary, **extra}))
 
     # ------------------------------------------------------------------
     # queries

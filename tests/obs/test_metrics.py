@@ -71,9 +71,36 @@ class TestHistogram:
             h.observe(v)
         assert h.cumulative() == [1, 3, 4]
 
-    def test_nan_rejected(self):
-        with pytest.raises(ValueError):
-            Histogram(buckets=[1.0]).observe(float("nan"))
+    def test_nonfinite_counted_not_recorded(self):
+        h = Histogram(buckets=[1.0])
+        h.observe(0.5)
+        for bad in (float("nan"), float("inf"), float("-inf")):
+            h.observe(bad)
+        # the three bad samples never reach a bucket or poison the sum
+        assert h.nonfinite == 3
+        assert h.count == 1
+        assert h.counts == [1, 0]
+        assert h.sum == pytest.approx(0.5)
+
+    def test_gauge_nonfinite_keeps_last_good_value(self):
+        import math
+
+        g = MetricsRegistry().gauge("speed")
+        g.set(4.2)
+        g.set(float("nan"))
+        g.set(float("inf"))
+        assert g.value == pytest.approx(4.2)
+        assert g.nonfinite == 2
+        assert math.isfinite(g.value)
+
+    def test_nonfinite_survives_snapshot_delta(self):
+        reg = MetricsRegistry()
+        reg.histogram("lat", buckets=[1.0]).observe(float("nan"))
+        before = reg.snapshot()
+        assert before["histograms"]["lat"]["nonfinite"] == 1
+        reg.histogram("lat", buckets=[1.0]).observe(float("inf"))
+        delta = reg.delta(before)
+        assert delta["histograms"]["lat"]["nonfinite"] == 1
 
     def test_unsorted_bounds_rejected(self):
         with pytest.raises(ValueError):
@@ -85,6 +112,46 @@ class TestHistogram:
 
     def test_default_buckets_are_increasing(self):
         assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+
+class TestQuantile:
+    def test_empty_histogram_is_nan(self):
+        import math
+
+        assert math.isnan(Histogram(buckets=[1.0]).quantile(0.5))
+
+    def test_out_of_range_rejected(self):
+        h = Histogram(buckets=[1.0])
+        with pytest.raises(ValueError):
+            h.quantile(-0.1)
+        with pytest.raises(ValueError):
+            h.quantile(1.1)
+
+    def test_interpolates_within_bucket(self):
+        h = Histogram(buckets=[10.0, 20.0])
+        for _ in range(4):
+            h.observe(15.0)  # all mass in the (10, 20] bucket
+        # p50 target = 2nd of 4 obs, halfway through the bucket's count
+        assert h.quantile(0.5) == pytest.approx(15.0)
+        assert h.quantile(1.0) == pytest.approx(20.0)
+
+    def test_first_bucket_interpolates_from_zero(self):
+        h = Histogram(buckets=[8.0])
+        h.observe(1.0)
+        h.observe(2.0)
+        assert h.quantile(0.5) == pytest.approx(4.0)  # halfway into [0, 8]
+
+    def test_overflow_clamps_to_last_bound(self):
+        h = Histogram(buckets=[1.0, 2.0])
+        h.observe(100.0)
+        assert h.quantile(0.99) == pytest.approx(2.0)
+
+    def test_tracks_known_distribution(self):
+        h = Histogram(buckets=[float(b) for b in range(1, 101)])
+        for v in range(1, 101):
+            h.observe(v - 0.5)  # one observation per unit bucket
+        assert h.quantile(0.5) == pytest.approx(50.0, abs=1.0)
+        assert h.quantile(0.99) == pytest.approx(99.0, abs=1.0)
 
 
 class TestSnapshotDelta:

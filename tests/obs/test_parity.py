@@ -1,0 +1,98 @@
+"""API parity between enabled and disabled observability surfaces.
+
+Disabled-mode call sites use the exact same method calls as enabled-mode
+ones (that is the design: no branching at the site).  These tests pin the
+contract structurally — every public method and signature on the real
+instruments/registry must exist identically on the null stand-ins — so
+the two surfaces cannot drift apart silently.
+"""
+
+import inspect
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    _NullInstrument,
+)
+
+
+def public_methods(cls):
+    return {
+        name: member
+        for name, member in inspect.getmembers(cls, inspect.isfunction)
+        if not name.startswith("_")
+    }
+
+
+def assert_signatures_match(real_cls, null_cls, *, ignore=()):
+    """Every public method of ``real_cls`` exists on ``null_cls`` with an
+    identical signature."""
+    real = public_methods(real_cls)
+    null = public_methods(null_cls)
+    missing = set(real) - set(null) - set(ignore)
+    assert not missing, f"{null_cls.__name__} lacks {sorted(missing)} of {real_cls.__name__}"
+    for name, method in real.items():
+        if name in ignore:
+            continue
+        # parameters (names, kinds, defaults, annotations) must agree;
+        # return annotations legitimately differ (Counter vs _NullInstrument)
+        real_params = list(inspect.signature(method).parameters.values())
+        null_params = list(inspect.signature(null[name]).parameters.values())
+        assert real_params == null_params, (
+            f"{real_cls.__name__}.{name}({real_params}) != "
+            f"{null_cls.__name__}.{name}({null_params})"
+        )
+
+
+class TestInstrumentParity:
+    @pytest.mark.parametrize("real_cls", [Counter, Gauge, Histogram])
+    def test_null_instrument_covers_every_real_instrument(self, real_cls):
+        assert_signatures_match(real_cls, _NullInstrument)
+
+    def test_null_instrument_has_real_attributes(self):
+        null = _NullInstrument()
+        for attr in ("value", "sum", "count", "nonfinite", "bounds"):
+            assert hasattr(null, attr), f"_NullInstrument missing .{attr}"
+
+    def test_null_instrument_returns_compatible_types(self):
+        import math
+
+        null = _NullInstrument()
+        assert null.cumulative() == []
+        assert math.isnan(null.quantile(0.5))
+        assert null.inc() is None and null.set(1.0) is None
+        assert null.observe(1.0) is None and null.dec() is None
+
+    def test_null_instrument_stays_inert(self):
+        null = _NullInstrument()
+        null.inc(100)
+        null.set(100)
+        null.observe(100)
+        assert null.value == 0.0 and null.count == 0 and null.sum == 0.0
+        assert null.nonfinite == 0
+
+
+class TestRegistryParity:
+    def test_null_registry_covers_metrics_registry(self):
+        assert_signatures_match(MetricsRegistry, NullRegistry)
+
+    def test_both_expose_enabled_flag(self):
+        assert MetricsRegistry.enabled is True
+        assert NullRegistry.enabled is False
+
+    def test_null_registry_snapshot_shape_matches(self):
+        real = MetricsRegistry().snapshot()
+        null = NullRegistry().snapshot()
+        assert set(real) == set(null) == {"counters", "gauges", "histograms"}
+
+    def test_null_registry_delta_accepts_real_snapshot(self):
+        reg = MetricsRegistry()
+        reg.counter("x").inc()
+        snap = reg.snapshot()
+        out = NullRegistry().delta(snap)
+        assert set(out) == {"counters", "gauges", "histograms"}

@@ -1,0 +1,198 @@
+"""Cluster utilization report: folding, metrics, renderers, round-trip."""
+
+import pytest
+
+from repro.obs.report import (
+    ClusterUtilizationReport,
+    events_from_trace,
+    load_events_jsonl,
+    save_events_jsonl,
+)
+from repro.utils.events import EventLog
+
+
+def tiny_log() -> EventLog:
+    """2-GPU cluster, two jobs: one served at t=0, one queued 10 s."""
+    log = EventLog()
+    log.emit(0.0, "cluster_capacity", v100=2)
+    log.emit(0.0, "job_submit", job="a")
+    log.emit(0.0, "scale_out", job="a", gtype="v100", gpus=2)
+    log.emit(5.0, "job_submit", job="b")
+    log.emit(10.0, "scale_in", job="a", gtype="v100", gpus=1)
+    log.emit(10.0, "scale_out", job="b", gtype="v100", gpus=1)
+    log.emit(20.0, "job_done", job="a", released=1)
+    log.emit(30.0, "job_done", job="b", released=1)
+    return log
+
+
+class TestFolding:
+    def test_busy_and_idle_gpu_seconds(self):
+        report = ClusterUtilizationReport.from_events(tiny_log())
+        # a: 2 GPUs x 10s + 1 GPU x 10s = 30; b: 1 GPU x 20s = 20
+        assert report.busy_gpu_seconds["v100"] == pytest.approx(50.0)
+        # capacity 2 x horizon 30 = 60 GPU-s total
+        assert report.idle_gpu_seconds["v100"] == pytest.approx(10.0)
+        assert report.total_idle_gpu_seconds == pytest.approx(10.0)
+        assert report.utilization == pytest.approx(50.0 / 60.0)
+
+    def test_queueing_delay_per_job(self):
+        report = ClusterUtilizationReport.from_events(tiny_log())
+        delays = report.queueing_delays()
+        assert delays["a"] == pytest.approx(0.0)
+        assert delays["b"] == pytest.approx(5.0)  # submitted 5, granted 10
+        assert report.mean_queueing_delay == pytest.approx(2.5)
+
+    def test_fragmentation_counts_starved_idle_time(self):
+        # job b waits 5 s while the cluster is fully allocated (no free
+        # capacity -> no contended-free seconds), then is served; after a
+        # finishes at t=20 one GPU is free but nobody is starving
+        report = ClusterUtilizationReport.from_events(tiny_log())
+        assert report.contended_free_gpu_seconds == pytest.approx(0.0)
+        assert report.fragmentation == pytest.approx(0.0)
+
+    def test_fragmentation_positive_when_free_gpus_starve_a_job(self):
+        log = EventLog()
+        log.emit(0.0, "cluster_capacity", v100=4)
+        log.emit(0.0, "job_submit", job="a")
+        log.emit(0.0, "scale_out", job="a", gtype="v100", gpus=1)
+        log.emit(0.0, "job_submit", job="b")  # never granted: starves
+        log.emit(10.0, "job_done", job="a", released=1)
+        report = ClusterUtilizationReport.from_events(log)
+        # 3 free GPUs for 10 s while b held nothing
+        assert report.contended_free_gpu_seconds == pytest.approx(30.0)
+        assert report.fragmentation > 0.5
+
+    def test_capacity_falls_back_to_peak_allocation(self):
+        log = EventLog()
+        log.emit(0.0, "job_submit", job="a")
+        log.emit(0.0, "scale_out", job="a", gtype="t4", gpus=3)
+        log.emit(8.0, "job_done", job="a", released=3)
+        report = ClusterUtilizationReport.from_events(log)
+        assert report.capacity == {"t4": 3}
+        assert report.idle_gpu_seconds["t4"] == pytest.approx(0.0)
+
+    def test_explicit_capacity_and_horizon_override(self):
+        report = ClusterUtilizationReport.from_events(
+            tiny_log(), capacity={"V100": 4}, horizon=40.0
+        )
+        assert report.capacity == {"v100": 4}
+        assert report.horizon == 40.0
+        assert report.idle_gpu_seconds["v100"] == pytest.approx(4 * 40 - 50)
+
+    def test_job_done_releases_untracked_holdings(self):
+        log = EventLog()
+        log.emit(0.0, "cluster_capacity", v100=2)
+        log.emit(0.0, "job_submit", job="a")
+        log.emit(0.0, "scale_out", job="a", gtype="v100", gpus=2)
+        log.emit(4.0, "job_done", job="a", released=2)
+        report = ClusterUtilizationReport.from_events(log)
+        assert report.allocation_timeline[-1] == (4.0, 0)
+        assert report.busy_gpu_seconds["v100"] == pytest.approx(8.0)
+
+    def test_empty_stream(self):
+        report = ClusterUtilizationReport.from_events([])
+        assert report.horizon == 0.0
+        assert report.jobs == {}
+        assert report.total_idle_gpu_seconds == 0.0
+
+
+class TestRenderers:
+    def test_text_contains_golden_substrings(self):
+        text = ClusterUtilizationReport.from_events(tiny_log()).to_text()
+        assert "idle GPU-seconds" in text
+        assert "allocation timeline" in text
+        assert "mean queueing delay" in text
+        assert "fragmentation" in text
+        # both jobs get a lane with a running segment
+        for job in ("a", "b"):
+            assert f"{job:>10} |" in text
+        assert "#" in text
+
+    def test_text_elides_beyond_max_jobs(self):
+        log = EventLog()
+        log.emit(0.0, "cluster_capacity", v100=8)
+        for i in range(6):
+            log.emit(float(i), "job_submit", job=f"j{i}")
+            log.emit(float(i), "scale_out", job=f"j{i}", gtype="v100", gpus=1)
+        text = ClusterUtilizationReport.from_events(log).to_text(max_jobs=4)
+        assert "2 more jobs elided" in text
+
+    def test_html_is_self_contained(self):
+        html = ClusterUtilizationReport.from_events(tiny_log()).to_html()
+        assert html.startswith("<!DOCTYPE html>")
+        assert "<style>" in html  # inline CSS
+        assert "idle GPU-seconds" in html
+        assert 'class="lane"' in html  # per-job gantt lanes
+        assert "src=" not in html and "href=" not in html  # no external assets
+
+    def test_html_escapes_job_ids(self):
+        log = EventLog()
+        log.emit(0.0, "job_submit", job="<script>")
+        log.emit(0.0, "scale_out", job="<script>", gtype="v100", gpus=1)
+        html = ClusterUtilizationReport.from_events(log).to_html()
+        assert "<script>" not in html
+        assert "&lt;script&gt;" in html
+
+    def test_summary_json_serializable(self):
+        import json
+
+        payload = json.loads(
+            json.dumps(ClusterUtilizationReport.from_events(tiny_log()).summary())
+        )
+        assert payload["jobs"] == 2
+        assert payload["completed"] == 2
+
+
+class TestRoundTrip:
+    def test_jsonl_save_load(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        count = save_events_jsonl(tiny_log(), path)
+        assert count == 8
+        rows = load_events_jsonl(path)
+        direct = ClusterUtilizationReport.from_events(tiny_log())
+        reloaded = ClusterUtilizationReport.from_events(rows)
+        assert reloaded.summary() == direct.summary()
+
+    def test_truncated_trailing_line_tolerated(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        save_events_jsonl(tiny_log(), path)
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"time": 99, "kind": "job_su')  # crash mid-write
+        rows = load_events_jsonl(path)
+        assert len(rows) == 8
+
+    def test_events_from_trace_instants(self):
+        records = [
+            {"kind": "instant", "cat": "sched", "name": "job_submit",
+             "t0": 0.0, "args": {"job": "a"}},
+            {"kind": "instant", "cat": "sched", "name": "scale_out",
+             "t0": 1.0, "args": {"job": "a", "gtype": "v100", "gpus": 2}},
+            {"kind": "span", "cat": "engine", "name": "engine.global_step",
+             "t0": 0.0, "t1": 1.0, "args": {}},
+            {"kind": "instant", "cat": "engine", "name": "engine.scale_event",
+             "t0": 2.0, "args": {}},
+        ]
+        events = events_from_trace(records)
+        assert [e["kind"] for e in events] == ["job_submit", "scale_out"]
+        report = ClusterUtilizationReport.from_events(events)
+        assert report.jobs["a"].first_grant == pytest.approx(1.0)
+
+
+class TestSimulatorIntegration:
+    def test_report_from_live_simulation(self):
+        from repro.hw.cluster import microbench_cluster
+        from repro.sched.easyscale_policy import EasyScalePolicy
+        from repro.sched.simulator import ClusterSimulator
+        from repro.sched.trace import generate_trace
+
+        jobs = generate_trace(num_jobs=6, seed=1)
+        sim = ClusterSimulator(microbench_cluster(), jobs, EasyScalePolicy(True))
+        sim.run()
+        report = ClusterUtilizationReport.from_events(sim.events)
+        # capacity came from the leading cluster_capacity event
+        assert report.capacity == {"v100": 32, "p100": 16, "t4": 16}
+        assert len(report.jobs) == 6
+        assert report.total_busy_gpu_seconds > 0
+        assert report.total_idle_gpu_seconds > 0
+        text = report.to_text()
+        assert "idle GPU-seconds" in text

@@ -83,3 +83,33 @@ class TestScheduling:
     def test_policy_names(self):
         assert EasyScalePolicy(False).name == "easyscale-homo"
         assert EasyScalePolicy(True).name == "easyscale-heter"
+
+
+class TestCapabilityScale:
+    def test_scale_applies_to_new_companions(self):
+        policy = EasyScalePolicy(True, capability_scale={"T4": 0.5})
+        sim = ClusterSimulator(microbench_cluster(), [job("a")], policy)
+        runtime = sim.runtimes[0]
+        policy.on_job_arrival(sim, runtime)
+        unscaled = job("b").capability
+        scaled = runtime.agent.companion.capability
+        assert scaled["t4"] == pytest.approx(unscaled["t4"] * 0.5)
+        assert scaled["v100"] == pytest.approx(unscaled["v100"])
+
+    def test_nonpositive_scale_rejected(self):
+        with pytest.raises(ValueError):
+            EasyScalePolicy(True, capability_scale={"t4": 0.0})
+
+    def test_unknown_types_ignored(self):
+        policy = EasyScalePolicy(True, capability_scale={"a100": 2.0})
+        sim = ClusterSimulator(microbench_cluster(), [job("a")], policy)
+        runtime = sim.runtimes[0]
+        policy.on_job_arrival(sim, runtime)
+        assert "a100" not in runtime.agent.companion.capability
+
+    def test_simulation_completes_under_calibration(self):
+        result = run_sim(
+            [job("a", gpus=2, work=500.0)],
+            EasyScalePolicy(True, capability_scale={"t4": 0.7, "p100": 0.9}),
+        )
+        assert len(result.completed) == 1

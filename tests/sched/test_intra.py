@@ -106,3 +106,42 @@ class TestPlanToAssignment:
         names = [g.name for g in assignment.gpus]
         assert sorted(names) == ["P100", "V100"]
         assert assignment.num_ests == 4
+
+
+class TestCalibration:
+    def test_apply_calibration_updates_known_types(self):
+        sched = make_sched()
+        previous = sched.apply_calibration({"V100": 6.0, "t4": 1.5})
+        assert previous == CAP  # superseded table returned for fallback
+        assert sched.companion.capability["v100"] == pytest.approx(6.0)
+        assert sched.companion.capability["t4"] == pytest.approx(1.5)
+        assert sched.companion.capability["p100"] == pytest.approx(4.0)
+
+    def test_unknown_and_nonpositive_rates_ignored(self):
+        sched = make_sched()
+        sched.apply_calibration({"a100": 50.0, "v100": 0.0, "t4": -1.0})
+        assert "a100" not in sched.companion.capability
+        assert sched.companion.capability["v100"] == pytest.approx(CAP["v100"])
+        assert sched.companion.capability["t4"] == pytest.approx(CAP["t4"])
+
+    def test_calibration_changes_the_chosen_plan(self):
+        # static table: v100 at 10, t4 at 5 -> proportional split over
+        # {1 v100, 1 t4} for maxP=6 is (4, 2) with f = 0.4
+        capability = {"v100": 10.0, "t4": 5.0}
+        sched = IntraJobScheduler(
+            "job-c", CompanionModule(max_p=6, capability=capability)
+        )
+        static_best = sched.apply_best_plan({"v100": 1, "t4": 1})
+        assert static_best.plan.ests_per_gpu("t4") == 2
+
+        # measured truth: the T4 actually runs at 2.5 mb/s; recalibrating
+        # shifts load to the V100 (5, 1), halving the overload factor
+        from repro.sched.perfmodel import overload_factor
+
+        truth = {"v100": 10.0, "t4": 2.5}
+        f_static_under_truth = overload_factor(static_best.plan, truth)
+        sched.apply_calibration(truth)
+        calibrated_best = sched.apply_best_plan({"v100": 1, "t4": 1})
+        assert calibrated_best.plan.ests_per_gpu("t4") == 1
+        f_calibrated_under_truth = overload_factor(calibrated_best.plan, truth)
+        assert f_calibrated_under_truth < f_static_under_truth

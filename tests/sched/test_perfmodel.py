@@ -7,6 +7,7 @@ from hypothesis import strategies as st
 from repro.sched.perfmodel import (
     Plan,
     estimated_throughput,
+    observed_waste,
     overload_factor,
     waste,
 )
@@ -79,6 +80,46 @@ class TestHandComputedCases:
         plan = Plan.build({"t4": (1, 1)}, max_p=4)
         with pytest.raises(ValueError):
             waste(plan, CAP)
+
+    def test_float_roundoff_waste_clamps_to_exact_zero(self):
+        # A perfectly balanced plan has waste == 0 in real arithmetic, but
+        # ``C - A/(A/C)`` can land a few ulps below zero when A/C doesn't
+        # round-trip: with C = 0.007, A = 5 the raw sum is ~-1.7e-18.
+        # The model must report exactly 0.0, not a negative number that
+        # would make throughput exceed the aggregate capability.
+        capability = {"v100": 0.007}
+        plan = Plan.build({"v100": (2, 5)}, max_p=10)
+        f = overload_factor(plan, capability)
+        raw = 2 * (capability["v100"] - 5 / f)
+        assert raw < 0  # the round-off this regression test exists for
+        assert waste(plan, capability) == 0.0
+        assert estimated_throughput(plan, capability) == pytest.approx(0.014)
+
+    def test_large_negative_waste_not_masked(self):
+        # the clamp is for ulp-scale noise only; a genuinely negative
+        # result (an observed step faster than the capability allows,
+        # i.e. a miscalibrated table) must still surface
+        plan = Plan.build({"v100": (1, 2)}, max_p=2)
+        assert observed_waste(plan, CAP, f_observed=0.1) < -1e-3
+
+
+class TestObservedWaste:
+    def test_matches_model_at_predicted_overload(self):
+        plan = Plan.build({"v100": (1, 2), "t4": (1, 2)}, max_p=4)
+        f = overload_factor(plan, CAP)
+        assert observed_waste(plan, CAP, f) == pytest.approx(waste(plan, CAP))
+
+    def test_slower_execution_strands_more_capability(self):
+        plan = Plan.build({"v100": (2, 2)}, max_p=4)
+        f = overload_factor(plan, CAP)
+        assert observed_waste(plan, CAP, f) == pytest.approx(0.0)
+        # running 2x slower than predicted wastes half the capability
+        assert observed_waste(plan, CAP, 2 * f) == pytest.approx(8.0)
+
+    def test_rejects_nonpositive_factor(self):
+        plan = Plan.build({"v100": (1, 1)}, max_p=1)
+        with pytest.raises(ValueError):
+            observed_waste(plan, CAP, 0.0)
 
 
 class TestInvariants:

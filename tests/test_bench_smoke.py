@@ -1,0 +1,59 @@
+"""Tier-2 smoke target: every figure regenerator at reduced size.
+
+Each ``benchmarks/bench_fig*.py`` runs in its own pytest subprocess with
+``REPRO_BENCH_SMOKE=1`` (shrunk epochs/steps/jobs, same qualitative
+assertions) and ``REPRO_TRACE=1`` (span tracing on), proving that the
+whole evaluation suite still regenerates and that tracing survives every
+code path.  Deselected by default via the ``bench_smoke`` marker; run
+with::
+
+    PYTHONPATH=src python -m pytest -m bench_smoke tests/test_bench_smoke.py
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+BENCH_FILES = sorted(p.name for p in (REPO_ROOT / "benchmarks").glob("bench_fig*.py"))
+
+pytestmark = pytest.mark.bench_smoke
+
+
+@pytest.mark.parametrize("bench_file", BENCH_FILES)
+def test_bench_regenerates_in_smoke_mode(bench_file, tmp_path):
+    trace_path = tmp_path / "trace.json"
+    env = dict(os.environ)
+    env["REPRO_BENCH_SMOKE"] = "1"
+    env["REPRO_TRACE"] = "1"
+    env["REPRO_TRACE_PATH"] = str(trace_path)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(REPO_ROOT / "src"), str(REPO_ROOT), env.get("PYTHONPATH", "")]
+    ).rstrip(os.pathsep)
+    proc = subprocess.run(
+        [sys.executable, "-m", "pytest", "-q", "-p", "no:cacheprovider",
+         f"benchmarks/{bench_file}"],
+        cwd=str(REPO_ROOT),
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, (
+        f"{bench_file} failed in smoke mode:\n{proc.stdout[-4000:]}\n{proc.stderr[-2000:]}"
+    )
+    assert trace_path.exists(), f"{bench_file} produced no span trace"
+    # a bench touching only uninstrumented paths writes an empty (but
+    # valid) trace; the point is that tracing never breaks the pipeline
+    chrome = json.loads(trace_path.read_text())
+    assert isinstance(chrome["traceEvents"], list)
+
+
+def test_every_figure_bench_is_covered():
+    # the parametrization above must not silently go empty if the
+    # benchmarks directory moves or the naming convention changes
+    assert len(BENCH_FILES) >= 12

@@ -190,6 +190,156 @@ class TestObsCommands:
         assert any(r["name"].startswith("job:") for r in loaded.records)
 
 
+class TestProfilerCli:
+    def test_train_profile_prints_summary(self, capsys):
+        code = main(
+            [
+                "train",
+                "shufflenetv2",
+                "--schedule", "1xV100+1xT4",
+                "--steps-per-stage", "4",
+                "--samples", "64",
+                "--ests", "2",
+                "--batch-size", "4",
+                "--profile",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "profile over" in out
+        assert "calibrated capability (mini-batches/s)" in out
+        assert "v100" in out and "t4" in out
+
+    def test_train_telemetry_records_profile(self, tmp_path, capsys):
+        telemetry = tmp_path / "run.jsonl"
+        code = main(
+            [
+                "train",
+                "shufflenetv2",
+                "--schedule", "1xV100",
+                "--steps-per-stage", "3",
+                "--samples", "64",
+                "--ests", "2",
+                "--batch-size", "4",
+                "--profile",
+                "--telemetry", str(telemetry),
+            ]
+        )
+        assert code == 0
+        kinds = [json.loads(line)["kind"] for line in telemetry.read_text().splitlines()]
+        assert "profile" in kinds and "step" in kinds
+        capsys.readouterr()
+        assert main(["obs", "summarize", str(telemetry)]) == 0
+        out = capsys.readouterr().out
+        assert "profile over" in out
+        assert "calibrated capability" in out
+
+    def test_obs_profile_replays_a_train_trace(self, tmp_path, capsys):
+        trace = tmp_path / "train.jsonl"
+        main(
+            [
+                "train",
+                "shufflenetv2",
+                "--schedule", "1xV100+1xT4",
+                "--steps-per-stage", "4",
+                "--samples", "64",
+                "--ests", "2",
+                "--batch-size", "4",
+                "--trace", str(trace),
+            ]
+        )
+        capsys.readouterr()
+        summary = tmp_path / "profile.json"
+        code = main(
+            [
+                "obs", "profile", str(trace),
+                "--workload", "shufflenetv2",
+                "--window", "2",
+                "--json", str(summary),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "profile over" in out
+        payload = json.loads(summary.read_text())
+        assert payload["workers"] and payload["calibration"]["observed"]
+
+    def test_obs_profile_without_worker_spans_is_exit_2(self, tmp_path, capsys):
+        from repro.obs.trace import SpanTracer
+
+        tracer = SpanTracer(clock="sim")
+        tracer.instant("engine.scale_event", ts=0.5, gpus=["V100"])
+        path = tmp_path / "empty.jsonl"
+        tracer.save(str(path))
+        assert main(["obs", "profile", str(path)]) == 2
+        assert "no worker.local_step spans" in capsys.readouterr().err
+
+    def test_obs_profile_missing_file_is_exit_2(self, capsys):
+        assert main(["obs", "profile", "no-such.jsonl"]) == 2
+
+    def test_obs_report_from_trace_sim_events(self, tmp_path, capsys):
+        events = tmp_path / "events.jsonl"
+        assert main(
+            ["trace-sim", "--policy", "heter", "--jobs", "4", "--events", str(events)]
+        ) == 0
+        capsys.readouterr()
+        html = tmp_path / "report.html"
+        summary = tmp_path / "report.json"
+        code = main(
+            ["obs", "report", str(events), "--html", str(html), "--json", str(summary)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "idle GPU-seconds" in out
+        assert "allocation timeline" in out
+        text = html.read_text()
+        assert text.startswith("<!DOCTYPE html>")
+        assert "idle GPU-seconds" in text
+        assert json.loads(summary.read_text())["jobs"] == 4
+
+    def test_obs_report_on_span_trace_uses_sched_instants(self, tmp_path, capsys):
+        trace = tmp_path / "sim.jsonl"
+        assert main(
+            ["trace-sim", "--policy", "homo", "--jobs", "4", "--trace", str(trace)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["obs", "report", str(trace)]) == 0
+        assert "allocation timeline" in capsys.readouterr().out
+
+    def test_obs_report_without_events_is_exit_2(self, tmp_path, capsys):
+        path = tmp_path / "nothing.jsonl"
+        path.write_text("")
+        assert main(["obs", "report", str(path)]) == 2
+        assert "no simulator events" in capsys.readouterr().err
+
+    def test_trace_sim_calibrate_missing_file_is_exit_2(self, capsys):
+        assert main(
+            ["trace-sim", "--policy", "homo", "--jobs", "2", "--calibrate", "nope.json"]
+        ) == 2
+
+    def test_trace_sim_calibrate_malformed_is_exit_2(self, tmp_path, capsys):
+        bad = tmp_path / "cal.json"
+        bad.write_text('{"scale": {"t4": -1.0}}')
+        assert main(
+            ["trace-sim", "--policy", "homo", "--jobs", "2", "--calibrate", str(bad)]
+        ) == 2
+
+    def test_trace_sim_calibrate_applies_scales(self, tmp_path, capsys):
+        cal = tmp_path / "cal.json"
+        cal.write_text('{"scale": {"t4": 0.5}}')
+        assert main(
+            ["trace-sim", "--policy", "all", "--jobs", "4", "--calibrate", str(cal)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "calibrated capability scales" in out
+        assert "easyscale-homo" in out and "easyscale-heter" in out
+
+    def test_profile_flag_defaults_off(self):
+        args = build_parser().parse_args(["train", "resnet18"])
+        assert not args.profile
+        assert args.telemetry is None
+
+
 class TestSelfTestCommand:
     def test_self_test_passes_on_healthy_install(self, capsys):
         from repro.cli import main

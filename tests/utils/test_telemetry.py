@@ -102,3 +102,31 @@ class TestRobustLoading:
     def test_from_json_missing_field_is_a_value_error(self):
         with pytest.raises(ValueError, match="missing required field"):
             Record.from_json('{"kind": "step"}')
+
+
+class TestProfileRecords:
+    def test_profile_record_roundtrip(self, tmp_path):
+        from repro.utils.telemetry import RunLog
+
+        path = str(tmp_path / "run.jsonl")
+        summary = {
+            "windows": 4,
+            "workers": {"0": {"gpu": "v100", "p50_s": 0.1, "p99_s": 0.12}},
+            "stragglers": [],
+            "calibration": {"static": {"v100": 10.0}, "observed": {"v100": 9.5}},
+        }
+        with RunLog(path) as log:
+            log.step(0, [1.0])
+            log.profile(1, summary, source="online")
+        loaded = RunLog.load(path)
+        records = loaded.of_kind("profile")
+        assert len(records) == 1
+        assert records[0].step == 1
+        assert records[0].data["summary"]["windows"] == 4
+        assert records[0].data["source"] == "online"
+
+    def test_profile_is_an_allowed_kind(self):
+        from repro.utils.telemetry import Record, _ALLOWED_KINDS
+
+        assert "profile" in _ALLOWED_KINDS
+        Record(kind="profile", step=0, data={"summary": {}})  # must not raise
