@@ -14,9 +14,16 @@ Gives the repository's main entry points a shell surface:
   (``obs profile``), or build a cluster utilization report from a
   trace-sim event log (``obs report``).  ``train --trace/--audit/--profile``
   and ``trace-sim --trace/--events`` produce the input files.
+- ``faults`` — deterministic fault injection: ``faults gen`` writes a
+  seeded random :class:`~repro.faults.schedule.FaultPlan` JSON file;
+  ``faults replay`` runs the fault-free reference and a
+  :class:`~repro.faults.controller.ResilienceController` run under the
+  plan, then proves the two bitwise-identical by diffing their audit
+  trails.  ``train --faults PLAN`` trains through the controller.
 
 Exit codes: 0 success; 2 missing/malformed input file; 3 failed
-self-test; 4 divergent audit trails (``obs diff-audit``).
+self-test; 4 divergent audit trails or fingerprints (``obs diff-audit``,
+``faults replay``, ``train --faults --verify``).
 """
 
 from __future__ import annotations
@@ -61,7 +68,10 @@ def _cmd_train(args: argparse.Namespace) -> int:
     from repro import obs
 
     if args.trace or args.audit:
-        obs.configure(enabled=True, audit_path=args.audit)
+        # a fault-recovery run restores to earlier steps and re-records
+        # them, which a plain audit trail would reject
+        obs.configure(enabled=True, audit_path=args.audit,
+                      audit_rewind=bool(args.faults))
     try:
         return _run_train(args)
     finally:
@@ -109,6 +119,12 @@ def _run_train(args: argparse.Namespace) -> int:
         else None
     )
     telemetry = RunLog(args.telemetry) if args.telemetry else None
+
+    if args.faults:
+        return _train_with_faults(
+            args, spec, dataset, config, optimizer, stages, telemetry, profiler
+        )
+
     engine = EasyScaleEngine(
         spec, dataset, config, optimizer,
         WorkerAssignment.balanced(stages[0], args.ests),
@@ -150,6 +166,167 @@ def _run_train(args: argparse.Namespace) -> int:
         print(f"bitwise vs DDP-{args.ests}GPU reference: {'IDENTICAL' if same else 'DIFFERENT'}")
         return 0 if same else 2
     return 0
+
+
+def _train_with_faults(args, spec, dataset, config, optimizer, stages,
+                       telemetry, profiler) -> int:
+    """``train --faults PLAN``: drive the job through the resilience
+    controller instead of the manual reconfiguration schedule.  The first
+    ``--schedule`` stage is the starting pool; the plan decides what gets
+    taken away."""
+    from repro.faults import FaultPlan, ResilienceController
+
+    try:
+        plan = FaultPlan.load(args.faults)
+    except FileNotFoundError:
+        print(f"error: no such file: {args.faults}", file=sys.stderr)
+        return 2
+    except ValueError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    total = args.steps_per_stage * len(stages)
+    print(plan.describe())
+    controller = ResilienceController(
+        spec, dataset, config, optimizer, stages[0], plan,
+        telemetry=telemetry, profiler=profiler,
+    )
+    stats = controller.run(total)
+    if controller.losses:
+        print(f"{total} steps survived the plan; "
+              f"last loss {controller.losses[-1][-1]:.6f}")
+    print(stats.describe())
+    print(f"clock: {controller.clock:.1f}s = {controller.compute_s:.1f}s "
+          f"compute + {stats.downtime_s:.1f}s downtime")
+
+    if profiler is not None:
+        profiler.flush()
+        print()
+        print(profiler.describe())
+    if telemetry is not None:
+        telemetry.close()
+        print(f"telemetry written to {args.telemetry}")
+
+    if args.verify:
+        from repro.core import EasyScaleEngine, WorkerAssignment
+        from repro.utils.fingerprint import fingerprint_state_dict
+
+        reference = EasyScaleEngine(
+            spec, dataset, config, optimizer,
+            WorkerAssignment.balanced(stages[0], args.ests),
+        )
+        reference.train_steps(total)
+        same = fingerprint_state_dict(
+            controller.engine.model.state_dict()
+        ) == fingerprint_state_dict(reference.model.state_dict())
+        print(f"bitwise vs fault-free EasyScale reference: "
+              f"{'IDENTICAL' if same else 'DIFFERENT'}")
+        return 0 if same else 4
+    return 0
+
+
+def _cmd_faults(args: argparse.Namespace) -> int:
+    try:
+        if args.faults_command == "gen":
+            return _run_faults_gen(args)
+        if args.faults_command == "replay":
+            return _run_faults_replay(args)
+    except FileNotFoundError as err:
+        print(f"error: no such file: {err.filename}", file=sys.stderr)
+        return 2
+    except ValueError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    raise AssertionError(f"unhandled faults subcommand {args.faults_command!r}")
+
+
+def _run_faults_gen(args: argparse.Namespace) -> int:
+    from repro.faults import random_plan
+
+    plan = random_plan(
+        args.seed,
+        horizon_steps=args.steps,
+        num_gpus=args.gpus,
+        max_events=args.events,
+        note=args.note or "",
+    )
+    plan.save(args.out)
+    print(plan.describe())
+    print(f"fault plan written to {args.out} "
+          f"(replay with: repro faults replay --plan {args.out})")
+    return 0
+
+
+def _run_faults_replay(args: argparse.Namespace) -> int:
+    from repro import obs
+    from repro.core import (
+        EasyScaleEngine,
+        EasyScaleJobConfig,
+        WorkerAssignment,
+        determinism_from_label,
+    )
+    from repro.faults import FaultPlan, ResilienceController, run_contrast
+    from repro.models import get_workload
+    from repro.optim import SGD
+
+    plan = FaultPlan.load(args.plan)
+    spec = get_workload(args.workload)
+    dataset = spec.build_dataset(args.samples, seed=args.seed)
+    gpus = _parse_stage(args.gpus)
+    config = EasyScaleJobConfig(
+        num_ests=args.ests, seed=args.seed, batch_size=args.batch_size,
+        determinism=determinism_from_label(args.determinism),
+    )
+
+    def optimizer(model):
+        return SGD(model.named_parameters(), lr=args.lr, momentum=0.9)
+
+    print(plan.describe())
+    if not plan.step_events:
+        print("warning: plan has no step-triggered events "
+              "(time-triggered plans are for trace-sim)")
+
+    if args.contrast:
+        result = run_contrast(
+            spec, dataset, config, optimizer, gpus, plan,
+            total_steps=args.steps, base_lr=args.lr,
+        )
+        print(result.describe())
+        return 0 if result.easyscale_consistent else 4
+
+    # leg 1: the fault-free reference, audited per step
+    ref_path = f"{args.audit}.ref.jsonl" if args.audit else None
+    obs.configure(enabled=True, audit=True, audit_path=ref_path)
+    reference = EasyScaleEngine(
+        spec, dataset, config, optimizer,
+        WorkerAssignment.balanced(gpus, args.ests),
+    )
+    reference.train_steps(args.steps)
+    ref_trail = obs.audit_trail()
+
+    # leg 2: the same job under the plan; the trail must allow rewinds
+    # because recoveries re-record the steps they re-execute
+    fault_path = f"{args.audit}.fault.jsonl" if args.audit else None
+    obs.configure(enabled=True, audit=True, audit_path=fault_path,
+                  audit_rewind=True)
+    try:
+        controller = ResilienceController(
+            spec, dataset, config, optimizer, gpus, plan,
+            snapshot_interval=args.snapshot_interval,
+        )
+        stats = controller.run(args.steps)
+        fault_trail = obs.audit_trail()
+    finally:
+        obs.reset()
+
+    print(stats.describe())
+    print(f"clock: {controller.clock:.1f}s = {controller.compute_s:.1f}s "
+          f"compute + {stats.downtime_s:.1f}s downtime")
+    diff = obs.diff_audits(ref_trail, fault_trail)
+    print(diff.describe())
+    if args.audit:
+        print(f"audit trails written to {ref_path} and {fault_path}")
+    print("replay:", "BITWISE-IDENTICAL" if diff.identical else "DIVERGED")
+    return 0 if diff.identical else 4
 
 
 def _load_calibration(path: str) -> dict:
@@ -201,6 +378,22 @@ def _cmd_trace_sim(args: argparse.Namespace) -> int:
             return 2
         print(f"calibrated capability scales: {calibration}")
 
+    fault_plan = None
+    if args.faults:
+        from repro.faults import FaultPlan
+
+        try:
+            fault_plan = FaultPlan.load(args.faults)
+        except FileNotFoundError:
+            print(f"error: no such file: {args.faults}", file=sys.stderr)
+            return 2
+        except ValueError as err:
+            print(f"error: {err}", file=sys.stderr)
+            return 2
+        if not fault_plan.time_events:
+            print(f"warning: {args.faults} has no time-triggered events "
+                  "(step-triggered plans are for 'faults replay')")
+
     if args.trace:
         obs.configure(enabled=True, clock="sim")
     jobs = generate_trace(
@@ -217,13 +410,21 @@ def _cmd_trace_sim(args: argparse.Namespace) -> int:
     names = list(policies) if args.policy == "all" else [args.policy]
     try:
         for name in names:
-            sim = ClusterSimulator(microbench_cluster(), jobs, policies[name]())
+            sim = ClusterSimulator(
+                microbench_cluster(), jobs, policies[name](), faults=fault_plan
+            )
             result = sim.run()
             print(
                 f"{result.policy:<16} avg JCT {result.average_jct:>10.1f} s   "
                 f"makespan {result.makespan:>10.1f} s   "
                 f"completed {len(result.completed)}/{len(jobs)}"
             )
+            if fault_plan is not None:
+                print(
+                    f"{'':<16} {result.preemptions} preemption(s)   "
+                    f"recovery {result.recovery_seconds:>8.1f} s   "
+                    f"lost work {result.lost_work_seconds:>8.1f} s"
+                )
             if args.events:
                 # one file per policy when replaying several
                 path = (
@@ -485,6 +686,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="stream a RunLog (JSONL) of steps/scale events; "
                             "with --profile the final profiler summary is "
                             "included (view with: repro obs summarize PATH)")
+    train.add_argument("--faults", metavar="PLAN", default=None,
+                       help="train through the resilience controller under "
+                            "this fault plan JSON (see: repro faults gen); "
+                            "the first --schedule stage is the starting "
+                            "pool, and --verify compares bitwise against "
+                            "the fault-free run")
 
     trace = sub.add_parser("trace-sim", help="replay a job trace")
     trace.add_argument("--policy", default="all", choices=["yarn", "homo", "heter", "all"])
@@ -498,11 +705,68 @@ def build_parser() -> argparse.ArgumentParser:
                        help="save the simulator event log (JSONL) for "
                             "'repro obs report' (suffix .<policy> when "
                             "replaying multiple policies)")
+    trace.add_argument("--faults", metavar="PLAN", default=None,
+                       help="inject a time-triggered fault plan JSON into "
+                            "the simulated cluster (preemptions, slowdowns; "
+                            "see repro.faults.random_sim_plan)")
     trace.add_argument("--calibrate", metavar="PATH", default=None,
                        help="JSON file with per-GPU-type capability scale "
                             "factors, e.g. {\"scale\": {\"t4\": 0.8}} — "
                             "profiler-measured corrections to the static "
                             "capability table")
+
+    faults = sub.add_parser(
+        "faults", help="deterministic fault injection (plan generation, replay)"
+    )
+    faults_sub = faults.add_subparsers(dest="faults_command", required=True)
+
+    gen = faults_sub.add_parser(
+        "gen", help="generate a seeded random fault plan (JSON)"
+    )
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--steps", type=int, default=12,
+                     help="horizon in global steps (default 12)")
+    gen.add_argument("--gpus", type=int, default=4,
+                     help="GPUs in the target pool — bounds how much "
+                          "capacity the plan may take away (default 4)")
+    gen.add_argument("--events", type=int, default=4,
+                     help="maximum events in the plan (default 4)")
+    gen.add_argument("--out", metavar="PATH", default="fault_plan.json",
+                     help="output path (default fault_plan.json)")
+    gen.add_argument("--note", default=None,
+                     help="free-text note stored in the plan")
+
+    replay = faults_sub.add_parser(
+        "replay",
+        help="prove bitwise recovery: run the fault-free reference and a "
+             "resilience-controller run under a plan, then diff their "
+             "determinism audit trails (exit 0 identical, 4 divergent)",
+    )
+    replay.add_argument("--plan", required=True, metavar="PATH",
+                        help="fault plan JSON (from: repro faults gen)")
+    replay.add_argument("--workload", default="resnet18")
+    replay.add_argument("--ests", type=int, default=4)
+    replay.add_argument("--seed", type=int, default=0)
+    replay.add_argument("--batch-size", type=int, default=8)
+    replay.add_argument("--lr", type=float, default=0.05)
+    replay.add_argument("--samples", type=int, default=64)
+    replay.add_argument("--steps", type=int, default=12,
+                        help="global steps to train (default 12)")
+    replay.add_argument("--gpus", default="2xV100+2xT4",
+                        help="GPU pool, e.g. 2xV100+2xT4 (default)")
+    replay.add_argument("--determinism", default="D1+D2",
+                        choices=["D0", "D1", "D0+D2", "D1+D2"],
+                        help="heterogeneous pools need D2 for bitwise "
+                             "identity across recoveries (default D1+D2)")
+    replay.add_argument("--snapshot-interval", type=int, default=4,
+                        help="periodic checkpoint interval in steps (default 4)")
+    replay.add_argument("--audit", metavar="PREFIX", default=None,
+                        help="also write PREFIX.ref.jsonl and "
+                             "PREFIX.fault.jsonl audit trails")
+    replay.add_argument("--contrast", action="store_true",
+                        help="instead of the audit diff, run the four-way "
+                             "contrast against a checkpoint-restart elastic "
+                             "baseline (shows the baseline diverging)")
 
     colo = sub.add_parser("colocation", help="two-day serving co-location stats")
     colo.add_argument("--gpus", type=int, default=3000)
@@ -574,6 +838,7 @@ COMMANDS = {
     "list-workloads": _cmd_list_workloads,
     "train": _cmd_train,
     "trace-sim": _cmd_trace_sim,
+    "faults": _cmd_faults,
     "colocation": _cmd_colocation,
     "scan": _cmd_scan,
     "self-test": _cmd_selftest,

@@ -1,6 +1,6 @@
 """EasyScale core: ESTs, determinism levels, ElasticDDP, engine, checkpoints."""
 
-from repro.core.checkpoint import Checkpoint
+from repro.core.checkpoint import Checkpoint, CheckpointCorruptError
 from repro.core.determinism import (
     DeterminismConfig,
     ScanReport,
@@ -17,6 +17,7 @@ from repro.core.worker import EasyScaleWorker, LocalStepResult
 
 __all__ = [
     "Checkpoint",
+    "CheckpointCorruptError",
     "DeterminismConfig",
     "ScanReport",
     "scan_model",

@@ -21,10 +21,16 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List
 
 from repro.core.est import ESTContext
-from repro.utils.serialization import state_dict_from_bytes, state_dict_to_bytes
+from repro.utils.serialization import (
+    CheckpointCorruptError,
+    state_dict_from_bytes,
+    state_dict_to_bytes,
+)
 
 
 FORMAT_VERSION = 1
+
+__all__ = ["Checkpoint", "CheckpointCorruptError", "FORMAT_VERSION"]
 
 
 @dataclass
@@ -69,16 +75,32 @@ class Checkpoint:
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "Checkpoint":
+        """Decode a checkpoint blob.
+
+        Integrity problems (truncation, bit flips, undecodable payloads)
+        surface as :class:`CheckpointCorruptError` from the serialization
+        layer; schema problems (wrong version, missing sections) raise the
+        same class so callers have a single "do not trust this snapshot"
+        signal to catch and fall back on.
+        """
         payload = state_dict_from_bytes(data)
         version = payload.get("version")
         if version != FORMAT_VERSION:
-            raise ValueError(f"unsupported checkpoint version {version}")
-        return cls(
-            est_contexts=payload["est_contexts"],
-            extra=payload["extra"],
-            params=payload["params"],
-            meta=payload.get("meta", {}),
-        )
+            raise CheckpointCorruptError(
+                f"unsupported checkpoint schema version {version} "
+                f"(this build reads version {FORMAT_VERSION})"
+            )
+        try:
+            return cls(
+                est_contexts=payload["est_contexts"],
+                extra=payload["extra"],
+                params=payload["params"],
+                meta=payload.get("meta", {}),
+            )
+        except KeyError as err:
+            raise CheckpointCorruptError(
+                f"checkpoint payload is missing required section {err}"
+            ) from err
 
     # ------------------------------------------------------------------
     # disk persistence (what survives a real preemption)

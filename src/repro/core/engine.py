@@ -16,7 +16,7 @@ identical** to DDP training with ``n`` fixed GPUs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -38,6 +38,9 @@ from repro.utils.fingerprint import fingerprint_arrays, fingerprint_state_dict
 from repro.obs.profiler import OnlineProfiler
 from repro.utils.rng import RNGBundle, derive_seed
 from repro.utils.telemetry import RunLog
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a core<->faults cycle
+    from repro.faults.injector import FaultInjector
 
 
 @dataclass(frozen=True)
@@ -137,6 +140,7 @@ class EasyScaleEngine:
         scheduler_factory: Optional[Callable[[Optimizer], LRScheduler]] = None,
         telemetry: Optional["RunLog"] = None,
         profiler: Optional["OnlineProfiler"] = None,
+        fault_injector: Optional["FaultInjector"] = None,
         _restore: Optional[Checkpoint] = None,
     ) -> None:
         if assignment.num_ests != config.num_ests:
@@ -153,6 +157,9 @@ class EasyScaleEngine:
         # passive observer of per-worker step times; never touches model,
         # RNG, or loader state, so attaching one preserves bitwise results
         self.profiler = profiler
+        # same contract: the injector only *interrupts* (raises) at
+        # deterministic points — attaching one never perturbs numerics
+        self.fault_injector = fault_injector
 
         self.model = spec.build_model(RNGBundle(derive_seed(config.seed, "model")))
         self.optimizer = optimizer_factory(self.model)
@@ -218,6 +225,11 @@ class EasyScaleEngine:
                 policy=self.config.determinism.kernel_policy,
                 validate_memory=self.config.validate_memory,
                 micro_batches=self.config.micro_batches,
+                fault_hook=(
+                    self.fault_injector.on_local_step
+                    if self.fault_injector is not None
+                    else None
+                ),
             )
             for i, (gpu, vranks) in enumerate(zip(assignment.gpus, assignment.est_map))
         ]
@@ -241,6 +253,7 @@ class EasyScaleEngine:
             scheduler_factory=self.scheduler_factory,
             telemetry=self.telemetry,
             profiler=self.profiler,
+            fault_injector=self.fault_injector,
         )
 
     # ------------------------------------------------------------------
@@ -257,6 +270,10 @@ class EasyScaleEngine:
             return self._run_global_step()
 
     def _run_global_step(self) -> List[float]:
+        if self.fault_injector is not None:
+            # may raise a FaultSignal (e.g. node preemption) before any
+            # batch is loaded — the supervising controller catches it
+            self.fault_injector.on_step_boundary(self)
         self.loader.set_epoch(self.epoch)
         arrival: Optional[List[str]] = (
             [] if not self.elastic_ddp.reconstructed else None
@@ -448,6 +465,7 @@ class EasyScaleEngine:
         config: Optional[EasyScaleJobConfig] = None,
         telemetry: Optional["RunLog"] = None,
         profiler: Optional["OnlineProfiler"] = None,
+        fault_injector: Optional["FaultInjector"] = None,
     ) -> "EasyScaleEngine":
         """Resume a job from an on-demand checkpoint on a new allocation."""
         if config is None:
@@ -471,5 +489,6 @@ class EasyScaleEngine:
             scheduler_factory=scheduler_factory,
             telemetry=telemetry,
             profiler=profiler,
+            fault_injector=fault_injector,
             _restore=ckpt,
         )

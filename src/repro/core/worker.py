@@ -58,6 +58,7 @@ class EasyScaleWorker:
         validate_memory: bool = True,
         micro_batches: int = 1,
         slowdown: float = 1.0,
+        fault_hook: Optional[Callable[[int, int], None]] = None,
     ) -> None:
         if not ests:
             raise ValueError(f"worker {worker_id} has no ESTs assigned")
@@ -76,6 +77,10 @@ class EasyScaleWorker:
         #: still produces bitwise-identical gradients — it just lets the
         #: profiler's straggler detection be exercised deterministically
         self.slowdown = slowdown
+        #: called as ``fault_hook(worker_id, vrank)`` before every EST local
+        #: step; a fault injector may raise from it to simulate the worker
+        #: process dying mid-step (sibling ESTs have already staged state)
+        self.fault_hook = fault_hook
         if validate_memory:
             check_fits(easyscale_memory_gb(spec, len(ests)), gpu)
 
@@ -105,6 +110,8 @@ class EasyScaleWorker:
         per_batch = minibatch_time(self.spec, self.gpu, self.policy) * self.slowdown
         switch = context_switch_time(self.spec, self.gpu) * self.slowdown
         for position, est in enumerate(self.ests):
+            if self.fault_hook is not None:
+                self.fault_hook(self.worker_id, est.vrank)
             with obs.span(
                 "worker.local_step",
                 cat="worker",

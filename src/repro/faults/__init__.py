@@ -1,0 +1,71 @@
+"""repro.faults: deterministic fault injection and bitwise-safe recovery.
+
+The subsystem has four layers, composing bottom-up:
+
+- :mod:`repro.faults.schedule` — seeded, JSON-round-trippable
+  :class:`FaultPlan`\\ s of timed :class:`FaultEvent`\\ s;
+- :mod:`repro.faults.injector` — :class:`FaultInjector` hooks firing plan
+  events inside the live engine/workers (and :class:`SimFaultInjector`
+  for the cluster simulator's sim-time domain);
+- :mod:`repro.faults.manager` — :class:`CheckpointManager` keeping
+  CRC-verified periodic snapshots with retention;
+- :mod:`repro.faults.controller` — :class:`ResilienceController` driving
+  detect → checkpoint → replan → restore with MTTR accounting.
+
+:mod:`repro.faults.contrast` runs the Fig-2-style experiment contrasting
+EasyScale's bitwise recovery against elastic baselines under the same
+plans.
+"""
+
+from repro.faults.contrast import ContrastResult, run_contrast, segments_from_plan
+from repro.faults.controller import (
+    RecoveryFailedError,
+    RecoveryIncident,
+    ResilienceController,
+    ResilienceStats,
+)
+from repro.faults.injector import (
+    FaultInjector,
+    FaultSignal,
+    NodePreemptSignal,
+    SimFaultInjector,
+    WorkerCrashSignal,
+)
+from repro.faults.manager import CheckpointManager, Snapshot
+from repro.faults.schedule import (
+    ABRUPT_KINDS,
+    CAPACITY_KINDS,
+    FAULT_KINDS,
+    GRACEFUL_KINDS,
+    PLAN_FORMAT_VERSION,
+    FaultEvent,
+    FaultPlan,
+    random_plan,
+    random_sim_plan,
+)
+
+__all__ = [
+    "ABRUPT_KINDS",
+    "CAPACITY_KINDS",
+    "FAULT_KINDS",
+    "GRACEFUL_KINDS",
+    "PLAN_FORMAT_VERSION",
+    "CheckpointManager",
+    "ContrastResult",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSignal",
+    "NodePreemptSignal",
+    "RecoveryFailedError",
+    "RecoveryIncident",
+    "ResilienceController",
+    "ResilienceStats",
+    "SimFaultInjector",
+    "Snapshot",
+    "WorkerCrashSignal",
+    "random_plan",
+    "random_sim_plan",
+    "run_contrast",
+    "segments_from_plan",
+]

@@ -1,0 +1,462 @@
+"""Resilience controller: detect → checkpoint → replan → restore.
+
+The controller is the supervision loop the paper's AIMaster implies but
+never spells out (§4): it drives an :class:`EasyScaleEngine` through a
+:class:`~repro.faults.schedule.FaultPlan` and keeps the job's bitwise
+guarantee through every failure.  Its state machine:
+
+::
+
+    RUNNING ──graceful notice──▶ CHECKPOINT (on-demand, current step)
+       │                              │
+       │ abrupt fault                 ▼
+       ▼                         REPLAN (IntraJobScheduler on survivors)
+    DETECT ──▶ FALLBACK               │
+       (latest valid periodic         ▼
+        snapshot; corrupt copies  RESTORE (from_checkpoint, bounded
+        skipped with backoff)      retry/backoff) ──▶ RUNNING
+
+Accounting is explicit, because the paper's JCT claims hinge on it: the
+controller's simulated clock decomposes exactly into ``compute_s`` (the
+engine's own step time, including re-executed steps) plus ``downtime_s``
+(restart delays, injected delays, corruption-retry backoff).  Per
+incident it records the **lost steps** (fault step minus restore step)
+and the **MTTR** — the simulated seconds from the fault until the job
+has re-reached and completed the step it was on when the fault hit.
+
+Recovery preserves bitwise identity by construction: every restore path
+goes through checkpoint bytes that round-trip exactly, and re-executed
+steps replay the same RNG streams, batch order, and reduction schedule.
+The property-based chaos tests assert the end-to-end consequence: *any*
+plan yields a final model bitwise-identical to the fault-free run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from repro import obs
+from repro.core.checkpoint import Checkpoint, CheckpointCorruptError
+from repro.core.engine import EasyScaleEngine, EasyScaleJobConfig, WorkerAssignment
+from repro.data.datasets import Dataset
+from repro.faults.injector import (
+    FaultInjector,
+    FaultSignal,
+    NodePreemptSignal,
+    WorkerCrashSignal,
+)
+from repro.faults.manager import CheckpointManager
+from repro.faults.schedule import FaultEvent, FaultPlan
+from repro.hw.gpu import GPUType, gpu_type
+from repro.hw.timing import static_capability
+from repro.models.registry import WorkloadSpec
+from repro.sched.companion import CompanionModule
+from repro.sched.intra import IntraJobScheduler
+
+
+class RecoveryFailedError(RuntimeError):
+    """No restorable snapshot survived within the retry budget."""
+
+
+@dataclass
+class RecoveryIncident:
+    """One fault and the recovery that answered it."""
+
+    kind: str
+    fault_step: int
+    restore_step: int
+    retries: int
+    downtime_s: float
+    clock_at_fault: float
+    #: simulated seconds from fault to re-completing the fault step
+    mttr_s: Optional[float] = None
+
+    @property
+    def lost_steps(self) -> int:
+        return max(0, self.fault_step - self.restore_step)
+
+
+@dataclass
+class ResilienceStats:
+    """Lifetime accounting of a controller run."""
+
+    faults_injected: int = 0
+    recoveries: int = 0
+    downtime_s: float = 0.0
+    incidents: List[RecoveryIncident] = field(default_factory=list)
+
+    @property
+    def lost_steps(self) -> int:
+        return sum(i.lost_steps for i in self.incidents)
+
+    @property
+    def mttr_values(self) -> List[float]:
+        return [i.mttr_s for i in self.incidents if i.mttr_s is not None]
+
+    @property
+    def mean_mttr_s(self) -> float:
+        values = self.mttr_values
+        return sum(values) / len(values) if values else 0.0
+
+    @property
+    def max_mttr_s(self) -> float:
+        return max(self.mttr_values, default=0.0)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "faults_injected": self.faults_injected,
+            "recoveries": self.recoveries,
+            "lost_steps": self.lost_steps,
+            "downtime_s": self.downtime_s,
+            "mean_mttr_s": self.mean_mttr_s,
+            "max_mttr_s": self.max_mttr_s,
+            "incidents": [
+                {
+                    "kind": i.kind,
+                    "fault_step": i.fault_step,
+                    "restore_step": i.restore_step,
+                    "lost_steps": i.lost_steps,
+                    "retries": i.retries,
+                    "downtime_s": i.downtime_s,
+                    "mttr_s": i.mttr_s,
+                }
+                for i in self.incidents
+            ],
+        }
+
+    def describe(self) -> str:
+        lines = [
+            f"{self.faults_injected} fault(s) injected, "
+            f"{self.recoveries} recovery(ies), "
+            f"{self.lost_steps} step(s) re-executed, "
+            f"{self.downtime_s:.1f}s downtime"
+        ]
+        if self.mttr_values:
+            lines.append(
+                f"MTTR: mean {self.mean_mttr_s:.1f}s  max {self.max_mttr_s:.1f}s"
+            )
+        for i in self.incidents:
+            mttr = f"{i.mttr_s:.1f}s" if i.mttr_s is not None else "open"
+            lines.append(
+                f"  {i.kind:<18} at step {i.fault_step:>4} -> restored step "
+                f"{i.restore_step:>4} (lost {i.lost_steps}, retries {i.retries}, "
+                f"mttr {mttr})"
+            )
+        return "\n".join(lines)
+
+
+class ResilienceController:
+    """Supervise one EasyScale job through a fault plan.
+
+    The controller owns the GPU pool, a :class:`CheckpointManager` for
+    periodic snapshots, an :class:`IntraJobScheduler` for replanning on
+    survivors, and the engine itself (rebuilt on every recovery, like the
+    restarted processes of the real system).
+
+    When an audit trail is active (``obs.configure(audit=True)``), it
+    must be created with ``audit_rewind=True`` — recovered runs re-record
+    the steps they re-execute.
+    """
+
+    def __init__(
+        self,
+        spec: WorkloadSpec,
+        dataset: Dataset,
+        config: EasyScaleJobConfig,
+        optimizer_factory: Callable,
+        gpus: Sequence[Union[str, GPUType]],
+        plan: FaultPlan,
+        snapshot_interval: int = 4,
+        retention: int = 4,
+        snapshot_dir: Optional[str] = None,
+        restart_delay_s: float = 15.0,
+        backoff_s: float = 5.0,
+        max_retries: int = 3,
+        transform=None,
+        scheduler_factory=None,
+        telemetry=None,
+        profiler=None,
+    ) -> None:
+        if not gpus:
+            raise ValueError("controller needs at least one GPU")
+        if restart_delay_s < 0 or backoff_s < 0:
+            raise ValueError("delays must be non-negative")
+        if max_retries < 1:
+            raise ValueError("max_retries must be positive")
+        self.spec = spec
+        self.dataset = dataset
+        self.config = config
+        self.optimizer_factory = optimizer_factory
+        self.transform = transform
+        self.scheduler_factory = scheduler_factory
+        self.telemetry = telemetry
+        self.profiler = profiler
+        self.pool: List[GPUType] = [
+            g if isinstance(g, GPUType) else gpu_type(str(g).upper()) for g in gpus
+        ]
+        self.plan = plan
+        self.injector = FaultInjector(plan)
+        self.manager = CheckpointManager(
+            interval=snapshot_interval, retention=retention, directory=snapshot_dir
+        )
+        self.restart_delay_s = restart_delay_s
+        self.backoff_s = backoff_s
+        self.max_retries = max_retries
+        self.stats = ResilienceStats()
+        #: engine compute seconds, including re-executed steps
+        self.compute_s = 0.0
+        #: per-step losses (rewound and overwritten on recovery)
+        self.losses: List[List[float]] = []
+        self._pending_delay = 0.0
+        self._open_incidents: List[RecoveryIncident] = []
+
+        trail = obs.audit_trail()
+        if trail is not None and not getattr(trail, "allow_rewind", False):
+            raise ValueError(
+                "the active audit trail forbids rewinds; configure it with "
+                "obs.configure(..., audit_rewind=True) before attaching a "
+                "ResilienceController (recoveries re-record re-executed steps)"
+            )
+
+        self.scheduler = IntraJobScheduler(
+            job_id="resilient-job",
+            companion=CompanionModule(
+                max_p=config.num_ests,
+                capability=static_capability(spec, config.determinism.kernel_policy),
+            ),
+        )
+        self.engine = EasyScaleEngine(
+            spec,
+            dataset,
+            config,
+            optimizer_factory,
+            self._plan_assignment(),
+            transform=transform,
+            scheduler_factory=scheduler_factory,
+            telemetry=telemetry,
+            profiler=profiler,
+            fault_injector=self.injector,
+        )
+        self.manager.take(self.engine)  # step-0 snapshot: always restorable
+
+    # ------------------------------------------------------------------
+    # derived state
+    # ------------------------------------------------------------------
+    @property
+    def clock(self) -> float:
+        """Simulated job clock: compute plus recovery downtime, exactly."""
+        return self.compute_s + self.stats.downtime_s
+
+    def _owned(self) -> Dict[str, int]:
+        owned: Dict[str, int] = {}
+        for gpu in self.pool:
+            key = gpu.name.lower()
+            owned[key] = owned.get(key, 0) + 1
+        return owned
+
+    def _plan_assignment(self) -> WorkerAssignment:
+        """EST placement on the current pool via the intra-job scheduler."""
+        assignment = self.scheduler.on_decision(self._owned())
+        if assignment is not None:
+            return assignment
+        # no feasible scored plan (tiny pools, unknown types): fall back to
+        # a balanced split over at most num_ests survivors
+        usable = self.pool[: self.config.num_ests]
+        return WorkerAssignment.balanced(usable, self.config.num_ests)
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+    def run(self, total_steps: int) -> ResilienceStats:
+        """Train to ``total_steps`` global steps, surviving the plan."""
+        if total_steps < 0:
+            raise ValueError("total_steps must be non-negative")
+        while self.engine.global_step < total_steps:
+            step = self.engine.global_step
+            for event in self.injector.boundary_events(step):
+                self._handle_graceful(event)
+            before = self.engine.sim_time
+            try:
+                losses = self.engine.run_global_step()
+            except FaultSignal as signal:
+                self._handle_abrupt(signal)
+                continue
+            self.compute_s += self.engine.sim_time - before
+            del self.losses[step:]
+            self.losses.append(losses)
+            self._close_incidents()
+            self.manager.maybe_take(self.engine)
+        return self.stats
+
+    # ------------------------------------------------------------------
+    # fault handling
+    # ------------------------------------------------------------------
+    def _note_fault(self, event: FaultEvent) -> None:
+        self.stats.faults_injected += 1
+        if obs.is_enabled():
+            obs.instant(
+                "fault.injected",
+                cat="faults",
+                kind=event.kind,
+                step=self.engine.global_step,
+                magnitude=event.magnitude,
+            )
+            obs.metrics().counter("faults_injected_total", kind=event.kind).inc()
+
+    def _handle_graceful(self, event: FaultEvent) -> None:
+        self._note_fault(event)
+        if event.kind == "slowdown":
+            victim = event.target_worker(len(self.engine.workers))
+            self.engine.workers[victim].slowdown = float(event.magnitude)
+        elif event.kind == "restart_delay":
+            self._pending_delay += float(event.magnitude)
+        elif event.kind == "checkpoint_corrupt":
+            self.manager.corrupt_latest()
+        elif event.kind == "gpu_revoke":
+            self._shrink_pool(event, count=1)
+            # graceful: the failing side is still reachable, so the
+            # on-demand checkpoint carries the *current* step — no loss
+            ckpt = self.engine.checkpoint()
+            self._recover(event, ckpt, restore_step=self.engine.global_step, retries=0)
+        else:  # pragma: no cover - plan validation forbids this
+            raise AssertionError(f"unexpected graceful fault {event.kind}")
+
+    def _handle_abrupt(self, signal: FaultSignal) -> None:
+        event = signal.event
+        self._note_fault(event)
+        if isinstance(signal, NodePreemptSignal):
+            self._shrink_pool(event, count=int(event.magnitude))
+        elif not isinstance(signal, WorkerCrashSignal):  # pragma: no cover
+            raise AssertionError(f"unexpected fault signal {type(signal).__name__}")
+        ckpt, retries, backoff = self._fallback_checkpoint()
+        self.stats.downtime_s += backoff
+        restore_step = int(ckpt.extra["global_step"]) if ckpt is not None else 0
+        self._recover(event, ckpt, restore_step=restore_step, retries=retries)
+
+    def _shrink_pool(self, event: FaultEvent, count: int) -> None:
+        """Remove ``count`` GPUs (never the last one) from the pool."""
+        count = max(1, count)
+        preferred = event.target_gtype()
+        for _ in range(count):
+            if len(self.pool) <= 1:
+                break  # a job always keeps one survivor to resume on
+            idx = len(self.pool) - 1
+            if preferred is not None:
+                for i in range(len(self.pool) - 1, -1, -1):
+                    if self.pool[i].name.lower() == preferred:
+                        idx = i
+                        break
+            self.pool.pop(idx)
+
+    def _fallback_checkpoint(self):
+        """Newest valid periodic snapshot, with bounded retry/backoff.
+
+        Each failed decode (CRC mismatch, truncation, schema damage) costs
+        one retry and an exponentially growing backoff delay, modeling the
+        re-fetch from a slower/older storage tier.  Running out of
+        snapshots is not fatal: engine construction is deterministic in
+        (config, seed), so the job-submission state itself is always a
+        valid restore point (``None`` → cold restart, all steps lost).
+        Only exhausting the retry budget while corrupt snapshots remain
+        raises :class:`RecoveryFailedError`.
+        """
+        fault_step = self.engine.global_step
+        retries = 0
+        backoff = 0.0
+        while True:
+            candidates = self.manager.candidates(at_or_before=fault_step)
+            if not candidates:
+                return None, retries, backoff
+            if retries >= self.max_retries:
+                raise RecoveryFailedError(
+                    f"no restorable snapshot at or before step {fault_step} "
+                    f"within {self.max_retries} retries "
+                    f"({self.manager.corrupted_detected} corrupt snapshot(s) seen)"
+                )
+            try:
+                return self.manager.decode(candidates[0]), retries, backoff
+            except CheckpointCorruptError:
+                retries += 1
+                backoff += self.backoff_s * (2 ** (retries - 1))
+
+    def _recover(
+        self,
+        event: FaultEvent,
+        ckpt: Optional[Checkpoint],
+        restore_step: int,
+        retries: int,
+    ) -> None:
+        fault_step = self.engine.global_step
+        delay = self.restart_delay_s + self._pending_delay
+        self._pending_delay = 0.0
+        self.stats.downtime_s += delay
+        incident = RecoveryIncident(
+            kind=event.kind,
+            fault_step=fault_step,
+            restore_step=restore_step,
+            retries=retries,
+            downtime_s=delay,
+            clock_at_fault=self.clock - delay,
+        )
+        assignment = self._plan_assignment()
+        if ckpt is not None:
+            self.engine = EasyScaleEngine.from_checkpoint(
+                self.spec,
+                self.dataset,
+                ckpt,
+                self.optimizer_factory,
+                assignment,
+                transform=self.transform,
+                scheduler_factory=self.scheduler_factory,
+                config=self.config,
+                telemetry=self.telemetry,
+                profiler=self.profiler,
+                fault_injector=self.injector,
+            )
+        else:
+            # cold restart: deterministic construction reproduces the
+            # job-submission state bit for bit
+            self.engine = EasyScaleEngine(
+                self.spec,
+                self.dataset,
+                self.config,
+                self.optimizer_factory,
+                assignment,
+                transform=self.transform,
+                scheduler_factory=self.scheduler_factory,
+                telemetry=self.telemetry,
+                profiler=self.profiler,
+                fault_injector=self.injector,
+            )
+            self.manager.take(self.engine)  # re-seed the snapshot chain
+        self.stats.recoveries += 1
+        self.stats.incidents.append(incident)
+        self._open_incidents.append(incident)
+        if obs.is_enabled():
+            obs.instant(
+                "fault.recovered",
+                cat="faults",
+                kind=event.kind,
+                fault_step=fault_step,
+                restore_step=restore_step,
+                gpus=[g.name for g in assignment.gpus],
+            )
+            registry = obs.metrics()
+            registry.counter("recoveries_total").inc()
+            registry.counter("recovery_lost_steps_total").inc(incident.lost_steps)
+            registry.gauge("recovery_downtime_seconds_total").set(self.stats.downtime_s)
+
+    def _close_incidents(self) -> None:
+        """An incident closes once the job completes its fault step again."""
+        still_open: List[RecoveryIncident] = []
+        for incident in self._open_incidents:
+            if self.engine.global_step > incident.fault_step:
+                incident.mttr_s = self.clock - incident.clock_at_fault
+                if obs.is_enabled():
+                    obs.metrics().histogram("recovery_mttr_seconds").observe(
+                        incident.mttr_s
+                    )
+            else:
+                still_open.append(incident)
+        self._open_incidents = still_open

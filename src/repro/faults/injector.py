@@ -1,0 +1,174 @@
+"""Fault injection hooks for the engine, workers, and simulator.
+
+The injector is the bridge between a declarative
+:class:`~repro.faults.schedule.FaultPlan` and the live system.  It fires
+each event exactly once, at a deterministic point:
+
+- **engine hook** — :meth:`FaultInjector.on_step_boundary` is called by
+  :meth:`EasyScaleEngine._run_global_step` before any batch is loaded; a
+  due ``node_preempt`` raises :class:`NodePreemptSignal` there.
+- **worker hook** — :meth:`FaultInjector.on_local_step` is called by
+  :class:`~repro.core.worker.EasyScaleWorker` at the start of every EST
+  local step; a due ``worker_crash`` raises :class:`WorkerCrashSignal`
+  *mid-step*, after sibling ESTs may already have mutated shared state —
+  exactly the situation where only a checkpoint-based restore can keep
+  the bitwise guarantee.
+- **controller events** — graceful kinds (``gpu_revoke``, ``slowdown``,
+  ``checkpoint_corrupt``, ``restart_delay``) are pulled by the
+  :class:`~repro.faults.controller.ResilienceController` at each step
+  boundary via :meth:`boundary_events`.
+
+Signals deliberately do **not** derive from ``Exception`` subclasses the
+training stack catches anywhere — they propagate through the engine to
+whoever supervises it, like a process death would.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator, List, Optional, Tuple
+
+from repro.faults.schedule import GRACEFUL_KINDS, FaultEvent, FaultPlan
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a core<->faults cycle
+    from repro.core.engine import EasyScaleEngine
+
+
+class FaultSignal(Exception):
+    """Base class for injected failures surfacing out of the engine."""
+
+    def __init__(self, event: FaultEvent, detail: str = "") -> None:
+        self.event = event
+        where = (
+            f"step {event.at_step}" if event.at_step is not None
+            else f"t={event.at_time}"
+        )
+        super().__init__(f"injected {event.kind} at {where}{detail}")
+
+
+class WorkerCrashSignal(FaultSignal):
+    """A worker process died mid-step; its in-memory state is gone."""
+
+    def __init__(self, event: FaultEvent, worker_id: int, vrank: int) -> None:
+        self.worker_id = worker_id
+        self.vrank = vrank
+        super().__init__(event, detail=f" (worker {worker_id}, during EST {vrank})")
+
+
+class NodePreemptSignal(FaultSignal):
+    """A node was reclaimed; several GPUs vanish at once."""
+
+
+class FaultInjector:
+    """Fire a plan's step-triggered events into a live engine, exactly once.
+
+    The injector carries no numerical state and never touches the model,
+    RNG, or loader — attaching one to a fault-free plan is a bitwise
+    no-op.  It survives engine rebuilds (``from_checkpoint`` passes it
+    through), and because fired events stay fired, a fault is not
+    re-raised when the recovered engine re-executes the same step.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._events: List[FaultEvent] = list(plan.step_events)
+        self._fired: set = set()
+        self._current_step: Optional[int] = None
+        self._num_workers: int = 1
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Forget fired state (reuse the injector for a fresh run)."""
+        self._fired.clear()
+        self._current_step = None
+        self._num_workers = 1
+
+    @property
+    def fired_count(self) -> int:
+        return len(self._fired)
+
+    @property
+    def exhausted(self) -> bool:
+        return len(self._fired) == len(self._events)
+
+    def _due(self, step: int, kinds) -> Iterator[Tuple[int, FaultEvent]]:
+        for idx, event in enumerate(self._events):
+            if idx in self._fired or event.at_step != step:
+                continue
+            if event.kind in kinds:
+                yield idx, event
+
+    # ------------------------------------------------------------------
+    # hooks called by the engine / worker
+    # ------------------------------------------------------------------
+    def on_step_boundary(self, engine: "EasyScaleEngine") -> None:
+        """Called at the top of every global step; may raise a signal."""
+        self._current_step = engine.global_step
+        self._num_workers = engine.assignment.num_workers
+        for idx, event in self._due(engine.global_step, {"node_preempt"}):
+            self._fired.add(idx)
+            raise NodePreemptSignal(event)
+
+    def on_local_step(self, worker_id: int, vrank: int) -> None:
+        """Called by each worker before every EST local step."""
+        if self._current_step is None:
+            return
+        for idx, event in self._due(self._current_step, {"worker_crash"}):
+            if event.target_worker(self._num_workers) == worker_id:
+                self._fired.add(idx)
+                raise WorkerCrashSignal(event, worker_id=worker_id, vrank=vrank)
+
+    # ------------------------------------------------------------------
+    # controller-driven (graceful) events
+    # ------------------------------------------------------------------
+    def boundary_events(self, step: int) -> List[FaultEvent]:
+        """Consume the graceful events due at this step boundary."""
+        due: List[FaultEvent] = []
+        for idx, event in self._due(step, GRACEFUL_KINDS):
+            self._fired.add(idx)
+            due.append(event)
+        return due
+
+    def pending_events(self) -> List[FaultEvent]:
+        """Events not yet fired (diagnostics / completeness checks)."""
+        return [e for i, e in enumerate(self._events) if i not in self._fired]
+
+
+class SimFaultInjector:
+    """Time-triggered counterpart for the cluster simulator.
+
+    The simulator treats each event's ``at_time`` as a decision point:
+    :meth:`next_time` feeds the event loop's candidate times, and
+    :meth:`due` pops every event whose time has arrived.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._events: List[FaultEvent] = sorted(
+            plan.time_events, key=lambda e: e.trigger
+        )
+        self._cursor = 0
+
+    def reset(self) -> None:
+        self._cursor = 0
+
+    @property
+    def exhausted(self) -> bool:
+        return self._cursor >= len(self._events)
+
+    def next_time(self, after: float) -> Optional[float]:
+        """The earliest un-fired event time strictly after ``after``."""
+        for event in self._events[self._cursor:]:
+            if event.at_time is not None and event.at_time > after:
+                return float(event.at_time)
+        return None
+
+    def due(self, now: float) -> List[FaultEvent]:
+        """Pop every event with ``at_time <= now`` (fired exactly once)."""
+        fired: List[FaultEvent] = []
+        while self._cursor < len(self._events):
+            event = self._events[self._cursor]
+            if event.at_time is None or event.at_time > now:
+                break
+            fired.append(event)
+            self._cursor += 1
+        return fired

@@ -1,0 +1,353 @@
+"""Declarative, seeded fault plans: failure as a replayable input.
+
+EasyScale's headline claim (§3.2, §4) is that a job can lose workers at
+*any* moment — crash, preemption, scale-in — and resume on a different
+allocation with a bitwise-identical model.  Exercising that claim needs
+failures that are themselves **deterministic**: a :class:`FaultPlan` is a
+JSON-round-trippable schedule of timed :class:`FaultEvent`\\ s, generated
+from a seed, so any chaotic run can be replayed exactly (``repro faults
+replay``) and any divergence bisected with the audit trail.
+
+Two trigger domains share one event type:
+
+- ``at_step`` — global-step boundaries of a live
+  :class:`~repro.core.engine.EasyScaleEngine` (the injector fires them
+  through the engine/worker hooks);
+- ``at_time`` — simulated seconds inside the
+  :class:`~repro.sched.simulator.ClusterSimulator` (decision points).
+
+Event kinds:
+
+========================  =====================================================
+``worker_crash``          a worker process dies mid-step; in-memory state is
+                          unreachable, recovery falls back to the last snapshot
+``gpu_revoke``            graceful scale-in notice: on-demand checkpoint, then
+                          one GPU leaves the pool (zero lost steps)
+``node_preempt``          abrupt removal of ``magnitude`` GPUs (serving spike);
+                          state unreachable, snapshot fallback
+``slowdown``              a worker degrades by ``magnitude``× (modeled time
+                          only — numerics stay bitwise)
+``checkpoint_corrupt``    bit-flip the newest periodic snapshot (the CRC layer
+                          must detect it; recovery retries on an older one)
+``restart_delay``         the next recovery takes ``magnitude`` extra seconds
+========================  =====================================================
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+PLAN_FORMAT_VERSION = 1
+
+#: All recognized fault kinds.
+FAULT_KINDS = (
+    "worker_crash",
+    "gpu_revoke",
+    "node_preempt",
+    "slowdown",
+    "checkpoint_corrupt",
+    "restart_delay",
+)
+
+#: Kinds that strike without warning: the running state is unreachable and
+#: recovery must fall back to the last periodic snapshot.
+ABRUPT_KINDS = frozenset({"worker_crash", "node_preempt"})
+
+#: Kinds that announce themselves at a step boundary: the controller gets
+#: to take an on-demand checkpoint first (zero lost steps).
+GRACEFUL_KINDS = frozenset(set(FAULT_KINDS) - ABRUPT_KINDS)
+
+#: Kinds that remove GPUs from the job's pool.
+CAPACITY_KINDS = frozenset({"gpu_revoke", "node_preempt"})
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One timed fault.
+
+    Exactly one of ``at_step`` / ``at_time`` must be set.  ``target``
+    addresses the victim: ``"worker:<i>"`` (engine worker index, taken
+    modulo the live worker count), a GPU type name (``"t4"``) for
+    revocations, or ``"job:<id>"`` in the simulator; ``None`` lets the
+    injector pick deterministically.  ``magnitude`` is kind-specific: the
+    slowdown factor, the number of preempted GPUs, or the delay seconds.
+    """
+
+    kind: str
+    at_step: Optional[int] = None
+    at_time: Optional[float] = None
+    target: Optional[str] = None
+    magnitude: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}"
+            )
+        if (self.at_step is None) == (self.at_time is None):
+            raise ValueError(
+                f"{self.kind}: exactly one of at_step/at_time must be set "
+                f"(got at_step={self.at_step}, at_time={self.at_time})"
+            )
+        if self.at_step is not None and self.at_step < 0:
+            raise ValueError(f"{self.kind}: at_step must be non-negative")
+        if self.at_time is not None and self.at_time < 0:
+            raise ValueError(f"{self.kind}: at_time must be non-negative")
+        if self.magnitude <= 0:
+            raise ValueError(f"{self.kind}: magnitude must be positive")
+        if self.kind == "slowdown" and self.magnitude < 1.0:
+            raise ValueError("slowdown magnitude is a factor >= 1")
+
+    # ------------------------------------------------------------------
+    @property
+    def trigger(self) -> float:
+        """Sort key within a plan (step index or sim seconds)."""
+        return float(self.at_step if self.at_step is not None else self.at_time)
+
+    def target_worker(self, num_workers: int) -> int:
+        """Resolve the victim worker index for a live allocation.
+
+        Accepts ``"worker:<i>"`` or a bare integer string; ``None`` maps to
+        worker 0.  The index is taken modulo ``num_workers`` so a plan
+        authored for one allocation stays valid (and deterministic) after
+        the job has been rescaled.
+        """
+        if num_workers <= 0:
+            raise ValueError("num_workers must be positive")
+        raw = 0
+        if self.target is not None:
+            text = self.target.split(":", 1)[-1]
+            try:
+                raw = int(text)
+            except ValueError:
+                raise ValueError(
+                    f"{self.kind}: target {self.target!r} is not a worker index"
+                ) from None
+        return raw % num_workers
+
+    def target_job(self) -> Optional[str]:
+        """The explicit victim job id (``"job:<id>"``), if any."""
+        if self.target is not None and self.target.startswith("job:"):
+            return self.target.split(":", 1)[1]
+        return None
+
+    def target_gtype(self) -> Optional[str]:
+        """The explicit victim GPU type (lower-case), if any."""
+        if self.target is None:
+            return None
+        if self.target.startswith(("worker:", "job:")):
+            return None
+        return self.target.lower()
+
+    # ------------------------------------------------------------------
+    def to_state(self) -> Dict[str, Any]:
+        state: Dict[str, Any] = {"kind": self.kind, "magnitude": self.magnitude}
+        if self.at_step is not None:
+            state["at_step"] = self.at_step
+        if self.at_time is not None:
+            state["at_time"] = self.at_time
+        if self.target is not None:
+            state["target"] = self.target
+        return state
+
+    @classmethod
+    def from_state(cls, state: Dict[str, Any]) -> "FaultEvent":
+        return cls(
+            kind=str(state["kind"]),
+            at_step=int(state["at_step"]) if state.get("at_step") is not None else None,
+            at_time=float(state["at_time"]) if state.get("at_time") is not None else None,
+            target=str(state["target"]) if state.get("target") is not None else None,
+            magnitude=float(state.get("magnitude", 1.0)),
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, ordered schedule of fault events."""
+
+    events: Tuple[FaultEvent, ...]
+    seed: int = 0
+    note: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "events", tuple(self.events))
+        triggers = [e.trigger for e in self.events]
+        if triggers != sorted(triggers):
+            raise ValueError("fault plan events must be ordered by trigger")
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    # ------------------------------------------------------------------
+    @property
+    def step_events(self) -> Tuple[FaultEvent, ...]:
+        return tuple(e for e in self.events if e.at_step is not None)
+
+    @property
+    def time_events(self) -> Tuple[FaultEvent, ...]:
+        return tuple(e for e in self.events if e.at_time is not None)
+
+    def capacity_cost(self) -> int:
+        """Total GPUs the plan removes from the pool (revokes + preempts)."""
+        cost = 0
+        for event in self.events:
+            if event.kind == "gpu_revoke":
+                cost += 1
+            elif event.kind == "node_preempt":
+                cost += int(event.magnitude)
+        return cost
+
+    def describe(self) -> str:
+        lines = [f"fault plan (seed {self.seed}, {len(self.events)} events)"]
+        if self.note:
+            lines.append(f"  note: {self.note}")
+        for event in self.events:
+            where = (
+                f"step {event.at_step}" if event.at_step is not None
+                else f"t={event.at_time:.1f}s"
+            )
+            extra = f" target={event.target}" if event.target else ""
+            lines.append(
+                f"  {where:>12}  {event.kind:<18} magnitude={event.magnitude:g}{extra}"
+            )
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # JSON round trip
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "version": PLAN_FORMAT_VERSION,
+                "seed": self.seed,
+                "note": self.note,
+                "events": [e.to_state() for e in self.events],
+            },
+            indent=2,
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as err:
+            raise ValueError(f"malformed fault plan JSON: {err}") from err
+        if not isinstance(payload, dict):
+            raise ValueError("fault plan must be a JSON object")
+        version = payload.get("version", PLAN_FORMAT_VERSION)
+        if version != PLAN_FORMAT_VERSION:
+            raise ValueError(f"unsupported fault plan version {version}")
+        if "events" not in payload:
+            raise ValueError("fault plan is missing the 'events' list")
+        events = payload["events"]
+        if not isinstance(events, list):
+            raise ValueError("fault plan 'events' must be a list")
+        return cls(
+            events=tuple(FaultEvent.from_state(e) for e in events),
+            seed=int(payload.get("seed", 0)),
+            note=str(payload.get("note", "")),
+        )
+
+    def save(self, path) -> None:
+        import os
+
+        path = os.fspath(path)
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json() + "\n")
+
+    @classmethod
+    def load(cls, path) -> "FaultPlan":
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_json(fh.read())
+
+
+# ----------------------------------------------------------------------
+# seeded generation
+# ----------------------------------------------------------------------
+def random_plan(
+    seed: int,
+    horizon_steps: int,
+    num_gpus: int,
+    max_events: int = 4,
+    kinds: Sequence[str] = FAULT_KINDS,
+    note: str = "",
+) -> FaultPlan:
+    """Generate a step-triggered plan that a job on ``num_gpus`` survives.
+
+    Deterministic in ``seed``.  Capacity-removing events (revokes,
+    preempts) are bounded so at least one GPU always survives; events land
+    on steps ``1..horizon_steps-1`` (step 0 is left alone so every run has
+    an uncorrupted initial snapshot).
+    """
+    if horizon_steps < 2:
+        raise ValueError("horizon must span at least 2 steps")
+    if num_gpus < 1:
+        raise ValueError("need at least one GPU")
+    if max_events < 1:
+        raise ValueError("max_events must be positive")
+    bad = set(kinds) - set(FAULT_KINDS)
+    if bad:
+        raise ValueError(f"unknown fault kinds: {sorted(bad)}")
+    rng = random.Random(seed)
+    budget = num_gpus - 1  # GPUs we may remove while keeping the job alive
+    events: List[FaultEvent] = []
+    num_events = rng.randint(1, max_events)
+    for _ in range(num_events):
+        kind = rng.choice(list(kinds))
+        if kind in CAPACITY_KINDS and budget <= 0:
+            kind = "worker_crash"  # deterministic downgrade: pool exhausted
+        step = rng.randint(1, horizon_steps - 1)
+        target: Optional[str] = None
+        magnitude = 1.0
+        if kind == "worker_crash":
+            target = f"worker:{rng.randint(0, max(num_gpus - 1, 0))}"
+        elif kind == "gpu_revoke":
+            budget -= 1
+        elif kind == "node_preempt":
+            take = rng.randint(1, min(2, budget))
+            budget -= take
+            magnitude = float(take)
+        elif kind == "slowdown":
+            target = f"worker:{rng.randint(0, max(num_gpus - 1, 0))}"
+            magnitude = round(rng.uniform(1.5, 3.0), 2)
+        elif kind == "restart_delay":
+            magnitude = round(rng.uniform(5.0, 60.0), 1)
+        events.append(
+            FaultEvent(kind=kind, at_step=step, target=target, magnitude=magnitude)
+        )
+    events.sort(key=lambda e: (e.trigger, e.kind))
+    return FaultPlan(events=tuple(events), seed=seed, note=note)
+
+
+def random_sim_plan(
+    seed: int,
+    horizon_s: float,
+    max_events: int = 6,
+    kinds: Sequence[str] = FAULT_KINDS,
+    note: str = "",
+) -> FaultPlan:
+    """Generate a time-triggered plan for the cluster simulator."""
+    if horizon_s <= 0:
+        raise ValueError("horizon must be positive")
+    rng = random.Random(seed)
+    events: List[FaultEvent] = []
+    for _ in range(rng.randint(1, max(max_events, 1))):
+        kind = rng.choice(list(kinds))
+        at_time = round(rng.uniform(0.05, 0.95) * horizon_s, 1)
+        magnitude = 1.0
+        if kind == "node_preempt":
+            magnitude = float(rng.randint(1, 4))
+        elif kind == "slowdown":
+            magnitude = round(rng.uniform(1.5, 3.0), 2)
+        elif kind == "restart_delay":
+            magnitude = round(rng.uniform(10.0, 120.0), 1)
+        events.append(FaultEvent(kind=kind, at_time=at_time, magnitude=magnitude))
+    events.sort(key=lambda e: (e.trigger, e.kind))
+    return FaultPlan(events=tuple(events), seed=seed, note=note)

@@ -124,6 +124,7 @@ def configure(
     ring_size: int = 65536,
     audit: bool = False,
     audit_path: Optional[str] = None,
+    audit_rewind: bool = False,
 ) -> None:
     """(Re)configure the global observability state.
 
@@ -131,6 +132,9 @@ def configure(
     ``configure`` calls never mix records from different runs.  ``audit``
     (or a non-None ``audit_path``) turns on the per-step determinism
     trail; everything else costs nothing until a span/metric fires.
+    ``audit_rewind`` permits non-increasing steps on the trail — required
+    for fault-recovery runs, which restore to an earlier step and
+    re-record the steps they re-execute.
     """
     global _enabled, _tracer, _metrics, _audit
     if _audit is not None:
@@ -138,7 +142,11 @@ def configure(
     _enabled = bool(enabled)
     _tracer = SpanTracer(clock=clock, ring_size=ring_size)
     _metrics = MetricsRegistry()
-    _audit = AuditTrail(audit_path) if (audit or audit_path is not None) and enabled else None
+    _audit = (
+        AuditTrail(audit_path, allow_rewind=audit_rewind)
+        if (audit or audit_path is not None) and enabled
+        else None
+    )
 
 
 def reset() -> None:

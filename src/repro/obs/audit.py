@@ -89,18 +89,34 @@ class AuditRecord:
 
 
 class AuditTrail:
-    """Append-only per-step fingerprint stream, optionally mirrored to JSONL."""
+    """Append-only per-step fingerprint stream, optionally mirrored to JSONL.
 
-    def __init__(self, path: Optional[str] = None) -> None:
+    By default steps must strictly increase — re-recording a step is a
+    caller bug.  Fault-recovery runs are the sanctioned exception: a
+    restore rewinds the engine to an earlier step and *re-executes* it, so
+    a trail created with ``allow_rewind=True`` accepts a non-increasing
+    step by truncating the stale tail (every in-memory record at or past
+    the new step) first.  The JSONL mirror intentionally keeps the full
+    history including rewound records — that is the forensic log — and
+    :meth:`by_step` on a loaded trail takes the *last* occurrence of each
+    step, so a replayed trail compares equal to a fault-free one exactly
+    when the re-executed steps were bitwise identical.
+    """
+
+    def __init__(self, path: Optional[str] = None, allow_rewind: bool = False) -> None:
         self.records: List[AuditRecord] = []
+        self.allow_rewind = allow_rewind
         self._path = os.fspath(path) if path is not None else None
         self._fh = open(self._path, "a", encoding="utf-8") if self._path else None
 
     def record(self, record: AuditRecord) -> None:
         if self.records and record.step <= self.records[-1].step:
-            raise ValueError(
-                f"audit steps must increase: {record.step} after {self.records[-1].step}"
-            )
+            if not self.allow_rewind:
+                raise ValueError(
+                    f"audit steps must increase: {record.step} after {self.records[-1].step}"
+                )
+            while self.records and self.records[-1].step >= record.step:
+                self.records.pop()
         self.records.append(record)
         if self._fh is not None:
             self._fh.write(record.to_json() + "\n")

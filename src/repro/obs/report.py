@@ -29,7 +29,14 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 #: event kinds the report understands; anything else is ignored
-_ALLOC_KINDS = ("cluster_capacity", "job_submit", "scale_out", "scale_in", "job_done")
+_ALLOC_KINDS = (
+    "cluster_capacity",
+    "job_submit",
+    "scale_out",
+    "scale_in",
+    "preempt",
+    "job_done",
+)
 
 
 def _normalize(event: Any) -> Optional[Tuple[float, str, Dict[str, Any]]]:
@@ -81,6 +88,8 @@ class _JobLane:
     timeline: List[Tuple[float, int]] = field(default_factory=list)
     #: accumulated GPU-seconds by type
     gpu_seconds: Dict[str, float] = field(default_factory=dict)
+    #: times at which a fault preempted this job (recovery-gap markers)
+    preempt_times: List[float] = field(default_factory=list)
     _last_time: float = 0.0
 
     @property
@@ -191,15 +200,18 @@ class ClusterUtilizationReport:
                 total_allocated += count
                 j.timeline.append((time, j.total_held))
                 allocation_timeline.append((time, total_allocated))
-            elif kind == "scale_in":
+            elif kind in ("scale_in", "preempt"):
                 j = lane(str(payload.get("job", "?")))
                 gtype = str(payload.get("gtype", "?")).lower()
                 count = int(payload.get("gpus", 0))
-                j.held[gtype] = max(0, j.held.get(gtype, 0) - count)
-                held_by_type[gtype] = max(0, held_by_type.get(gtype, 0) - count)
-                total_allocated = max(0, total_allocated - count)
-                j.timeline.append((time, j.total_held))
-                allocation_timeline.append((time, total_allocated))
+                if count:
+                    j.held[gtype] = max(0, j.held.get(gtype, 0) - count)
+                    held_by_type[gtype] = max(0, held_by_type.get(gtype, 0) - count)
+                    total_allocated = max(0, total_allocated - count)
+                    j.timeline.append((time, j.total_held))
+                    allocation_timeline.append((time, total_allocated))
+                if kind == "preempt":
+                    j.preempt_times.append(time)
             elif kind == "job_done":
                 j = lane(str(payload.get("job", "?")))
                 j.done_time = time
@@ -258,6 +270,11 @@ class ClusterUtilizationReport:
         return self.total_busy_gpu_seconds / total_capacity
 
     @property
+    def preemptions(self) -> int:
+        """Total fault-driven preemptions across all job lanes."""
+        return sum(len(lane.preempt_times) for lane in self.jobs.values())
+
+    @property
     def fragmentation(self) -> float:
         """Share of idle GPU-seconds that a pending job was starving for."""
         idle = self.total_idle_gpu_seconds
@@ -291,13 +308,15 @@ class ClusterUtilizationReport:
             "fragmentation": self.fragmentation,
             "mean_queueing_delay_s": self.mean_queueing_delay,
             "queueing_delays": self.queueing_delays(),
+            "preemptions": self.preemptions,
         }
 
     # ------------------------------------------------------------------
     # renderers
     # ------------------------------------------------------------------
     def _lane_cells(self, lane: _JobLane, width: int) -> str:
-        """One job's life as ``width`` characters: . queued, # running."""
+        """One job's life as ``width`` characters: . queued, # running,
+        ! preempted (fault marker overlays the allocation segments)."""
         if self.horizon <= 0:
             return " " * width
         cells = [" "] * width
@@ -317,6 +336,8 @@ class ClusterUtilizationReport:
                 for i in range(col(prev_t), col(t) + 1):
                     cells[i] = "#"
             prev_t, prev_held = t, held
+        for t in lane.preempt_times:
+            cells[col(t)] = "!"
         return "".join(cells)
 
     def to_text(self, width: int = 60, max_jobs: int = 40) -> str:
@@ -343,9 +364,10 @@ class ClusterUtilizationReport:
             f"cluster utilization: {self.utilization:.1%}",
             f"fragmentation (starved-idle share): {self.fragmentation:.1%}",
             f"mean queueing delay: {self.mean_queueing_delay:.1f}s",
+            f"preemptions: {self.preemptions}",
             "",
-            f"per-job allocation timeline (.=queued/idle  #=holding GPUs, "
-            f"{self.horizon:.0f}s wide):",
+            f"per-job allocation timeline (.=queued/idle  #=holding GPUs  "
+            f"!=preempted, {self.horizon:.0f}s wide):",
         ]
         shown = 0
         for job_id, lane in sorted(self.jobs.items()):
@@ -390,6 +412,11 @@ class ClusterUtilizationReport:
                         f'title="{prev_held} GPUs"></div>'
                     )
                 prev_t, prev_held = t, held
+            for t in lane.preempt_times:
+                segments.append(
+                    f'<div class="preempt" style="left:{t / horizon * 100:.2f}%" '
+                    f'title="preempted at {t:.0f}s"></div>'
+                )
             delay = lane.queueing_delay
             delay_txt = f"{delay:.0f}s queued" if delay is not None else "never granted"
             lanes.append(
@@ -411,6 +438,7 @@ th {{ background: #f3f3f3; }}
           border: 1px solid #ddd; }}
 .queued {{ position: absolute; top: 5px; height: 4px; background: #cfd8dc; }}
 .alloc {{ position: absolute; top: 1px; height: 12px; background: #4caf50; }}
+.preempt {{ position: absolute; top: 0; height: 14px; width: 2px; background: #e53935; }}
 .note {{ width: 9em; font-size: 0.8em; color: #777; padding-left: 0.6em; }}
 .kpis span {{ display: inline-block; margin-right: 2em; }}
 .kpis b {{ font-size: 1.3em; }}

@@ -88,6 +88,8 @@ class AIMaster:
         self.timed_out = 0
         #: count of Role-3 fallbacks triggered by measured slowdowns
         self.fallbacks = 0
+        #: count of fault-driven preemptions this job absorbed
+        self.preemptions = 0
 
     # ------------------------------------------------------------------
     # RPC surface (called by the EasyScale runtime)
@@ -123,6 +125,19 @@ class AIMaster:
         """The cluster scheduler granted something: reschedule (Role-3)."""
         self.pending.clear()
         self.monitor.reset()
+        return self.scheduler.on_decision(owned)
+
+    def on_preempt(self, now: float, owned: Mapping[str, int]) -> Optional[WorkerAssignment]:
+        """GPUs were taken away by a fault, not a scheduling decision.
+
+        Same replan path as a grant — the EST assignment must move onto
+        the survivors — but pending proposals are kept alive: the job
+        still wants the capacity it asked for (more so, now).  Old
+        throughput measurements describe the dead allocation, so the
+        monitor resets.
+        """
+        self.monitor.reset()
+        self.preemptions += 1
         return self.scheduler.on_decision(owned)
 
     def _apply_measurements(self) -> None:

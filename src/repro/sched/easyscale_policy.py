@@ -108,6 +108,20 @@ class EasyScalePolicy(SchedulingPolicy):
                 self._apply_plan(runtime)
 
     # ------------------------------------------------------------------
+    def on_preempt(self, sim: ClusterSimulator, runtime: JobRuntime, now: float) -> None:
+        """Elastic jobs shrink instead of dying: replan immediately on the
+        surviving GPUs (an EST assignment exists for any ownership, even a
+        single GPU), and a healthy reallocation clears any injected
+        slowdown — the degraded device was part of what was taken."""
+        runtime.fault_slowdown = 1.0
+        if runtime.agent is not None:
+            self._apply_plan(runtime)
+            if runtime.total_owned == 0 and runtime.status == "running":
+                # zero GPUs is a legal elastic state: the job idles at rate
+                # 0 until the next round grants it capacity again
+                runtime.rate = 0.0
+
+    # ------------------------------------------------------------------
     def _apply_plan(self, runtime: JobRuntime) -> None:
         scored = runtime.agent.apply_best_plan(runtime.owned)
         runtime.rate = scored.throughput if scored else 0.0

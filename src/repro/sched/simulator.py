@@ -37,6 +37,12 @@ class JobRuntime:
     completion_time: Optional[float] = None
     #: progress paused until this time (checkpoint/restart cost)
     reconfig_until: float = 0.0
+    #: injected degradation factor (>= 1): modeled time only, like the
+    #: engine-level worker slowdown — the policy's rate estimate is
+    #: divided by it until the job is rescheduled onto healthy GPUs
+    fault_slowdown: float = 1.0
+    #: faults that hit this job (kind, time) — JCT forensics
+    faults: List[Tuple[str, float]] = field(default_factory=list)
     #: policy-private state (e.g. the intra-job scheduler)
     agent: object = None
 
@@ -44,20 +50,24 @@ class JobRuntime:
     def total_owned(self) -> int:
         return sum(self.owned.values())
 
+    @property
+    def effective_rate(self) -> float:
+        return self.rate / self.fault_slowdown if self.rate > 0 else 0.0
+
     def advance(self, t_from: float, t_to: float) -> None:
         """Accrue progress over [t_from, t_to) at the current rate."""
-        if self.status != "running" or self.rate <= 0:
+        if self.status != "running" or self.effective_rate <= 0:
             return
         effective_from = max(t_from, self.reconfig_until)
         dt = t_to - effective_from
         if dt > 0:
-            self.remaining_work = max(0.0, self.remaining_work - self.rate * dt)
+            self.remaining_work = max(0.0, self.remaining_work - self.effective_rate * dt)
 
     def predicted_completion(self, now: float) -> Optional[float]:
-        if self.status != "running" or self.rate <= 0:
+        if self.status != "running" or self.effective_rate <= 0:
             return None
         start = max(now, self.reconfig_until)
-        return start + self.remaining_work / self.rate
+        return start + self.remaining_work / self.effective_rate
 
 
 class SchedulingPolicy:
@@ -71,6 +81,11 @@ class SchedulingPolicy:
     def reschedule(self, sim: "ClusterSimulator", now: float) -> None:
         raise NotImplementedError
 
+    def on_preempt(self, sim: "ClusterSimulator", runtime: JobRuntime, now: float) -> None:
+        """React to a job losing GPUs to a fault (default: wait for the
+        next scheduling round).  Gang schedulers must requeue here; elastic
+        policies can replan immediately on the shrunken ownership."""
+
 
 @dataclass
 class SimResult:
@@ -82,6 +97,12 @@ class SimResult:
     makespan: float
     #: (time, total allocated GPUs) step series
     allocation_timeline: List[Tuple[float, int]]
+    #: fault-injection outcome (zero when no plan was attached)
+    preemptions: int = 0
+    #: restart/checkpoint pauses charged to recoveries
+    recovery_seconds: float = 0.0
+    #: progress re-done because an abrupt fault lost un-checkpointed work
+    lost_work_seconds: float = 0.0
 
     @property
     def completed(self) -> List[JobRuntime]:
@@ -113,13 +134,30 @@ class ClusterSimulator:
         policy: SchedulingPolicy,
         reconfig_delay: float = 15.0,
         round_interval: float = 120.0,
+        faults: Optional[object] = None,
+        checkpoint_interval: float = 600.0,
     ) -> None:
         if reconfig_delay < 0 or round_interval <= 0:
             raise ValueError("invalid simulator timing parameters")
+        if checkpoint_interval <= 0:
+            raise ValueError("checkpoint_interval must be positive")
         self.cluster = cluster
         self.policy = policy
         self.reconfig_delay = reconfig_delay
         self.round_interval = round_interval
+        #: jobs checkpoint every this many simulated seconds; an abrupt
+        #: fault loses the progress made since the last boundary
+        self.checkpoint_interval = checkpoint_interval
+        self.fault_injector = None
+        if faults is not None:
+            from repro.faults.injector import SimFaultInjector
+
+            self.fault_injector = SimFaultInjector(faults)
+        self.preemptions = 0
+        self.recovery_seconds = 0.0
+        self.lost_work_seconds = 0.0
+        self._extra_restart_delay = 0.0
+        self._checkpoints_corrupt = 0
         self.runtimes = [
             JobRuntime(job=j, remaining_work=j.total_work)
             for j in sorted(jobs, key=lambda j: j.arrival_time)
@@ -175,6 +213,149 @@ class ClusterSimulator:
         return {k.lower(): v for k, v in self.cluster.free_by_type().items()}
 
     # ------------------------------------------------------------------
+    # fault injection
+    # ------------------------------------------------------------------
+    def _fault_victim(self, event, arrived: List[JobRuntime]) -> Optional[JobRuntime]:
+        """The job a fault hits: the explicit ``job:<id>`` target, else the
+        running job holding the most GPUs (ties broken by job id) — the
+        statistically likeliest victim of a node loss, and deterministic."""
+        target = event.target_job()
+        running = [r for r in arrived if r.status == "running"]
+        if target is not None:
+            for runtime in arrived:
+                if runtime.job.job_id == target and runtime.status != "done":
+                    return runtime
+            return None
+        if not running:
+            return None
+        return max(running, key=lambda r: (r.total_owned, r.job.job_id))
+
+    def _lost_work_seconds(self, runtime: JobRuntime) -> float:
+        """Progress seconds lost to an abrupt fault: time since the last
+        periodic checkpoint boundary (one extra interval per corrupted
+        checkpoint), capped at the job's total running time."""
+        if runtime.start_time is None:
+            return 0.0
+        elapsed = max(0.0, self.now - runtime.start_time)
+        lost = (self.now - runtime.start_time) % self.checkpoint_interval
+        lost += self._checkpoints_corrupt * self.checkpoint_interval
+        self._checkpoints_corrupt = 0
+        return min(lost, elapsed)
+
+    def preempt(
+        self,
+        runtime: JobRuntime,
+        count: int,
+        gtype: Optional[str] = None,
+        abrupt: bool = True,
+        kind: str = "node_preempt",
+    ) -> None:
+        """Forcibly remove ``count`` GPUs from a job (fault path).
+
+        Unlike :meth:`revoke` — a *scheduling* decision with an on-demand
+        checkpoint — an abrupt preemption also loses the progress made
+        since the last periodic checkpoint.  Emits a structured
+        ``preempt`` event and notifies the policy via ``on_preempt``.
+        """
+        removed: List[Tuple[str, int]] = []
+        remaining = max(0, count)  # 0 = crash/restart without GPU loss
+        # prefer the requested type, then drain largest holdings first
+        order = sorted(runtime.owned, key=lambda t: (t != gtype, -runtime.owned[t], t))
+        for owned_type in order:
+            if remaining <= 0:
+                break
+            take = min(remaining, runtime.owned.get(owned_type, 0))
+            if take <= 0:
+                continue
+            canonical = _canonical(owned_type)
+            gpus = [
+                g
+                for g in self.cluster.owned_by(runtime.job.job_id)
+                if g.type.name == canonical
+            ]
+            self.cluster.release(runtime.job.job_id, gpus[:take])
+            runtime.owned[owned_type] -= take
+            removed.append((owned_type, take))
+            remaining -= take
+
+        lost = self._lost_work_seconds(runtime) if abrupt else 0.0
+        if lost > 0:
+            runtime.remaining_work += lost * runtime.effective_rate
+            self.lost_work_seconds += lost
+        delay = self.reconfig_delay + self._extra_restart_delay
+        self._extra_restart_delay = 0.0
+        runtime.reconfig_until = self.now + delay
+        self.recovery_seconds += delay
+        self.preemptions += 1
+        runtime.faults.append((kind, self.now))
+        for removed_type, taken in removed:
+            self.events.emit(
+                self.now,
+                "preempt",
+                job=runtime.job.job_id,
+                gtype=removed_type,
+                gpus=taken,
+                fault=kind,
+                abrupt=abrupt,
+                lost_s=round(lost, 3),
+            )
+        if not removed:
+            # crash without GPU loss still restarts the job
+            self.events.emit(
+                self.now,
+                "preempt",
+                job=runtime.job.job_id,
+                gtype=None,
+                gpus=0,
+                fault=kind,
+                abrupt=abrupt,
+                lost_s=round(lost, 3),
+            )
+        if obs.is_enabled():
+            obs.metrics().counter(
+                "sim_preemptions_total", policy=self.policy.name, kind=kind
+            ).inc()
+        self.policy.on_preempt(self, runtime, self.now)
+
+    def _apply_fault(self, event, arrived: List[JobRuntime]) -> None:
+        if event.kind == "restart_delay":
+            self._extra_restart_delay += float(event.magnitude)
+            self.events.emit(self.now, "fault", fault=event.kind, magnitude=event.magnitude)
+            return
+        if event.kind == "checkpoint_corrupt":
+            self._checkpoints_corrupt += 1
+            self.events.emit(self.now, "fault", fault=event.kind, magnitude=event.magnitude)
+            return
+        victim = self._fault_victim(event, arrived)
+        if victim is None:
+            self.events.emit(self.now, "fault", fault=event.kind, wasted=True)
+            return
+        if event.kind == "slowdown":
+            victim.fault_slowdown = max(victim.fault_slowdown, float(event.magnitude))
+            victim.faults.append((event.kind, self.now))
+            self.events.emit(
+                self.now,
+                "fault",
+                fault=event.kind,
+                job=victim.job.job_id,
+                magnitude=event.magnitude,
+            )
+        elif event.kind == "worker_crash":
+            self.preempt(victim, count=0, abrupt=True, kind=event.kind)
+        elif event.kind == "gpu_revoke":
+            self.preempt(
+                victim, count=1, gtype=event.target_gtype(), abrupt=False, kind=event.kind
+            )
+        elif event.kind == "node_preempt":
+            self.preempt(
+                victim,
+                count=max(1, int(event.magnitude)),
+                gtype=event.target_gtype(),
+                abrupt=True,
+                kind=event.kind,
+            )
+
+    # ------------------------------------------------------------------
     # main loop
     # ------------------------------------------------------------------
     def run(self, max_time: float = 10_000_000.0) -> SimResult:
@@ -192,6 +373,10 @@ class ClusterSimulator:
             if any(r.status == "running" for r in arrived):
                 next_round = (int(self.now / self.round_interval) + 1) * self.round_interval
                 candidates.append(next_round)
+            if self.fault_injector is not None:
+                fault_time = self.fault_injector.next_time(self.now)
+                if fault_time is not None:
+                    candidates.append(fault_time)
             if not candidates:
                 break
             t_next = min(candidates)
@@ -207,6 +392,10 @@ class ClusterSimulator:
                 arrived.append(runtime)
                 self.events.emit(self.now, "job_submit", job=runtime.job.job_id)
                 self.policy.on_job_arrival(self, runtime)
+
+            if self.fault_injector is not None:
+                for event in self.fault_injector.due(self.now):
+                    self._apply_fault(event, arrived)
 
             for runtime in arrived:
                 if runtime.status == "running" and runtime.remaining_work <= self.WORK_EPS:
@@ -249,6 +438,9 @@ class ClusterSimulator:
             events=self.events,
             makespan=makespan,
             allocation_timeline=self._timeline,
+            preemptions=self.preemptions,
+            recovery_seconds=self.recovery_seconds,
+            lost_work_seconds=self.lost_work_seconds,
         )
 
 

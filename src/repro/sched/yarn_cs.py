@@ -42,3 +42,15 @@ class YarnCapacityScheduler(SchedulingPolicy):
             # gang jobs don't pay the elastic restart cost at admission
             head.reconfig_until = now
             head.rate = head.job.requested_rate()
+
+    def on_preempt(self, sim: ClusterSimulator, runtime: JobRuntime, now: float) -> None:
+        """A gang job cannot run on a partial gang: release the remnant and
+        requeue at the head (it keeps its FIFO seniority), waiting for the
+        full gang to be free again."""
+        if runtime.total_owned >= runtime.job.requested_gpus:
+            return  # crash without GPU loss: restart cost already charged
+        sim.release_all(runtime)
+        runtime.status = "pending"
+        runtime.rate = 0.0
+        if runtime not in self._queue:
+            self._queue.insert(0, runtime)

@@ -7,27 +7,104 @@ determinism.  We serialize with :mod:`pickle` (arrays pass through NumPy's
 own reducer, which preserves dtype/bytes exactly) but keep the *structure*
 a plain nested dict so tests can introspect it and hypothesis can fuzz the
 round-trip.
+
+The wire format is self-verifying: a fixed magic, the format version, the
+payload length, and a CRC32 of the payload lead every blob.  A preemption
+that truncates a checkpoint mid-write, or a storage bit-flip, surfaces as
+a :class:`CheckpointCorruptError` at load time — never as a pickle
+traceback, and never as a silently-wrong restore.  The fault-injection
+subsystem (``repro.faults``) relies on corruption being *detectable*: its
+``checkpoint_corrupt`` events flip bits and expect the resilience
+controller to fall back to an older snapshot.
 """
 
 from __future__ import annotations
 
-import io
 import pickle
-from typing import Any, Dict, Mapping, Tuple
+import struct
+import zlib
+from typing import Any, Dict, Mapping
 
 import numpy as np
 
+#: Leading magic of the framed wire format.
+MAGIC = b"RPCK"
+
+#: Version of the framed wire format (not the checkpoint *schema* version,
+#: which lives in :data:`repro.core.checkpoint.FORMAT_VERSION`).
+FORMAT_VERSION = 1
+
+#: magic + u32 version + u32 crc32 + u64 payload length
+_HEADER = struct.Struct("<4sIIQ")
+
+
+class CheckpointCorruptError(ValueError):
+    """A checkpoint blob failed integrity verification.
+
+    Raised on truncated bytes, CRC mismatches (bit flips), unknown wire
+    versions, and undecodable payloads — anything where the stored state
+    cannot be trusted bit-for-bit.  Subclasses :class:`ValueError` so
+    pre-existing ``except ValueError`` callers keep working.
+    """
+
 
 def state_dict_to_bytes(state: Mapping[str, Any]) -> bytes:
-    """Serialize a (possibly nested) state dict to bytes."""
-    buf = io.BytesIO()
-    pickle.dump(dict(state), buf, protocol=pickle.HIGHEST_PROTOCOL)
-    return buf.getvalue()
+    """Serialize a (possibly nested) state dict to framed, checksummed bytes."""
+    payload = pickle.dumps(dict(state), protocol=pickle.HIGHEST_PROTOCOL)
+    header = _HEADER.pack(MAGIC, FORMAT_VERSION, zlib.crc32(payload), len(payload))
+    return header + payload
 
 
 def state_dict_from_bytes(data: bytes) -> Dict[str, Any]:
-    """Inverse of :func:`state_dict_to_bytes`."""
-    return pickle.load(io.BytesIO(data))
+    """Inverse of :func:`state_dict_to_bytes`, with integrity verification.
+
+    Raises :class:`CheckpointCorruptError` when the blob is truncated, has
+    a flipped bit (CRC mismatch), carries an unknown wire version, or the
+    payload fails to decode.  Legacy unframed blobs (raw pickle, written
+    before the framed format) are still accepted, but without the CRC
+    guarantee.
+    """
+    if not isinstance(data, (bytes, bytearray, memoryview)):
+        raise TypeError(f"expected bytes, got {type(data).__name__}")
+    data = bytes(data)
+    if len(data) >= 4 and data[:4] == MAGIC:
+        if len(data) < _HEADER.size:
+            raise CheckpointCorruptError(
+                f"truncated checkpoint: {len(data)} bytes is shorter than the "
+                f"{_HEADER.size}-byte header"
+            )
+        _, version, crc, length = _HEADER.unpack_from(data)
+        if version != FORMAT_VERSION:
+            raise CheckpointCorruptError(
+                f"unsupported checkpoint wire format version {version} "
+                f"(this build reads version {FORMAT_VERSION})"
+            )
+        payload = data[_HEADER.size:]
+        if len(payload) != length:
+            raise CheckpointCorruptError(
+                f"truncated checkpoint: header promises {length} payload bytes, "
+                f"found {len(payload)}"
+            )
+        actual_crc = zlib.crc32(payload)
+        if actual_crc != crc:
+            raise CheckpointCorruptError(
+                f"checkpoint payload failed CRC32 verification "
+                f"(stored {crc:#010x}, computed {actual_crc:#010x}): "
+                "the bytes were corrupted after writing"
+            )
+    else:
+        payload = data  # legacy unframed blob: best-effort decode below
+    try:
+        state = pickle.loads(payload)
+    except Exception as err:  # truncated/garbled pickle streams raise many types
+        raise CheckpointCorruptError(
+            f"checkpoint payload failed to decode: {err}"
+        ) from err
+    if not isinstance(state, dict):
+        raise CheckpointCorruptError(
+            f"checkpoint payload decoded to {type(state).__name__}, expected dict"
+        )
+    return state
 
 
 def flatten_state_dict(state: Mapping[str, Any], prefix: str = "") -> Dict[str, Any]:

@@ -1,0 +1,95 @@
+"""Reconfiguration at *every* step of an epoch preserves all training state.
+
+The elastic claim is position-independent: scaling at an epoch boundary is
+the easy case, so this suite reconfigures at each interior step of a small
+epoch and checks that the dataloader cursor, the per-EST RNG streams, and
+the BatchNorm statistics all survive bitwise — and that continuing to a
+common horizon lands on a model identical to the never-reconfigured run.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import EasyScaleEngine, EasyScaleJobConfig, WorkerAssignment
+from repro.hw import gpu_type
+from repro.models import get_workload
+from repro.obs import fingerprint_rng_states
+from repro.utils.fingerprint import fingerprint_state_dict
+from tests.conftest import sgd_factory
+
+TOTAL_STEPS = 8  # two epochs of four global steps each
+
+
+@pytest.fixture(scope="module")
+def env():
+    spec = get_workload("resnet18")
+    dataset = spec.build_dataset(32, seed=7)
+    # 32 samples / (batch 4 x 2 ESTs) = 4 global steps per epoch
+    config = EasyScaleJobConfig(num_ests=2, seed=0, batch_size=4)
+    return spec, dataset, config
+
+
+def _engine(env, num_gpus):
+    spec, dataset, config = env
+    return EasyScaleEngine(
+        spec, dataset, config, sgd_factory(),
+        WorkerAssignment.balanced([gpu_type("V100")] * num_gpus, 2),
+    )
+
+
+def _rng_fingerprint(engine):
+    return fingerprint_rng_states([est.rng.get_state() for est in engine.ests])
+
+
+def _bn_buffers(engine):
+    state = engine.model.state_dict()
+    buffers = {k: v for k, v in state.items() if "running" in k}
+    assert buffers, "model exposes no BatchNorm running statistics"
+    return buffers
+
+
+@pytest.fixture(scope="module")
+def reference(env):
+    engine = _engine(env, num_gpus=2)
+    losses = engine.train_steps(TOTAL_STEPS)
+    return {
+        "losses": losses,
+        "params": fingerprint_state_dict(engine.model.state_dict()),
+        "rng": _rng_fingerprint(engine),
+        "bn": _bn_buffers(engine),
+        "cursor": (engine.epoch, engine.step_in_epoch),
+    }
+
+
+@pytest.mark.parametrize("step", range(4))
+def test_reconfigure_at_every_epoch_position(env, reference, step):
+    engine = _engine(env, num_gpus=2)
+    assert engine.steps_per_epoch == 4
+    losses = engine.train_steps(step)
+
+    before = {
+        "cursor": (engine.epoch, engine.step_in_epoch),
+        "rng": _rng_fingerprint(engine),
+        "params": fingerprint_state_dict(engine.model.state_dict()),
+    }
+    engine = engine.reconfigure(
+        WorkerAssignment.balanced([gpu_type("V100")], 2)
+    )
+
+    # the handoff itself moves nothing: cursor, RNG streams, and weights
+    # are bitwise what they were on the old allocation
+    assert (engine.epoch, engine.step_in_epoch) == before["cursor"]
+    assert _rng_fingerprint(engine) == before["rng"]
+    assert fingerprint_state_dict(engine.model.state_dict()) == before["params"]
+
+    losses += engine.train_steps(TOTAL_STEPS - step)
+
+    assert losses == reference["losses"]
+    assert fingerprint_state_dict(engine.model.state_dict()) == reference["params"]
+    assert _rng_fingerprint(engine) == reference["rng"]
+    assert (engine.epoch, engine.step_in_epoch) == reference["cursor"]
+    for name, expected in reference["bn"].items():
+        np.testing.assert_array_equal(
+            _bn_buffers(engine)[name], expected,
+            err_msg=f"BN statistic {name} diverged after step-{step} rescale",
+        )

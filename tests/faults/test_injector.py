@@ -1,0 +1,118 @@
+"""FaultInjector / SimFaultInjector: exactly-once firing and reset."""
+
+import pytest
+
+from repro.faults import (
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    NodePreemptSignal,
+    SimFaultInjector,
+    WorkerCrashSignal,
+)
+
+
+class _StubAssignment:
+    def __init__(self, num_workers):
+        self.num_workers = num_workers
+
+
+class _StubEngine:
+    """Just enough engine surface for the boundary hook."""
+
+    def __init__(self, global_step=0, num_workers=2):
+        self.global_step = global_step
+        self.assignment = _StubAssignment(num_workers)
+
+
+def _plan(*events, seed=0):
+    return FaultPlan(events=tuple(events), seed=seed)
+
+
+class TestStepInjector:
+    def test_node_preempt_fires_exactly_once(self):
+        plan = _plan(FaultEvent(kind="node_preempt", at_step=3, magnitude=2.0))
+        injector = FaultInjector(plan)
+        engine = _StubEngine(global_step=3)
+        injector.on_step_boundary(_StubEngine(global_step=2))
+        with pytest.raises(NodePreemptSignal) as excinfo:
+            injector.on_step_boundary(engine)
+        assert excinfo.value.event.magnitude == 2.0
+        # the recovered engine re-executes step 3: no second raise
+        injector.on_step_boundary(engine)
+        assert injector.fired_count == 1 and injector.exhausted
+
+    def test_worker_crash_targets_one_worker_mid_step(self):
+        plan = _plan(FaultEvent(kind="worker_crash", at_step=1, target="worker:1"))
+        injector = FaultInjector(plan)
+        injector.on_step_boundary(_StubEngine(global_step=1, num_workers=2))
+        injector.on_local_step(worker_id=0, vrank=0)  # survivor: no raise
+        with pytest.raises(WorkerCrashSignal) as excinfo:
+            injector.on_local_step(worker_id=1, vrank=2)
+        assert excinfo.value.worker_id == 1 and excinfo.value.vrank == 2
+        injector.on_local_step(worker_id=1, vrank=3)  # fired stays fired
+        assert injector.exhausted
+
+    def test_local_hook_inert_before_first_boundary(self):
+        injector = FaultInjector(
+            _plan(FaultEvent(kind="worker_crash", at_step=0))
+        )
+        injector.on_local_step(worker_id=0, vrank=0)  # no boundary seen yet
+        assert injector.fired_count == 0
+
+    def test_boundary_events_consume_graceful_kinds(self):
+        plan = _plan(
+            FaultEvent(kind="slowdown", at_step=2, target="worker:0", magnitude=2.0),
+            FaultEvent(kind="checkpoint_corrupt", at_step=2),
+            FaultEvent(kind="worker_crash", at_step=2),
+        )
+        injector = FaultInjector(plan)
+        due = injector.boundary_events(2)
+        assert sorted(e.kind for e in due) == ["checkpoint_corrupt", "slowdown"]
+        assert injector.boundary_events(2) == []  # consumed
+        # the abrupt event is untouched by the graceful path
+        assert [e.kind for e in injector.pending_events()] == ["worker_crash"]
+
+    def test_reset_restores_the_full_plan(self):
+        plan = _plan(FaultEvent(kind="gpu_revoke", at_step=1))
+        injector = FaultInjector(plan)
+        assert len(injector.boundary_events(1)) == 1
+        injector.reset()
+        assert not injector.exhausted
+        assert len(injector.boundary_events(1)) == 1
+
+    def test_time_events_are_ignored(self):
+        injector = FaultInjector(
+            _plan(FaultEvent(kind="node_preempt", at_time=10.0))
+        )
+        injector.on_step_boundary(_StubEngine(global_step=10))
+        assert injector.exhausted  # no step events at all
+
+
+class TestSimInjector:
+    def _injector(self):
+        return SimFaultInjector(_plan(
+            FaultEvent(kind="slowdown", at_time=10.0, magnitude=2.0),
+            FaultEvent(kind="node_preempt", at_time=25.0),
+            FaultEvent(kind="node_preempt", at_time=40.0),
+        ))
+
+    def test_next_time_is_strictly_after(self):
+        injector = self._injector()
+        assert injector.next_time(0.0) == 10.0
+        assert injector.next_time(10.0) == 25.0
+        assert injector.next_time(40.0) is None
+
+    def test_due_pops_in_order_exactly_once(self):
+        injector = self._injector()
+        assert [e.at_time for e in injector.due(25.0)] == [10.0, 25.0]
+        assert injector.due(25.0) == []
+        assert [e.at_time for e in injector.due(100.0)] == [40.0]
+        assert injector.exhausted
+
+    def test_reset(self):
+        injector = self._injector()
+        injector.due(100.0)
+        injector.reset()
+        assert not injector.exhausted
+        assert len(injector.due(100.0)) == 3

@@ -1,0 +1,123 @@
+"""CheckpointManager: periodic capture, retention, corruption fallback."""
+
+import os
+
+import pytest
+
+from repro.core import EasyScaleEngine, EasyScaleJobConfig, WorkerAssignment
+from repro.core.checkpoint import CheckpointCorruptError
+from repro.faults import CheckpointManager, Snapshot
+from repro.hw import gpu_type
+from repro.models import get_workload
+from tests.conftest import sgd_factory
+
+
+@pytest.fixture
+def engine():
+    spec = get_workload("resnet18")
+    dataset = spec.build_dataset(32, seed=7)
+    config = EasyScaleJobConfig(num_ests=2, seed=0, batch_size=4)
+    return EasyScaleEngine(
+        spec, dataset, config, sgd_factory(),
+        WorkerAssignment.balanced([gpu_type("V100")] * 2, 2),
+    )
+
+
+class TestCapture:
+    def test_maybe_take_only_on_interval_boundaries(self, engine):
+        manager = CheckpointManager(interval=2, retention=4)
+        assert manager.maybe_take(engine) is not None  # step 0
+        engine.train_steps(1)
+        assert manager.maybe_take(engine) is None  # step 1
+        engine.train_steps(1)
+        assert manager.maybe_take(engine) is not None  # step 2
+        assert [s.step for s in manager.snapshots] == [0, 2]
+        assert manager.taken == 2
+
+    def test_retention_drops_oldest(self, engine):
+        manager = CheckpointManager(interval=1, retention=2)
+        for _ in range(4):
+            manager.take(engine)
+            engine.train_steps(1)
+        assert [s.step for s in manager.snapshots] == [2, 3]
+
+    def test_retaking_a_step_replaces_it(self, engine):
+        manager = CheckpointManager(interval=1, retention=3)
+        manager.take(engine)
+        manager.take(engine)
+        assert [s.step for s in manager.snapshots] == [0]
+        assert manager.taken == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CheckpointManager(interval=0)
+        with pytest.raises(ValueError):
+            CheckpointManager(retention=0)
+
+
+class TestRestore:
+    def test_candidates_newest_first_at_or_before(self, engine):
+        manager = CheckpointManager(interval=1, retention=4)
+        for _ in range(3):
+            manager.take(engine)
+            engine.train_steps(1)
+        assert [s.step for s in manager.candidates()] == [2, 1, 0]
+        assert [s.step for s in manager.candidates(at_or_before=1)] == [1, 0]
+
+    def test_decode_round_trips_the_engine_state(self, engine):
+        manager = CheckpointManager(interval=1, retention=2)
+        engine.train_steps(2)
+        snapshot = manager.take(engine)
+        ckpt = manager.decode(snapshot)
+        assert ckpt.extra["global_step"] == 2
+
+    def test_corrupt_latest_is_caught_by_decode(self, engine):
+        manager = CheckpointManager(interval=1, retention=3)
+        manager.take(engine)
+        engine.train_steps(1)
+        manager.take(engine)
+        assert manager.corrupt_latest() is not None
+        bad = manager.candidates()[0]
+        with pytest.raises(CheckpointCorruptError):
+            manager.decode(bad)
+        assert bad.corrupt and manager.corrupted_detected == 1
+        # the fallback candidate is the older, intact snapshot
+        assert [s.step for s in manager.candidates()] == [0]
+        assert manager.latest().step == 0
+
+    def test_step_label_mismatch_is_corruption(self, engine):
+        manager = CheckpointManager(interval=1, retention=2)
+        snapshot = manager.take(engine)
+        relabeled = Snapshot(step=snapshot.step + 5, data=snapshot.data)
+        with pytest.raises(CheckpointCorruptError, match="labeled step"):
+            manager.decode(relabeled)
+        assert relabeled.corrupt
+
+    def test_corrupt_latest_on_empty_manager(self):
+        assert CheckpointManager().corrupt_latest() is None
+
+
+class TestDiskMode:
+    def test_snapshots_persist_and_trim_on_disk(self, engine, tmp_path):
+        manager = CheckpointManager(interval=1, retention=2,
+                                    directory=str(tmp_path))
+        for _ in range(3):
+            manager.take(engine)
+            engine.train_steps(1)
+        names = sorted(os.listdir(tmp_path))
+        assert names == ["step-00000001.ckpt", "step-00000002.ckpt"]
+        assert not any(n.endswith(".tmp") for n in names)
+
+    def test_corruption_reaches_the_disk_copy(self, engine, tmp_path):
+        manager = CheckpointManager(interval=1, retention=2,
+                                    directory=str(tmp_path))
+        snapshot = manager.take(engine)
+        manager.corrupt_latest()
+        with open(snapshot.path, "rb") as fh:
+            assert fh.read() == snapshot.data
+
+    def test_describe_lists_snapshots(self, engine):
+        manager = CheckpointManager(interval=1, retention=2)
+        manager.take(engine)
+        text = manager.describe()
+        assert "retain 2" in text and "step" in text

@@ -121,3 +121,21 @@ class TestValidation:
         companion = CompanionModule(max_p=2, capability=dict(CAP))
         with pytest.raises(ValueError):
             AIMaster(IntraJobScheduler("j", companion), proposal_timeout_s=0)
+
+
+class TestOnPreempt:
+    def test_preempt_replans_but_keeps_pending_proposals(self):
+        aim = make_aimaster()
+        proposals = aim.tick(0.0, owned={"v100": 2},
+                             cluster_free={"v100": 2, "t4": 2})
+        assert proposals and aim.pending
+        pending_before = list(aim.pending)
+        aim.monitor.report(5.0)
+        assignment = aim.on_preempt(1.0, owned={"v100": 1})
+        # unlike a grant, a fault keeps the job's asks alive...
+        assert aim.pending == pending_before
+        # ...but stale measurements and the plan are refreshed
+        assert aim.monitor.value is None
+        assert aim.preemptions == 1
+        assert assignment is not None
+        assert aim.scheduler.current_plan.gpus_of("v100") == 1

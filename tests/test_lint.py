@@ -30,6 +30,22 @@ def test_source_tree_compiles():
     )
 
 
+def test_lint_walk_covers_faults_package():
+    # the walk is recursive, so new packages are covered automatically;
+    # this pins the repro.faults subsystem explicitly so a future
+    # restructuring cannot silently drop it from the gate
+    files = {os.path.relpath(p, SRC) for p in _python_files(SRC)}
+    for expected in (
+        "faults/__init__.py",
+        "faults/schedule.py",
+        "faults/injector.py",
+        "faults/manager.py",
+        "faults/controller.py",
+        "faults/contrast.py",
+    ):
+        assert expected in files, f"lint gate does not see {expected}"
+
+
 def test_no_pyflakes_errors():
     pyflakes_api = pytest.importorskip(
         "pyflakes.api", reason="pyflakes not installed; compile check still ran"
