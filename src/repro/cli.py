@@ -119,26 +119,31 @@ def _run_train(args: argparse.Namespace) -> int:
         else None
     )
     telemetry = RunLog(args.telemetry) if args.telemetry else None
+    backend = _build_backend(args)
 
-    if args.faults:
-        return _train_with_faults(
-            args, spec, dataset, config, optimizer, stages, telemetry, profiler
+    try:
+        if args.faults:
+            return _train_with_faults(
+                args, spec, dataset, config, optimizer, stages, telemetry,
+                profiler, backend,
+            )
+
+        engine = EasyScaleEngine(
+            spec, dataset, config, optimizer,
+            WorkerAssignment.balanced(stages[0], args.ests),
+            telemetry=telemetry, profiler=profiler, backend=backend,
         )
-
-    engine = EasyScaleEngine(
-        spec, dataset, config, optimizer,
-        WorkerAssignment.balanced(stages[0], args.ests),
-        telemetry=telemetry, profiler=profiler,
-    )
-    total = 0
-    for i, gpus in enumerate(stages):
-        if i > 0:
-            engine = engine.reconfigure(WorkerAssignment.balanced(gpus, args.ests))
-            print(f"reconfigured to stage {i}: {[g.name for g in gpus]}")
-        losses = engine.train_steps(args.steps_per_stage)
-        total += len(losses)
-        print(f"stage {i}: steps {total - len(losses)}..{total - 1}, "
-              f"last loss {losses[-1]:.6f}")
+        total = 0
+        for i, gpus in enumerate(stages):
+            if i > 0:
+                engine = engine.reconfigure(WorkerAssignment.balanced(gpus, args.ests))
+                print(f"reconfigured to stage {i}: {[g.name for g in gpus]}")
+            losses = engine.train_steps(args.steps_per_stage)
+            total += len(losses)
+            print(f"stage {i}: steps {total - len(losses)}..{total - 1}, "
+                  f"last loss {losses[-1]:.6f}")
+    finally:
+        backend.close()
 
     if profiler is not None:
         profiler.flush()
@@ -168,8 +173,17 @@ def _run_train(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_backend(args):
+    """The execution backend selected by ``train --backend/--workers``."""
+    from repro.exec import ProcessPoolBackend, SerialBackend
+
+    if getattr(args, "backend", "serial") == "process":
+        return ProcessPoolBackend(max_workers=args.workers)
+    return SerialBackend()
+
+
 def _train_with_faults(args, spec, dataset, config, optimizer, stages,
-                       telemetry, profiler) -> int:
+                       telemetry, profiler, backend=None) -> int:
     """``train --faults PLAN``: drive the job through the resilience
     controller instead of the manual reconfiguration schedule.  The first
     ``--schedule`` stage is the starting pool; the plan decides what gets
@@ -188,7 +202,7 @@ def _train_with_faults(args, spec, dataset, config, optimizer, stages,
     print(plan.describe())
     controller = ResilienceController(
         spec, dataset, config, optimizer, stages[0], plan,
-        telemetry=telemetry, profiler=profiler,
+        telemetry=telemetry, profiler=profiler, backend=backend,
     )
     stats = controller.run(total)
     if controller.losses:
@@ -673,6 +687,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="GPU stages, e.g. 4xV100 2xV100 1xV100+2xP100",
     )
     train.add_argument("--determinism", default="D1", choices=["D0", "D1", "D0+D2", "D1+D2"])
+    train.add_argument("--backend", default="serial", choices=["serial", "process"],
+                       help="execution backend: 'serial' steps workers "
+                            "in-process; 'process' runs each worker's "
+                            "compute in a persistent process pool "
+                            "(bitwise-identical results; see docs/EXECUTION.md)")
+    train.add_argument("--workers", type=int, default=None, metavar="N",
+                       help="process-pool size for --backend process "
+                            "(default: min(4, CPU count))")
     train.add_argument("--verify", action="store_true", help="compare bitwise vs DDP")
     train.add_argument("--trace", metavar="PATH", default=None,
                        help="record a span trace (JSONL) of the run")

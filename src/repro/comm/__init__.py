@@ -7,7 +7,12 @@ from repro.comm.allreduce import (
     sequential_allreduce_sum,
     tree_allreduce_sum,
 )
-from repro.comm.bucketing import BucketAssignment, build_initial_buckets, rebuild_from_arrival
+from repro.comm.bucketing import (
+    BucketAssignment,
+    FlatBufferCache,
+    build_initial_buckets,
+    rebuild_from_arrival,
+)
 
 __all__ = [
     "ALGORITHMS",
@@ -16,6 +21,7 @@ __all__ = [
     "tree_allreduce_sum",
     "sequential_allreduce_sum",
     "BucketAssignment",
+    "FlatBufferCache",
     "build_initial_buckets",
     "rebuild_from_arrival",
 ]

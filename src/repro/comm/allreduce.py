@@ -26,15 +26,46 @@ from repro import obs
 
 
 def _check_inputs(grads: Sequence[np.ndarray]) -> List[np.ndarray]:
+    """Validate and flatten per-rank contributions.
+
+    Guarantees, relied on by every ``*_allreduce_sum`` and by
+    :func:`allreduce_mean`:
+
+    - every rank contributes the same number of float32 elements — ragged
+      inputs fail here with a clear per-rank error instead of surfacing as
+      a downstream broadcasting surprise;
+    - contributions are finite — a NaN/inf gradient is a training bug the
+      reduction must not silently average into every replica;
+    - the *result* of the reduction never shares memory with any input
+      (the flats returned here may alias caller arrays for zero-copy
+      reads, so the algorithms below always accumulate into fresh
+      buffers; tests pin this with ``np.shares_memory``).
+    """
     if not grads:
         raise ValueError("allreduce needs at least one rank")
-    first = grads[0]
-    out = []
-    for g in grads:
-        g = np.asarray(g, dtype=np.float32).reshape(-1)
-        if g.shape != np.asarray(first).reshape(-1).shape:
-            raise ValueError("all ranks must contribute equally-shaped flat buffers")
-        out.append(g)
+    out: List[np.ndarray] = []
+    expected: int | None = None
+    for rank, g in enumerate(grads):
+        try:
+            flat = np.asarray(g, dtype=np.float32).reshape(-1)
+        except (ValueError, TypeError) as err:
+            raise ValueError(
+                f"rank {rank} contribution is not a rectangular numeric "
+                f"array: {err}"
+            ) from err
+        if expected is None:
+            expected = flat.size
+        elif flat.size != expected:
+            raise ValueError(
+                f"ragged allreduce input: rank {rank} contributes "
+                f"{flat.size} elements, rank 0 contributes {expected}"
+            )
+        if not np.isfinite(flat).all():
+            raise ValueError(
+                f"rank {rank} contributes non-finite values (NaN/inf) to "
+                f"the all-reduce; refusing to propagate them to every replica"
+            )
+        out.append(flat)
     return out
 
 

@@ -21,6 +21,9 @@ from typing import Dict, List, Mapping, Sequence, Tuple
 
 import numpy as np
 
+#: Hashable identity of one bucket layout (used as a cache key).
+LayoutKey = Tuple[Tuple[str, ...], ...]
+
 
 @dataclass
 class BucketAssignment:
@@ -42,6 +45,13 @@ class BucketAssignment:
     def all_names(self) -> List[str]:
         return [name for bucket in self.buckets for name in bucket]
 
+    def layout_key(self) -> LayoutKey:
+        """Hashable identity of this layout (flat-buffer cache key)."""
+        return tuple(tuple(bucket) for bucket in self.buckets)
+
+    def bucket_elems(self, bucket_idx: int, sizes: Mapping[str, int]) -> int:
+        return sum(int(sizes[name]) for name in self.buckets[bucket_idx])
+
     def flatten_bucket(
         self, bucket_idx: int, grads: Mapping[str, np.ndarray]
     ) -> np.ndarray:
@@ -49,17 +59,50 @@ class BucketAssignment:
         parts = [np.asarray(grads[name], dtype=np.float32).reshape(-1) for name in self.buckets[bucket_idx]]
         return np.concatenate(parts)
 
+    def flatten_bucket_into(
+        self, bucket_idx: int, grads: Mapping[str, np.ndarray], out: np.ndarray
+    ) -> np.ndarray:
+        """Flatten one bucket into a caller-provided float32 buffer.
+
+        Writes the same bytes :meth:`flatten_bucket` would produce, but
+        without allocating — the hot path when a
+        :class:`FlatBufferCache` supplies a persistent staging buffer.
+        """
+        offset = 0
+        for name in self.buckets[bucket_idx]:
+            part = np.asarray(grads[name], dtype=np.float32).reshape(-1)
+            end = offset + part.size
+            if end > out.size:
+                raise ValueError(
+                    f"bucket {bucket_idx} needs more than the {out.size} "
+                    f"elements of the supplied buffer"
+                )
+            out[offset:end] = part
+            offset = end
+        if offset != out.size:
+            raise ValueError(
+                f"bucket {bucket_idx} flat size mismatch: {offset} vs {out.size}"
+            )
+        return out
+
     def unflatten_bucket(
         self,
         bucket_idx: int,
         flat: np.ndarray,
         shapes: Mapping[str, Tuple[int, ...]],
     ) -> Dict[str, np.ndarray]:
+        """Split a flat bucket buffer back into per-parameter arrays.
+
+        Every returned array **owns its memory** — it never aliases
+        ``flat``.  (Returning views was a latent corruption bug: a caller
+        mutating one unflattened gradient silently rewrote its
+        bucket-mates through the shared flat buffer.)
+        """
         out: Dict[str, np.ndarray] = {}
         offset = 0
         for name in self.buckets[bucket_idx]:
             size = int(np.prod(shapes[name]))
-            out[name] = flat[offset : offset + size].reshape(shapes[name])
+            out[name] = flat[offset : offset + size].copy().reshape(shapes[name])
             offset += size
         if offset != flat.size:
             raise ValueError(f"bucket {bucket_idx} flat size mismatch: {offset} vs {flat.size}")
@@ -72,6 +115,63 @@ class BucketAssignment:
     @classmethod
     def from_state(cls, state: Sequence[Sequence[str]]) -> "BucketAssignment":
         return cls([list(bucket) for bucket in state])
+
+
+class FlatBufferCache:
+    """Reusable flat float32 staging buffers, keyed by bucket layout.
+
+    Gradient synchronization flattens every bucket for every virtual rank
+    on every step; allocating (and concatenating into) fresh buffers each
+    time is pure churn, because the layout — and therefore every buffer
+    size — is pinned between reconstructions.  The cache hands out one
+    persistent buffer per ``(layout, bucket, slot)``; when the layout
+    changes (the one-time DDP arrival-order rebuild, or a D0 restore),
+    the stale entries are dropped wholesale.
+
+    Buffers are *reused, not shared*: callers must fully overwrite a
+    buffer before reading it back, and must never hold one across a
+    layout change.  Consumers that need an owning result (e.g.
+    :meth:`BucketAssignment.unflatten_bucket`) copy out of it.
+    """
+
+    def __init__(self) -> None:
+        self._layout: LayoutKey | None = None
+        self._buffers: Dict[Tuple[int, int], np.ndarray] = {}
+        #: lifetime counters (observability / tests)
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._buffers)
+
+    def clear(self) -> None:
+        self._layout = None
+        self._buffers.clear()
+
+    def buffer(
+        self, layout: LayoutKey, bucket_idx: int, slot: int, size: int
+    ) -> np.ndarray:
+        """A float32 buffer of ``size`` elems for (bucket, slot) under ``layout``.
+
+        ``slot`` distinguishes concurrent users of the same bucket (one
+        per virtual rank).  Contents are unspecified on a miss; on a hit
+        they are whatever the caller last wrote.
+        """
+        if size <= 0:
+            raise ValueError("buffer size must be positive")
+        if layout != self._layout:
+            # layout changed: every cached size/offset is suspect
+            self._buffers.clear()
+            self._layout = layout
+        key = (bucket_idx, slot)
+        buf = self._buffers.get(key)
+        if buf is None or buf.size != size:
+            buf = np.empty(size, dtype=np.float32)
+            self._buffers[key] = buf
+            self.misses += 1
+        else:
+            self.hits += 1
+        return buf
 
 
 def build_initial_buckets(

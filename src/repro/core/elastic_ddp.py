@@ -23,7 +23,12 @@ import numpy as np
 
 from repro import obs
 from repro.comm.allreduce import allreduce_mean
-from repro.comm.bucketing import BucketAssignment, build_initial_buckets, rebuild_from_arrival
+from repro.comm.bucketing import (
+    BucketAssignment,
+    FlatBufferCache,
+    build_initial_buckets,
+    rebuild_from_arrival,
+)
 
 
 class ElasticDDP:
@@ -52,6 +57,9 @@ class ElasticDDP:
         #: True once arrival-order reconstruction has happened (or has been
         #: restored from a checkpoint) — reconstruction runs at most once
         self.reconstructed = False
+        #: persistent flatten staging buffers, one per (bucket, vrank);
+        #: invalidated automatically when the bucket layout changes
+        self._flat_cache = FlatBufferCache()
 
     # ------------------------------------------------------------------
     # synchronization
@@ -70,6 +78,7 @@ class ElasticDDP:
                 f"expected gradients from {self.num_ests} ESTs, got {len(grads_by_vrank)}"
             )
         averaged: Dict[str, np.ndarray] = {}
+        layout = self.buckets.layout_key()
         for bucket_idx, bucket_names in enumerate(self.buckets.buckets):
             present = [n for n in bucket_names if n in grads_by_vrank[0]]
             if not present:
@@ -79,10 +88,18 @@ class ElasticDDP:
                 "ddp.bucket_reduce", cat="comm", bucket=bucket_idx, elems=elems
             ):
                 sub = BucketAssignment([present])
-                flats = [sub.flatten_bucket(0, grads) for grads in grads_by_vrank]
+                # flatten into persistent per-(bucket, vrank) buffers: same
+                # bytes as a fresh concatenate, without the per-step churn
+                flats = [
+                    sub.flatten_bucket_into(
+                        0, grads, self._flat_cache.buffer(layout, bucket_idx, slot, elems)
+                    )
+                    for slot, grads in enumerate(grads_by_vrank)
+                ]
                 reduced = allreduce_mean(flats, self.algorithm)
-                for name, grad in sub.unflatten_bucket(0, reduced, self.param_shapes).items():
-                    averaged[name] = np.ascontiguousarray(grad)
+                # unflatten_bucket returns owning contiguous copies, so the
+                # averaged grads never alias the reused staging buffers
+                averaged.update(sub.unflatten_bucket(0, reduced, self.param_shapes))
             if obs.is_enabled():
                 obs.metrics().histogram(
                     "ddp_bucket_elems",

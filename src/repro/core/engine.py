@@ -16,7 +16,7 @@ identical** to DDP training with ``n`` fixed GPUs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -26,6 +26,7 @@ from repro.core.determinism import DeterminismConfig, determinism_from_label
 from repro.core.elastic_ddp import ElasticDDP
 from repro.core.est import EasyScaleThread
 from repro.core.worker import EasyScaleWorker
+from repro.exec import ExecutionBackend, StepRequest, resolve_backend
 from repro.data.dataloader import SharedDataLoader
 from repro.data.datasets import Dataset
 from repro.data.transforms import Transform
@@ -141,6 +142,7 @@ class EasyScaleEngine:
         telemetry: Optional["RunLog"] = None,
         profiler: Optional["OnlineProfiler"] = None,
         fault_injector: Optional["FaultInjector"] = None,
+        backend: Union[None, str, ExecutionBackend] = None,
         _restore: Optional[Checkpoint] = None,
     ) -> None:
         if assignment.num_ests != config.num_ests:
@@ -160,6 +162,10 @@ class EasyScaleEngine:
         # same contract: the injector only *interrupts* (raises) at
         # deterministic points — attaching one never perturbs numerics
         self.fault_injector = fault_injector
+        # execution backends are interchangeable by contract (bitwise-equal
+        # results); the engine never closes one — a pool is shared across
+        # reconfigure/recovery rebuilds and closed by whoever created it
+        self.backend = resolve_backend(backend)
 
         self.model = spec.build_model(RNGBundle(derive_seed(config.seed, "model")))
         self.optimizer = optimizer_factory(self.model)
@@ -254,6 +260,7 @@ class EasyScaleEngine:
             telemetry=self.telemetry,
             profiler=self.profiler,
             fault_injector=self.fault_injector,
+            backend=self.backend,
         )
 
     # ------------------------------------------------------------------
@@ -266,7 +273,12 @@ class EasyScaleEngine:
     def run_global_step(self) -> List[float]:
         """One synchronized global step across all ESTs; returns losses
         ordered by virtual rank."""
-        with obs.span("engine.global_step", cat="engine", step=self.global_step):
+        with obs.span(
+            "engine.global_step",
+            cat="engine",
+            step=self.global_step,
+            backend=self.backend.name,
+        ):
             return self._run_global_step()
 
     def _run_global_step(self) -> List[float]:
@@ -278,17 +290,20 @@ class EasyScaleEngine:
         arrival: Optional[List[str]] = (
             [] if not self.elastic_ddp.reconstructed else None
         )
-        results = []
+        request = StepRequest(
+            workers=self.workers,
+            model=self.model,
+            spec=self.spec,
+            seed=self.config.seed,
+            named_params=self._named_params,
+            param_names_by_id=self._param_names_by_id,
+            load_batch=lambda vrank: self.loader.load(vrank, self.epoch, self.step_in_epoch),
+            arrival_sink=arrival,
+            layout=self.elastic_ddp.buckets,
+        )
+        results = self.backend.run_step(request)
         step_time = 0.0
         for worker in self.workers:
-            worker_results = worker.run_global_step(
-                self.model,
-                load_batch=lambda vrank: self.loader.load(vrank, self.epoch, self.step_in_epoch),
-                named_params=self._named_params,
-                arrival_sink=arrival,
-                param_names_by_id=self._param_names_by_id,
-            )
-            results.extend(worker_results)
             step_time = max(step_time, worker.step_time())
             if self.profiler is not None:
                 self.profiler.observe_worker_step(
@@ -298,10 +313,12 @@ class EasyScaleEngine:
                     len(worker.ests),
                     worker.step_time(),
                 )
-                for result in worker_results:
-                    self.profiler.observe_est_step(
-                        self.global_step, result.vrank, result.compute_time
-                    )
+                hosted = set(worker.vranks)
+                for result in results:
+                    if result.vrank in hosted:
+                        self.profiler.observe_est_step(
+                            self.global_step, result.vrank, result.compute_time
+                        )
 
         results.sort(key=lambda r: r.vrank)
         # simulated time: slowest worker (sync barrier) + a simple
@@ -466,6 +483,7 @@ class EasyScaleEngine:
         telemetry: Optional["RunLog"] = None,
         profiler: Optional["OnlineProfiler"] = None,
         fault_injector: Optional["FaultInjector"] = None,
+        backend: Union[None, str, ExecutionBackend] = None,
     ) -> "EasyScaleEngine":
         """Resume a job from an on-demand checkpoint on a new allocation."""
         if config is None:
@@ -490,5 +508,6 @@ class EasyScaleEngine:
             telemetry=telemetry,
             profiler=profiler,
             fault_injector=fault_injector,
+            backend=backend,
             _restore=ckpt,
         )

@@ -45,6 +45,61 @@ class LocalStepResult:
     exposed_copy_time: float
 
 
+def execute_local_step(
+    model: Module,
+    spec: WorkloadSpec,
+    rng,
+    x: np.ndarray,
+    y: np.ndarray,
+    *,
+    dialect: str,
+    policy: KernelPolicy,
+    micro_batches: int,
+    named_params: Dict[str, object],
+    arrival_sink: Optional[List[str]] = None,
+    param_names_by_id: Optional[Dict[int, str]] = None,
+) -> Tuple[float, Dict[str, np.ndarray], list]:
+    """One EST's forward/backward over one mini-batch.
+
+    This is the single numerical definition of a local step: both the
+    in-process :class:`EasyScaleWorker` path and the process-pool
+    execution backend call exactly this function, which is what makes
+    the serial/parallel bitwise contract hold by construction rather
+    than by parallel-maintained copies of the math.
+
+    ``arrival_sink``, when given, records gradient readiness order during
+    backward (callers gate it to virtual rank 0, matching DDP's bucket
+    reconstruction observer).  Returns ``(mean micro loss, grads by
+    parameter name, BN journal)``; gradients are detached copies scaled
+    for gradient accumulation.
+    """
+    from repro.tensor.tensor import leaf_grad_hook
+
+    model.zero_grad()
+    micro_losses = []
+    with execution_context(dialect, policy), use_rng(rng), collect_bn_stats() as journal:
+        for micro_x, micro_y in micro_slices(x, y, micro_batches):
+            loss = spec.forward_loss(model, micro_x, micro_y)
+            if arrival_sink is not None:
+                def on_grad(tensor) -> None:
+                    name = (param_names_by_id or {}).get(id(tensor))
+                    if name is not None and name not in arrival_sink:
+                        arrival_sink.append(name)
+
+                with leaf_grad_hook(on_grad):
+                    loss.backward()
+            else:
+                loss.backward()
+            micro_losses.append(loss.item())
+    scale = np.float32(1.0 / micro_batches)
+    grads = {
+        name: (param.grad * scale if micro_batches > 1 else param.grad.copy())
+        for name, param in named_params.items()
+        if param.grad is not None
+    }
+    return float(np.mean(micro_losses)), grads, journal
+
+
 class EasyScaleWorker:
     """One physical worker hosting a slice of the job's ESTs."""
 
@@ -104,8 +159,6 @@ class EasyScaleWorker:
         given, the first EST's backward records gradient arrival order into
         it (bucket-reconstruction observation).
         """
-        from repro.tensor.tensor import leaf_grad_hook
-
         results: List[LocalStepResult] = []
         per_batch = minibatch_time(self.spec, self.gpu, self.policy) * self.slowdown
         switch = context_switch_time(self.spec, self.gpu) * self.slowdown
@@ -121,30 +174,19 @@ class EasyScaleWorker:
                 gpu=self.gpu.name,
             ):
                 x, y = load_batch(est.vrank)
-                model.zero_grad()
-                micro_losses = []
-                with execution_context(self.gpu.dialect, self.policy), use_rng(
-                    est.rng
-                ), collect_bn_stats() as journal:
-                    for micro_x, micro_y in micro_slices(x, y, self.micro_batches):
-                        loss = self.spec.forward_loss(model, micro_x, micro_y)
-                        if arrival_sink is not None and est.vrank == 0:
-                            def on_grad(tensor) -> None:
-                                name = (param_names_by_id or {}).get(id(tensor))
-                                if name is not None and name not in arrival_sink:
-                                    arrival_sink.append(name)
-
-                            with leaf_grad_hook(on_grad):
-                                loss.backward()
-                        else:
-                            loss.backward()
-                        micro_losses.append(loss.item())
-                scale = np.float32(1.0 / self.micro_batches)
-                grads = {
-                    name: (param.grad * scale if self.micro_batches > 1 else param.grad.copy())
-                    for name, param in named_params.items()
-                    if param.grad is not None
-                }
+                mean_loss, grads, journal = execute_local_step(
+                    model,
+                    self.spec,
+                    est.rng,
+                    x,
+                    y,
+                    dialect=self.gpu.dialect,
+                    policy=self.policy,
+                    micro_batches=self.micro_batches,
+                    named_params=named_params,
+                    arrival_sink=arrival_sink if est.vrank == 0 else None,
+                    param_names_by_id=param_names_by_id,
+                )
                 est.staged_grads = grads
             # copy of this EST's grads overlaps the *next* EST's compute;
             # only the last EST in the slice exposes its staging latency,
@@ -162,7 +204,7 @@ class EasyScaleWorker:
             results.append(
                 LocalStepResult(
                     vrank=est.vrank,
-                    loss=float(np.mean(micro_losses)),
+                    loss=mean_loss,
                     grads=grads,
                     bn_journal=journal,
                     compute_time=per_batch,

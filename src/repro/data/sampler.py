@@ -47,8 +47,19 @@ class DistributedSampler:
         self.total_size = self.num_samples * num_replicas
 
     def set_epoch(self, epoch: int) -> None:
-        """Reseed the shuffle for a new epoch (same call as PyTorch DDP)."""
-        self.epoch = epoch
+        """Reseed the shuffle for a new epoch (same call as PyTorch DDP).
+
+        The epoch is the *only* input (besides the fixed seed) to
+        ``_global_order``, so a malformed value here silently changes
+        every rank's index stream — validate instead of coercing.
+        """
+        if isinstance(epoch, bool) or not isinstance(epoch, (int, np.integer)):
+            raise TypeError(
+                f"epoch must be an integer, got {type(epoch).__name__}"
+            )
+        if epoch < 0:
+            raise ValueError(f"epoch must be non-negative, got {epoch}")
+        self.epoch = int(epoch)
 
     def _global_order(self) -> np.ndarray:
         if self.shuffle:

@@ -1,0 +1,316 @@
+"""ProcessPoolBackend: real parallel worker execution, bitwise-equal to serial.
+
+Each physical worker's per-step compute (one local step per hosted EST)
+runs as one task in a persistent :mod:`multiprocessing` pool.  The
+determinism argument, in the order things happen:
+
+1. **Parent-side sequencing.**  Fault hooks and ``load_batch`` calls
+   mutate parent state (injector exactly-once bookkeeping, loader
+   round-robin cursors, queue consumption).  The backend runs them in
+   the exact serial order — worker 0's ESTs, then worker 1's — *before*
+   dispatching any compute, so that state evolves identically to the
+   serial loop.
+2. **Identical numerics in children.**  A child keeps a cached model
+   replica (rebuilt deterministically from the workload spec + job seed,
+   so its construction cost is paid once per process), loads the
+   parent's ``state_dict`` for the step, and runs
+   :func:`repro.core.worker.execute_local_step` — the same function the
+   serial path calls — under the worker's dialect/policy and the EST's
+   shipped RNG state.
+3. **Per-bucket flat shipping.**  Children flatten gradients into the
+   engine's current bucket layout and ship flat float32 buffers; the
+   parent unflattens them.  Flatten/unflatten are pure byte moves
+   (no arithmetic), so the reconstructed per-parameter gradients are
+   bitwise what the serial path produced.
+4. **Fixed merge order.**  Results are collected in *submission* order
+   (worker 0 first), never completion order, and each worker's ESTs stay
+   in local order — the engine's virtual-rank sort then sees exactly the
+   serial sequence, so the reduction association cannot depend on which
+   child finished first.
+5. **State write-back.**  Advanced RNG states are restored into the
+   parent's EST objects, gradients are staged, and BN journal entries
+   are re-bound (by module name) to the parent's layers so folding
+   happens on the authoritative replica in virtual-rank order.
+
+What cannot be parallelized: policies that keep *process-global* mutable
+kernel state — the autotuner's profiling counters and the "atomic"
+scatter/reduce interleave counter.  Those counters live per process and
+are deliberately not checkpointable (that is the non-determinism they
+model), so a pool run could never replicate their serial evolution.  The
+backend rejects such policies up front with a clear error.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro import obs
+from repro.comm.bucketing import BucketAssignment
+from repro.exec.base import ExecutionBackend, StepRequest
+from repro.hw.timing import context_switch_time, minibatch_time
+from repro.utils.rng import RNGBundle
+
+# ---------------------------------------------------------------------------
+# child-process side
+# ---------------------------------------------------------------------------
+
+#: per-child replica cache: (workload name, seed) -> (model, named_params,
+#: param-id->name, module-id->name).  Lives for the pool's lifetime.
+_REPLICAS: Dict[Tuple[str, int], Tuple[Any, Dict[str, Any], Dict[int, str], Dict[int, str]]] = {}
+
+
+def _child_init(variants: Dict[str, Any]) -> None:
+    """Pool initializer: re-hydrate user-registered D2 kernel variants.
+
+    Under the ``spawn`` start method the child's kernel registry holds
+    only the built-in dialects; a D2 policy with ``custom_kernel`` set
+    would fail its registry lookup.  The parent exports the custom
+    entries at pool creation and every child re-installs them here.
+    (Under ``fork`` the registry is inherited and this is a no-op.)
+    """
+    from repro.tensor.kernels import rehydrate_matmul_variants
+
+    rehydrate_matmul_variants(variants)
+
+
+def _get_replica(spec, seed: int):
+    from repro.utils.rng import derive_seed
+
+    key = (spec.name, seed)
+    cached = _REPLICAS.get(key)
+    if cached is None:
+        model = spec.build_model(RNGBundle(derive_seed(seed, "model")))
+        named_params = dict(model.named_parameters())
+        names_by_id = {id(p): n for n, p in named_params.items()}
+        modules_by_id = {id(m): n for n, m in model.named_modules()}
+        cached = (model, named_params, names_by_id, modules_by_id)
+        _REPLICAS[key] = cached
+    return cached
+
+
+def _run_worker_task(task: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """Execute one physical worker's local steps in a pool child.
+
+    Returns one payload per EST, in local order: the loss, per-bucket
+    flat gradients (layout-ordered), the advanced RNG state, the BN
+    journal keyed by module *name* (layer objects don't cross process
+    boundaries), and — for vrank 0 on a reconstruction step — the
+    gradient arrival order.
+    """
+    from repro.core.worker import execute_local_step
+
+    spec = task["spec"]
+    model, named_params, names_by_id, modules_by_id = _get_replica(spec, task["seed"])
+    model.load_state_dict(task["state"])
+    layout = BucketAssignment.from_state(task["layout"])
+    out: List[Dict[str, Any]] = []
+    for vrank, rng_state, x, y in task["ests"]:
+        rng = RNGBundle(0)
+        rng.set_state(rng_state)
+        arrival: Optional[List[str]] = (
+            [] if (task["need_arrival"] and vrank == 0) else None
+        )
+        loss, grads, journal = execute_local_step(
+            model,
+            spec,
+            rng,
+            x,
+            y,
+            dialect=task["dialect"],
+            policy=task["policy"],
+            micro_batches=task["micro_batches"],
+            named_params=named_params,
+            arrival_sink=arrival,
+            param_names_by_id=names_by_id,
+        )
+        buckets: List[Tuple[Tuple[str, ...], Optional[np.ndarray]]] = []
+        for bucket_idx, names in enumerate(layout.buckets):
+            present = [n for n in names if n in grads]
+            if not present:
+                buckets.append(((), None))
+                continue
+            sub = BucketAssignment([present])
+            buckets.append((tuple(present), sub.flatten_bucket(0, grads)))
+        out.append(
+            {
+                "vrank": vrank,
+                "loss": loss,
+                "buckets": buckets,
+                "rng": rng.get_state(),
+                "journal": [
+                    (modules_by_id[id(layer)], mean, var) for layer, mean, var in journal
+                ],
+                "arrival": arrival,
+            }
+        )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# parent-process side
+# ---------------------------------------------------------------------------
+
+
+class ProcessPoolBackend(ExecutionBackend):
+    """Run each physical worker's step compute in a persistent process pool.
+
+    ``max_workers`` caps pool size (default: up to 4, bounded by CPU
+    count).  ``start_method`` defaults to ``fork`` where available —
+    cheapest, and it inherits registered kernels — falling back to
+    ``spawn``, where :func:`_child_init` re-hydrates them.
+
+    The pool is created lazily on the first step and survives engine
+    rebuilds (reconfigure / fault recovery): pass the same backend object
+    to every engine and ``close()`` it once at the end of the job.
+    """
+
+    name = "process"
+
+    def __init__(
+        self,
+        max_workers: Optional[int] = None,
+        start_method: Optional[str] = None,
+    ) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be positive")
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else "spawn"
+        self._ctx = multiprocessing.get_context(start_method)
+        self.start_method = start_method
+        self.max_workers = int(max_workers or max(1, min(4, os.cpu_count() or 1)))
+        self._pool = None
+
+    # -- lifecycle ------------------------------------------------------
+    def _ensure_pool(self):
+        if self._pool is None:
+            from repro.tensor.kernels import export_matmul_variants
+
+            self._pool = self._ctx.Pool(
+                processes=self.max_workers,
+                initializer=_child_init,
+                initargs=(export_matmul_variants(),),
+            )
+        return self._pool
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __del__(self) -> None:  # pragma: no cover - GC-order dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- validation -----------------------------------------------------
+    @staticmethod
+    def _check_policy(worker) -> None:
+        policy = worker.policy
+        if not policy.disable_autotune or not policy.deterministic_algorithms:
+            raise ValueError(
+                "ProcessPoolBackend requires a kernel policy with "
+                "disable_autotune=True and deterministic_algorithms=True: "
+                "autotuner warm-up counters and atomic-kernel interleave "
+                "counters are process-global and uncheckpointable, so their "
+                "serial evolution cannot be replicated across pool children "
+                f"(worker {worker.worker_id} has {policy})"
+            )
+
+    # -- execution ------------------------------------------------------
+    def run_step(self, request: StepRequest) -> List["LocalStepResult"]:  # noqa: F821
+        from repro.core.worker import LocalStepResult
+
+        for worker in request.workers:
+            self._check_policy(worker)
+
+        # Phase 1 (parent, serial order): fault hooks + batch loads.
+        # These mutate injector/loader state and may raise a FaultSignal;
+        # nothing has been dispatched yet when they do.
+        state = request.model.state_dict()
+        layout_state = request.layout.to_state()
+        need_arrival = request.arrival_sink is not None
+        tasks = []
+        for worker in request.workers:
+            ests = []
+            for est in worker.ests:
+                if worker.fault_hook is not None:
+                    worker.fault_hook(worker.worker_id, est.vrank)
+                x, y = request.load_batch(est.vrank)
+                ests.append((est.vrank, est.rng.get_state(), x, y))
+            tasks.append(
+                {
+                    "spec": request.spec,
+                    "seed": request.seed,
+                    "state": state,
+                    "dialect": worker.gpu.dialect,
+                    "policy": worker.policy,
+                    "micro_batches": worker.micro_batches,
+                    "ests": ests,
+                    "layout": layout_state,
+                    "need_arrival": need_arrival,
+                }
+            )
+
+        # Phase 2: dispatch everything, then collect in SUBMISSION order —
+        # completion order never reaches the caller.
+        pool = self._ensure_pool()
+        handles = [pool.apply_async(_run_worker_task, (task,)) for task in tasks]
+
+        param_shapes = {n: p.data.shape for n, p in request.named_params.items()}
+        parent_layers = dict(request.model.named_modules())
+        est_by_vrank = {
+            est.vrank: est for worker in request.workers for est in worker.ests
+        }
+        results: List[LocalStepResult] = []
+        for worker, handle in zip(request.workers, handles):
+            with obs.span(
+                "exec.worker_task",
+                cat="exec",
+                backend=self.name,
+                worker=worker.worker_id,
+                gpu=worker.gpu.name,
+            ):
+                payloads = handle.get()
+            per_batch = minibatch_time(worker.spec, worker.gpu, worker.policy) * worker.slowdown
+            switch = context_switch_time(worker.spec, worker.gpu) * worker.slowdown
+            for position, payload in enumerate(payloads):
+                grads: Dict[str, np.ndarray] = {}
+                for names, flat in payload["buckets"]:
+                    if flat is None:
+                        continue
+                    sub = BucketAssignment([list(names)])
+                    grads.update(sub.unflatten_bucket(0, flat, param_shapes))
+                est = est_by_vrank[payload["vrank"]]
+                est.rng.set_state(payload["rng"])
+                est.staged_grads = grads
+                if payload["arrival"] is not None and request.arrival_sink is not None:
+                    for name in payload["arrival"]:
+                        if name not in request.arrival_sink:
+                            request.arrival_sink.append(name)
+                results.append(
+                    LocalStepResult(
+                        vrank=payload["vrank"],
+                        loss=payload["loss"],
+                        grads=grads,
+                        bn_journal=[
+                            (parent_layers[name], mean, var)
+                            for name, mean, var in payload["journal"]
+                        ],
+                        compute_time=per_batch,
+                        exposed_copy_time=(
+                            switch if position < len(payloads) - 1 else 0.0
+                        ),
+                    )
+                )
+        if obs.is_enabled():
+            registry = obs.metrics()
+            registry.counter("exec_steps_total", backend=self.name).inc()
+            registry.counter("exec_pool_tasks_total", backend=self.name).inc(len(tasks))
+        return results

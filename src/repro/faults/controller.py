@@ -177,6 +177,7 @@ class ResilienceController:
         scheduler_factory=None,
         telemetry=None,
         profiler=None,
+        backend=None,
     ) -> None:
         if not gpus:
             raise ValueError("controller needs at least one GPU")
@@ -192,6 +193,12 @@ class ResilienceController:
         self.scheduler_factory = scheduler_factory
         self.telemetry = telemetry
         self.profiler = profiler
+        # resolve once so every engine rebuild (recovery, cold restart)
+        # reuses the same backend object — a process pool must survive
+        # restarts; the controller never closes it (its creator does)
+        from repro.exec import resolve_backend
+
+        self.backend = resolve_backend(backend)
         self.pool: List[GPUType] = [
             g if isinstance(g, GPUType) else gpu_type(str(g).upper()) for g in gpus
         ]
@@ -237,6 +244,7 @@ class ResilienceController:
             telemetry=telemetry,
             profiler=profiler,
             fault_injector=self.injector,
+            backend=self.backend,
         )
         self.manager.take(self.engine)  # step-0 snapshot: always restorable
 
@@ -413,6 +421,7 @@ class ResilienceController:
                 telemetry=self.telemetry,
                 profiler=self.profiler,
                 fault_injector=self.injector,
+                backend=self.backend,
             )
         else:
             # cold restart: deterministic construction reproduces the
@@ -428,6 +437,7 @@ class ResilienceController:
                 telemetry=self.telemetry,
                 profiler=self.profiler,
                 fault_injector=self.injector,
+                backend=self.backend,
             )
             self.manager.take(self.engine)  # re-seed the snapshot chain
         self.stats.recoveries += 1

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, List, Optional
 
 from repro.core.checkpoint import Checkpoint, CheckpointCorruptError
+from repro.utils.serialization import verify_bytes
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.engine import EasyScaleEngine
@@ -103,9 +104,28 @@ class CheckpointManager:
 
     def _trim(self) -> None:
         while len(self.snapshots) > self.retention:
-            dropped = self.snapshots.pop(0)
-            if dropped.path is not None and os.path.exists(dropped.path):
-                os.unlink(dropped.path)
+            victim = self._eviction_victim()
+            self.snapshots.remove(victim)
+            if victim.path is not None and os.path.exists(victim.path):
+                os.unlink(victim.path)
+
+    def _eviction_victim(self) -> Snapshot:
+        """Choose what retention drops: oldest *invalid* snapshot first.
+
+        Age-only eviction had a fatal interplay with corruption: when the
+        ``checkpoint_corrupt`` fault damages the newest blobs, the oldest
+        snapshot can be the **last CRC-valid restore point** — evicting it
+        leaves only garbage and turns the next crash into a cold restart
+        (or a :class:`RecoveryFailedError`).  Integrity is probed with the
+        cheap frame/CRC check (:func:`repro.utils.serialization.verify_bytes`),
+        so known-corrupt and silently-bit-flipped blobs are reclaimed
+        before any valid one; with all snapshots valid this degrades to
+        the original drop-the-oldest behaviour.
+        """
+        for snapshot in self.snapshots:  # sorted oldest-first by step
+            if snapshot.corrupt or not verify_bytes(snapshot.data):
+                return snapshot
+        return self.snapshots[0]
 
     # ------------------------------------------------------------------
     # restore

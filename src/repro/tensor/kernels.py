@@ -182,6 +182,38 @@ def unregister_matmul_variant(name: str) -> None:
     MATMUL_VARIANTS.pop(name, None)
 
 
+def export_matmul_variants() -> Dict[str, Callable[[np.ndarray, np.ndarray], np.ndarray]]:
+    """The user-registered (non-built-in) D2 GEMM variants.
+
+    Worker processes do not share the parent's registry: a policy with
+    ``custom_kernel`` set would hit an unknown-kernel error in a child
+    that never ran :func:`register_matmul_variant`.  Execution backends
+    export the custom entries here, ship them (pickled) to each child,
+    and re-install them via :func:`rehydrate_matmul_variants`.
+    """
+    return {
+        name: fn
+        for name, fn in MATMUL_VARIANTS.items()
+        if name not in VENDOR_DIALECTS and name != AGNOSTIC_DIALECT
+    }
+
+
+def rehydrate_matmul_variants(
+    variants: Dict[str, Callable[[np.ndarray, np.ndarray], np.ndarray]],
+) -> None:
+    """Install parent-exported variants in a worker process.
+
+    Validation is skipped: the parent already ran the numerical and
+    self-determinism checks before shipping, and re-validating in every
+    child would add per-process startup cost for no new information.
+    Built-in dialect names are ignored defensively.
+    """
+    for name, fn in variants.items():
+        if name in VENDOR_DIALECTS or name == AGNOSTIC_DIALECT:
+            continue
+        MATMUL_VARIANTS[name] = fn
+
+
 #: Relative per-op cost of the agnostic kernels vs the vendor kernel, used by
 #: the hardware timing model.  Matmul/conv pay heavily (Fig. 12's ~236% conv
 #: overhead); elementwise ops pay almost nothing.

@@ -55,6 +55,30 @@ def state_dict_to_bytes(state: Mapping[str, Any]) -> bytes:
     return header + payload
 
 
+def verify_bytes(data: Any) -> bool:
+    """Cheap integrity probe: frame + CRC check without unpickling.
+
+    Used by retention policies that must know which stored blobs are
+    still restorable *before* deciding what to evict — a full decode per
+    snapshot per trim would be wasteful and would execute pickle on
+    possibly-hostile bytes.  Legacy unframed blobs (no magic) return
+    ``True`` when non-empty: they carry no CRC, so there is nothing to
+    falsify and :func:`state_dict_from_bytes` remains the arbiter.
+    """
+    if not isinstance(data, (bytes, bytearray, memoryview)):
+        return False
+    data = bytes(data)
+    if len(data) >= 4 and data[:4] == MAGIC:
+        if len(data) < _HEADER.size:
+            return False
+        _, version, crc, length = _HEADER.unpack_from(data)
+        if version != FORMAT_VERSION:
+            return False
+        payload = data[_HEADER.size:]
+        return len(payload) == length and zlib.crc32(payload) == crc
+    return len(data) > 0
+
+
 def state_dict_from_bytes(data: bytes) -> Dict[str, Any]:
     """Inverse of :func:`state_dict_to_bytes`, with integrity verification.
 

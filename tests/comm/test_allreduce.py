@@ -100,3 +100,60 @@ class TestAssociationSensitivity:
         # more ranks than elements: some chunks are empty
         grads = [np.float32([1.0, 2.0]) for _ in range(5)]
         np.testing.assert_allclose(ring_allreduce_sum(grads), [5.0, 10.0])
+
+
+class TestAliasing:
+    """The reduction result must own its memory: ElasticDDP reuses the
+    flat input buffers across steps (FlatBufferCache), so a result that
+    aliased any input would be silently rewritten on the next flatten."""
+
+    @pytest.mark.parametrize("fn", [ring_allreduce_sum, tree_allreduce_sum, sequential_allreduce_sum])
+    @pytest.mark.parametrize("world", [1, 2, 5])
+    def test_sum_never_aliases_inputs(self, fn, world):
+        # already-float32, already-flat inputs: np.asarray makes no
+        # defensive copy, so any lazy implementation would alias here
+        grads = _grads(world, n=64)
+        out = fn(grads)
+        for g in grads:
+            assert not np.shares_memory(out, g)
+
+    @pytest.mark.parametrize("algorithm", ["ring", "tree", "sequential"])
+    def test_mean_never_aliases_inputs(self, algorithm):
+        grads = _grads(3, n=64)
+        out = allreduce_mean(grads, algorithm)
+        for g in grads:
+            assert not np.shares_memory(out, g)
+
+    def test_mutating_result_leaves_inputs_intact(self):
+        grads = _grads(2, n=16)
+        before = [g.copy() for g in grads]
+        out = ring_allreduce_sum(grads)
+        out[...] = -1.0
+        for g, ref in zip(grads, before):
+            np.testing.assert_array_equal(g, ref)
+
+
+class TestInputValidation:
+    @pytest.mark.parametrize("fn", [ring_allreduce_sum, tree_allreduce_sum, sequential_allreduce_sum])
+    def test_ragged_rejected_with_rank_message(self, fn):
+        ragged = [np.zeros(4, np.float32), np.zeros(5, np.float32)]
+        with pytest.raises(ValueError, match=r"ragged.*rank 1.*5 elements.*rank 0.*4"):
+            fn(ragged)
+
+    def test_non_rectangular_rejected(self):
+        jagged = [np.float32([1.0, 2.0]), [[1.0], [2.0, 3.0]]]
+        with pytest.raises(ValueError, match="rectangular"):
+            ring_allreduce_sum(jagged)
+
+    @pytest.mark.parametrize("bad", [np.nan, np.inf, -np.inf])
+    def test_non_finite_rejected(self, bad):
+        grads = _grads(3, n=8)
+        grads[1][4] = bad
+        with pytest.raises(ValueError, match="rank 1.*non-finite"):
+            ring_allreduce_sum(grads)
+
+    def test_non_finite_rejected_in_mean(self):
+        grads = _grads(2, n=8)
+        grads[0][0] = np.nan
+        with pytest.raises(ValueError, match="non-finite"):
+            allreduce_mean(grads, "sequential")

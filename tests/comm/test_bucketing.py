@@ -7,6 +7,7 @@ from hypothesis import strategies as st
 
 from repro.comm.bucketing import (
     BucketAssignment,
+    FlatBufferCache,
     build_initial_buckets,
     rebuild_from_arrival,
 )
@@ -86,6 +87,48 @@ class TestAssignment:
         restored = BucketAssignment.from_state(assignment.to_state())
         assert restored.buckets == assignment.buckets
 
+    def test_unflatten_owns_memory(self):
+        """Regression: unflattened gradients must never be views of the
+        flat buffer — mutating one parameter's gradient used to silently
+        rewrite its bucket-mates through the shared backing array."""
+        assignment = BucketAssignment([["b", "w"]])
+        flat = np.arange(16, dtype=np.float32)
+        out = assignment.unflatten_bucket(0, flat, {"w": (3, 4), "b": (4,)})
+        b_before = out["b"].copy()
+        w_before = out["w"].copy()
+        assert not np.shares_memory(out["w"], flat)
+        assert not np.shares_memory(out["b"], flat)
+        assert not np.shares_memory(out["w"], out["b"])
+        # mutate one unflattened gradient in place: bucket-mates and the
+        # flat source must be untouched
+        out["w"][...] = -1.0
+        np.testing.assert_array_equal(out["b"], b_before)
+        np.testing.assert_array_equal(flat, np.arange(16, dtype=np.float32))
+        out["b"][...] = -2.0
+        np.testing.assert_array_equal(out["w"], np.full((3, 4), -1.0, np.float32))
+        assert not np.array_equal(w_before, out["w"])
+
+    def test_flatten_into_matches_flatten(self):
+        rng = np.random.default_rng(3)
+        grads = {
+            "w": rng.normal(size=(5, 3)).astype(np.float32),
+            "b": rng.normal(size=(7,)).astype(np.float32),
+        }
+        assignment = BucketAssignment([["b", "w"]])
+        expected = assignment.flatten_bucket(0, grads)
+        out = np.empty(22, dtype=np.float32)
+        result = assignment.flatten_bucket_into(0, grads, out)
+        assert result is out
+        assert out.tobytes() == expected.tobytes()
+
+    def test_flatten_into_size_mismatch(self):
+        assignment = BucketAssignment([["w"]])
+        grads = {"w": np.zeros((2, 2), np.float32)}
+        with pytest.raises(ValueError):
+            assignment.flatten_bucket_into(0, grads, np.empty(3, np.float32))
+        with pytest.raises(ValueError):
+            assignment.flatten_bucket_into(0, grads, np.empty(5, np.float32))
+
     @given(
         n_params=st.integers(1, 12),
         capacity=st.integers(1, 50),
@@ -103,3 +146,48 @@ class TestAssignment:
         for bucket in buckets.buckets:
             total = sum(sizes[n] for n in bucket)
             assert total <= capacity or len(bucket) == 1
+
+
+class TestFlatBufferCache:
+    def _layout(self, *buckets):
+        return BucketAssignment([list(b) for b in buckets]).layout_key()
+
+    def test_hit_returns_same_buffer(self):
+        cache = FlatBufferCache()
+        layout = self._layout(["a", "b"])
+        first = cache.buffer(layout, 0, 0, 16)
+        second = cache.buffer(layout, 0, 0, 16)
+        assert first is second
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_slots_are_distinct(self):
+        cache = FlatBufferCache()
+        layout = self._layout(["a"])
+        assert cache.buffer(layout, 0, 0, 8) is not cache.buffer(layout, 0, 1, 8)
+        assert len(cache) == 2
+
+    def test_layout_change_invalidates_everything(self):
+        cache = FlatBufferCache()
+        old = self._layout(["a", "b"])
+        buf = cache.buffer(old, 0, 0, 16)
+        new = self._layout(["b", "a"])
+        replacement = cache.buffer(new, 0, 0, 16)
+        assert replacement is not buf
+        assert cache.misses == 2 and cache.hits == 0
+        assert len(cache) == 1  # the old layout's entries are gone
+
+    def test_size_change_reallocates(self):
+        cache = FlatBufferCache()
+        layout = self._layout(["a"])
+        small = cache.buffer(layout, 0, 0, 8)
+        grown = cache.buffer(layout, 0, 0, 12)
+        assert grown is not small and grown.size == 12
+
+    def test_clear_and_validation(self):
+        cache = FlatBufferCache()
+        layout = self._layout(["a"])
+        cache.buffer(layout, 0, 0, 4)
+        cache.clear()
+        assert len(cache) == 0
+        with pytest.raises(ValueError):
+            cache.buffer(layout, 0, 0, 0)

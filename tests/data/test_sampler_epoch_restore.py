@@ -1,0 +1,179 @@
+"""DistributedSampler epoch handling across checkpoint/restore.
+
+The sampler's ``_global_order`` is a pure function of (seed, epoch) — so a
+checkpoint restored at *any* step index of a multi-epoch run must land its
+samplers on exactly the order the uninterrupted run used, and the batch
+stream from the restore point onward must be identical.  Mirrors
+``tests/core/test_reconfigure_midepoch.py``, but through the serialized
+checkpoint round trip instead of a live reconfigure, and at every step of
+a 3-epoch horizon.  Also pins ``set_epoch`` input validation: a malformed
+epoch silently changes every rank's index stream, so it must raise.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import EasyScaleEngine, EasyScaleJobConfig, WorkerAssignment
+from repro.core.checkpoint import Checkpoint
+from repro.data.sampler import BatchPlan, DistributedSampler
+from repro.hw import gpu_type
+from repro.models import get_workload
+from repro.utils.fingerprint import fingerprint_state_dict
+from tests.conftest import sgd_factory
+
+TOTAL_STEPS = 12  # three epochs of four global steps each
+
+
+class TestSetEpochValidation:
+    @pytest.mark.parametrize("bad", [1.0, "2", None, np.float64(3.0)])
+    def test_non_integer_rejected(self, bad):
+        sampler = DistributedSampler(16, 2, 0, seed=0)
+        with pytest.raises(TypeError, match="epoch must be an integer"):
+            sampler.set_epoch(bad)
+
+    def test_bool_rejected(self):
+        # bool is an int subclass; accepting it would make set_epoch(True)
+        # silently mean epoch 1
+        sampler = DistributedSampler(16, 2, 0, seed=0)
+        with pytest.raises(TypeError):
+            sampler.set_epoch(True)
+
+    def test_negative_rejected(self):
+        sampler = DistributedSampler(16, 2, 0, seed=0)
+        with pytest.raises(ValueError, match="non-negative"):
+            sampler.set_epoch(-1)
+
+    def test_numpy_integer_accepted(self):
+        sampler = DistributedSampler(16, 2, 0, seed=0)
+        sampler.set_epoch(np.int64(3))
+        assert sampler.epoch == 3 and type(sampler.epoch) is int
+
+    def test_failed_set_epoch_leaves_state_untouched(self):
+        sampler = DistributedSampler(16, 2, 0, seed=0)
+        sampler.set_epoch(2)
+        with pytest.raises(TypeError):
+            sampler.set_epoch("3")
+        assert sampler.epoch == 2
+
+
+class TestGlobalOrderIsSeedEpochPure:
+    def test_same_epoch_same_order_across_instances(self):
+        for epoch in range(3):
+            orders = []
+            for rank in range(2):
+                s = DistributedSampler(32, 2, rank, seed=0)
+                s.set_epoch(epoch)
+                orders.append(s._global_order())
+            np.testing.assert_array_equal(orders[0], orders[1])
+
+    def test_epoch_revisit_reproduces_order(self):
+        s = DistributedSampler(32, 2, 0, seed=0)
+        s.set_epoch(1)
+        e1 = s._global_order().copy()
+        s.set_epoch(2)
+        s.set_epoch(1)
+        np.testing.assert_array_equal(s._global_order(), e1)
+
+
+# ---------------------------------------------------------------------------
+# restore at every step of a 3-epoch run
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def env():
+    spec = get_workload("resnet18")
+    dataset = spec.build_dataset(32, seed=7)
+    # 32 samples / (batch 4 x 2 ESTs) = 4 global steps per epoch
+    config = EasyScaleJobConfig(num_ests=2, seed=0, batch_size=4)
+    return spec, dataset, config
+
+
+def _engine(env):
+    spec, dataset, config = env
+    return EasyScaleEngine(
+        spec, dataset, config, sgd_factory(),
+        WorkerAssignment.balanced([gpu_type("V100")] * 2, 2),
+    )
+
+
+def _batch_schedule(loader, epoch):
+    """Every rank's per-step sample indices for one epoch."""
+    schedule = {}
+    for rank, plan in loader._plans.items():
+        plan.sampler.set_epoch(epoch)
+        schedule[rank] = [plan.batch(s).copy() for s in range(plan.steps_per_epoch)]
+    return schedule
+
+
+@pytest.fixture(scope="module")
+def reference(env):
+    engine = _engine(env)
+    assert engine.steps_per_epoch == 4
+    losses = engine.train_steps(TOTAL_STEPS)
+    orders = {}
+    sampler = DistributedSampler(32, 2, 0, seed=0)
+    for epoch in range(4):
+        sampler.set_epoch(epoch)
+        orders[epoch] = sampler._global_order().copy()
+    return {
+        "losses": losses,
+        "params": fingerprint_state_dict(engine.model.state_dict()),
+        "cursor": (engine.epoch, engine.step_in_epoch),
+        "orders": orders,
+        "schedules": {e: _batch_schedule(engine.loader, e) for e in range(3)},
+    }
+
+
+@pytest.mark.parametrize("step", range(TOTAL_STEPS))
+def test_restore_at_every_step_reproduces_global_order(env, reference, step):
+    spec, dataset, _ = env
+    engine = _engine(env)
+    engine.train_steps(step)
+    blob = engine.checkpoint().to_bytes()
+
+    restored = EasyScaleEngine.from_checkpoint(
+        spec, dataset, Checkpoint.from_bytes(blob), sgd_factory(),
+        WorkerAssignment.balanced([gpu_type("V100")], 2),
+    )
+    assert (restored.epoch, restored.step_in_epoch) == (step // 4, step % 4)
+
+    # every rank's sampler reproduces the exact _global_order of the
+    # uninterrupted run, at the restored epoch and at every other epoch
+    for epoch in range(3):
+        for plan in restored.loader._plans.values():
+            plan.sampler.set_epoch(epoch)
+            np.testing.assert_array_equal(
+                plan.sampler._global_order(), reference["orders"][epoch],
+                err_msg=f"restore at step {step}: epoch-{epoch} order diverged",
+            )
+        assert _batch_schedule(restored.loader, epoch).keys() == {0, 1}
+        for rank, batches in _batch_schedule(restored.loader, epoch).items():
+            for s, batch in enumerate(batches):
+                np.testing.assert_array_equal(
+                    batch, reference["schedules"][epoch][rank][s],
+                    err_msg=(
+                        f"restore at step {step}: rank {rank} epoch {epoch} "
+                        f"step {s} batch diverged"
+                    ),
+                )
+    restored.loader.set_epoch(restored.epoch)
+
+    # and continuing to the horizon lands bitwise on the reference run
+    losses = restored.train_steps(TOTAL_STEPS - step)
+    assert losses == reference["losses"][step:]
+    assert fingerprint_state_dict(restored.model.state_dict()) == reference["params"]
+    assert (restored.epoch, restored.step_in_epoch) == reference["cursor"]
+
+
+def test_batch_plan_cache_follows_restore_epoch(env):
+    """The BatchPlan epoch cache must not leak a pre-restore epoch's
+    indices into the post-restore stream."""
+    sampler = DistributedSampler(32, 2, 0, seed=0)
+    plan = BatchPlan(sampler, batch_size=4)
+    sampler.set_epoch(0)
+    e0 = plan.batch(0).copy()
+    sampler.set_epoch(2)
+    plan.batch(0)  # warm the cache on epoch 2
+    sampler.set_epoch(0)  # "restore" back to epoch 0
+    np.testing.assert_array_equal(plan.batch(0), e0)

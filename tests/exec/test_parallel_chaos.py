@@ -1,0 +1,142 @@
+"""Chaos sweep under the process pool (tier-2, ``-m parallel``).
+
+The fault-tolerance acceptance property re-run with real parallelism: for
+seeded random fault plans, a D1+D2 job on a V100+T4 pool supervised by the
+:class:`~repro.faults.controller.ResilienceController` and executed by a
+:class:`~repro.exec.ProcessPoolBackend` finishes with an audit trail
+identical to the *serial fault-free* reference and a bitwise-identical
+model.  Also exercises the ``spawn`` start method, which forces the
+kernel-registry rehydration path (nothing is inherited from the parent).
+"""
+
+import pytest
+
+from repro import obs
+from repro.core import (
+    EasyScaleEngine,
+    EasyScaleJobConfig,
+    WorkerAssignment,
+    determinism_from_label,
+)
+from repro.exec import ProcessPoolBackend
+from repro.faults import ResilienceController, random_plan
+from repro.hw import gpu_type
+from repro.models import get_workload
+from repro.tensor.kernels import (
+    _matmul_splitk,
+    register_matmul_variant,
+    unregister_matmul_variant,
+)
+from repro.utils.fingerprint import fingerprint_state_dict
+from tests.conftest import sgd_factory
+from tests.exec.test_backends import _CustomKernelConfig
+
+pytestmark = pytest.mark.parallel
+
+TOTAL_STEPS = 12
+NUM_SEEDS = 8
+POOL = ["V100", "V100", "T4", "T4"]
+
+
+@pytest.fixture(scope="module")
+def env():
+    spec = get_workload("resnet18")
+    dataset = spec.build_dataset(64, seed=7)
+    config = EasyScaleJobConfig(
+        num_ests=4, seed=0, batch_size=8,
+        determinism=determinism_from_label("D1+D2"),
+    )
+    return spec, dataset, config
+
+
+@pytest.fixture(scope="module")
+def backend():
+    with ProcessPoolBackend(max_workers=2) as pool:
+        yield pool
+
+
+@pytest.fixture(scope="module")
+def reference(env):
+    """The serial fault-free run: audit trail + final fingerprint."""
+    spec, dataset, config = env
+    obs.configure(enabled=True, audit=True)
+    try:
+        engine = EasyScaleEngine(
+            spec, dataset, config, sgd_factory(),
+            WorkerAssignment.balanced([gpu_type(g) for g in POOL], 4),
+        )
+        engine.train_steps(TOTAL_STEPS)
+        trail = obs.audit_trail()
+        fingerprint = fingerprint_state_dict(engine.model.state_dict())
+    finally:
+        obs.reset()
+    return trail, fingerprint
+
+
+@pytest.mark.parametrize("seed", range(NUM_SEEDS))
+def test_fault_plans_recover_bitwise_under_pool(env, backend, reference, seed):
+    spec, dataset, config = env
+    ref_trail, ref_fingerprint = reference
+    plan = random_plan(seed, horizon_steps=TOTAL_STEPS, num_gpus=len(POOL))
+
+    obs.configure(enabled=True, audit=True, audit_rewind=True)
+    try:
+        controller = ResilienceController(
+            spec, dataset, config, sgd_factory(), list(POOL), plan,
+            snapshot_interval=4, backend=backend,
+        )
+        stats = controller.run(TOTAL_STEPS)
+        trail = obs.audit_trail()
+    finally:
+        obs.reset()
+
+    diff = obs.diff_audits(ref_trail, trail)
+    assert diff.identical, (
+        f"plan seed {seed} diverged under the pool:\n"
+        f"{plan.describe()}\n{diff.describe()}"
+    )
+    assert fingerprint_state_dict(
+        controller.engine.model.state_dict()
+    ) == ref_fingerprint
+    assert stats.faults_injected == len(plan)
+
+
+def _spawn_gemm(a, b):
+    """Module-level so spawn children can import it by reference."""
+    return _matmul_splitk(a, b, block=8)
+
+
+def test_spawn_rehydrates_custom_kernels(env):
+    """Under ``spawn`` nothing is inherited: the shipped-variant path must
+    install the custom GEMM in every fresh child."""
+    spec, dataset, _ = env
+    config = EasyScaleJobConfig(
+        num_ests=2, seed=0, batch_size=8,
+        determinism=_CustomKernelConfig(
+            static=True, elastic=True, heterogeneous=True
+        ),
+    )
+    register_matmul_variant("test_splitk8", _spawn_gemm)
+    try:
+        serial = EasyScaleEngine(
+            spec, dataset, config, sgd_factory(),
+            WorkerAssignment.balanced(
+                [gpu_type("V100"), gpu_type("T4")], 2
+            ),
+        )
+        serial.train_steps(2)
+        with ProcessPoolBackend(max_workers=2, start_method="spawn") as backend:
+            assert backend.start_method == "spawn"
+            pooled = EasyScaleEngine(
+                spec, dataset, config, sgd_factory(),
+                WorkerAssignment.balanced(
+                    [gpu_type("V100"), gpu_type("T4")], 2
+                ),
+                backend=backend,
+            )
+            pooled.train_steps(2)
+        assert fingerprint_state_dict(
+            pooled.model.state_dict()
+        ) == fingerprint_state_dict(serial.model.state_dict())
+    finally:
+        unregister_matmul_variant("test_splitk8")

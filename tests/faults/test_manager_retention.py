@@ -1,0 +1,111 @@
+"""Retention vs corruption: the last CRC-valid snapshot must survive.
+
+Age-only eviction had a fatal interplay with the ``checkpoint_corrupt``
+fault: when the newest blobs are damaged, the oldest snapshot can be the
+last valid restore point, and evicting it turns the next crash into a cold
+restart.  The property pinned here: the manager never evicts a CRC-valid
+snapshot while an invalid one is retained, so as long as any retained
+snapshot was never corrupted, recovery has a decodable candidate.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import EasyScaleEngine, EasyScaleJobConfig, WorkerAssignment
+from repro.faults import CheckpointManager
+from repro.hw import gpu_type
+from repro.models import get_workload
+from repro.utils.serialization import verify_bytes
+from tests.conftest import sgd_factory
+
+
+@pytest.fixture(scope="module")
+def engine():
+    """A tiny real engine; tests drive ``global_step`` directly so each
+    ``take`` captures a distinct, honestly-labeled checkpoint without
+    paying for training."""
+    spec = get_workload("resnet18")
+    dataset = spec.build_dataset(32, seed=7)
+    config = EasyScaleJobConfig(num_ests=2, seed=0, batch_size=4)
+    return EasyScaleEngine(
+        spec, dataset, config, sgd_factory(),
+        WorkerAssignment.balanced([gpu_type("V100")] * 2, 2),
+    )
+
+
+def test_regression_last_valid_survives_corrupt_newer(engine):
+    """The exact failure mode: two newer snapshots corrupted in turn must
+    not push the only valid one out of a retention-2 window."""
+    manager = CheckpointManager(interval=1, retention=2)
+    engine.global_step = 4
+    manager.take(engine)  # step 4: stays valid throughout
+    engine.global_step = 8
+    manager.take(engine)
+    manager.corrupt_latest()  # step 8 now CRC-invalid
+    engine.global_step = 12
+    manager.take(engine)  # over retention: must evict corrupt 8, not valid 4
+    assert [s.step for s in manager.snapshots] == [4, 12]
+    manager.corrupt_latest()  # step 12 invalid too
+    # recovery still has a decodable candidate: the preserved step-4 blob
+    survivors = [s for s in manager.snapshots if verify_bytes(s.data)]
+    assert [s.step for s in survivors] == [4]
+    assert manager.decode(survivors[0]).extra["global_step"] == 4
+
+
+def test_all_valid_degrades_to_drop_oldest(engine):
+    manager = CheckpointManager(interval=1, retention=2)
+    for step in (1, 2, 3, 4):
+        engine.global_step = step
+        manager.take(engine)
+    assert [s.step for s in manager.snapshots] == [3, 4]
+
+
+@given(
+    ops=st.lists(st.sampled_from(["take", "corrupt"]), min_size=1, max_size=14),
+    retention=st.integers(1, 3),
+)
+@settings(max_examples=40, deadline=None)
+def test_never_evicts_valid_while_invalid_retained(engine, ops, retention):
+    """Property over arbitrary take/corrupt interleavings.
+
+    A model tracks per-snapshot corruption parity (``corrupt_latest`` is a
+    bit flip, so corrupting the same blob twice restores it) and checks,
+    after every operation:
+
+    - retention bound holds;
+    - CRC validity of every retained snapshot matches the model;
+    - an eviction only removes a valid snapshot when no invalid snapshot
+      remains retained (the fixed policy), so the last valid checkpoint
+      can never be displaced by corrupt newer ones.
+    """
+    manager = CheckpointManager(interval=1, retention=retention)
+    flips = {}  # step -> number of times corrupt_latest hit it
+    step = 0
+    for op in ops:
+        retained_before = {s.step for s in manager.snapshots}
+        if op == "take":
+            step += 4
+            engine.global_step = step
+            manager.take(engine)
+            flips[step] = 0
+            retained_now = {s.step for s in manager.snapshots}
+            evicted = (retained_before | {step}) - retained_now
+            if any(flips[s] % 2 == 0 for s in evicted):
+                # a valid snapshot was dropped: legal only when every
+                # retained snapshot is itself valid
+                assert all(flips[s] % 2 == 0 for s in retained_now), (
+                    f"evicted valid {sorted(evicted)} while invalid "
+                    f"snapshots remained: {sorted(retained_now)}"
+                )
+            flips = {s: flips[s] for s in retained_now}
+        else:
+            # mirror corrupt_latest's target choice: newest not yet
+            # *marked* corrupt (CRC state is invisible to it)
+            unmarked = [s.step for s in manager.snapshots if not s.corrupt]
+            manager.corrupt_latest()
+            if unmarked:
+                flips[max(unmarked)] += 1
+        assert len(manager.snapshots) <= retention
+        for snapshot in manager.snapshots:
+            assert verify_bytes(snapshot.data) == (flips[snapshot.step] % 2 == 0)

@@ -46,6 +46,18 @@ def test_lint_walk_covers_faults_package():
         assert expected in files, f"lint gate does not see {expected}"
 
 
+def test_lint_walk_covers_exec_package():
+    # same pinning for the execution-backend subsystem
+    files = {os.path.relpath(p, SRC) for p in _python_files(SRC)}
+    for expected in (
+        "exec/__init__.py",
+        "exec/base.py",
+        "exec/serial.py",
+        "exec/pool.py",
+    ):
+        assert expected in files, f"lint gate does not see {expected}"
+
+
 def test_no_pyflakes_errors():
     pyflakes_api = pytest.importorskip(
         "pyflakes.api", reason="pyflakes not installed; compile check still ran"
