@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 
 def _cmd_list_workloads(args: argparse.Namespace) -> int:
@@ -369,6 +369,29 @@ def _load_calibration(path: str) -> dict:
     return factors
 
 
+def _plan_cache_totals(result) -> Optional[Tuple[int, int, float]]:
+    """Aggregate companion plan-cache stats across a run's per-job agents.
+
+    Returns ``(hits, misses, hit_ratio)``, or ``None`` when the policy has
+    no companion-backed agents (e.g. YARN-CS gang scheduling).
+    """
+    hits = misses = 0
+    found = False
+    for runtime in result.jobs:
+        agent = runtime.agent
+        companion = getattr(agent, "companion", None)
+        if companion is None or not hasattr(companion, "cache_stats"):
+            continue
+        found = True
+        for stats in companion.cache_stats().values():
+            hits += stats["hits"]
+            misses += stats["misses"]
+    if not found:
+        return None
+    total = hits + misses
+    return hits, misses, (hits / total if total else 0.0)
+
+
 def _cmd_trace_sim(args: argparse.Namespace) -> int:
     from repro import obs
     from repro.hw import microbench_cluster
@@ -427,7 +450,7 @@ def _cmd_trace_sim(args: argparse.Namespace) -> int:
             sim = ClusterSimulator(
                 microbench_cluster(), jobs, policies[name](), faults=fault_plan
             )
-            result = sim.run()
+            result = sim.run() if args.core == "heap" else sim.run_reference()
             print(
                 f"{result.policy:<16} avg JCT {result.average_jct:>10.1f} s   "
                 f"makespan {result.makespan:>10.1f} s   "
@@ -438,6 +461,13 @@ def _cmd_trace_sim(args: argparse.Namespace) -> int:
                     f"{'':<16} {result.preemptions} preemption(s)   "
                     f"recovery {result.recovery_seconds:>8.1f} s   "
                     f"lost work {result.lost_work_seconds:>8.1f} s"
+                )
+            cache = _plan_cache_totals(result)
+            if cache is not None:
+                hits, misses, ratio = cache
+                print(
+                    f"{'':<16} plan cache: {hits} hit(s) / {misses} miss(es)   "
+                    f"hit ratio {ratio:.1%}"
                 )
             if args.events:
                 # one file per policy when replaying several
@@ -736,6 +766,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "factors, e.g. {\"scale\": {\"t4\": 0.8}} — "
                             "profiler-measured corrections to the static "
                             "capability table")
+    trace.add_argument("--core", default="heap", choices=["heap", "reference"],
+                       help="discrete-event core: 'heap' (single priority "
+                            "queue, default) or 'reference' (the linear "
+                            "candidate scan) — both produce identical "
+                            "event streams")
 
     faults = sub.add_parser(
         "faults", help="deterministic fault injection (plan generation, replay)"

@@ -40,6 +40,7 @@ from repro.obs.metrics import (
     MetricsRegistry,
     NULL_REGISTRY,
     NullRegistry,
+    time_into,
 )
 from repro.obs.trace import (
     SimClock,
@@ -76,6 +77,7 @@ __all__ = [
     "NullRegistry",
     "NULL_REGISTRY",
     "DEFAULT_BUCKETS",
+    "time_into",
     "AuditTrail",
     "AuditRecord",
     "AuditDiff",

@@ -17,7 +17,9 @@ from __future__ import annotations
 import bisect
 import math
 import threading
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 #: Default histogram bucket upper bounds (seconds-flavored; +Inf is implicit).
 DEFAULT_BUCKETS: Tuple[float, ...] = (
@@ -339,3 +341,23 @@ class MetricsRegistry:
 
 def _fmt(value: float) -> str:
     return str(int(value)) if float(value).is_integer() else repr(float(value))
+
+
+@contextmanager
+def time_into(instrument: Any) -> Iterator[None]:
+    """Time a ``with`` block into any instrument exposing ``observe``.
+
+    Works identically against a real :class:`Histogram` and the shared
+    null instrument, so call sites never branch on the enabled flag:
+
+        with time_into(obs.metrics().histogram("plan_search_seconds")):
+            companion.best_plans(available)
+
+    The elapsed ``time.perf_counter`` seconds are observed even when the
+    block raises, so error paths stay visible in latency distributions.
+    """
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        instrument.observe(time.perf_counter() - start)

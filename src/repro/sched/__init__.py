@@ -11,6 +11,7 @@ from repro.sched.perfmodel import (
 from repro.sched.aimaster import AIMaster, ThroughputMonitor
 from repro.sched.companion import CompanionModule
 from repro.sched.history import HistoryStore
+from repro.sched.plancache import PlanCache, PlanCacheStats, availability_key
 from repro.sched.intra import IntraJobScheduler, ResourceProposal, plan_to_assignment
 from repro.sched.inter import Grant, InterJobScheduler
 from repro.sched.simulator import ClusterSimulator, JobRuntime, SchedulingPolicy, SimResult
@@ -33,6 +34,9 @@ __all__ = [
     "estimated_throughput",
     "CompanionModule",
     "HistoryStore",
+    "PlanCache",
+    "PlanCacheStats",
+    "availability_key",
     "AIMaster",
     "ThroughputMonitor",
     "IntraJobScheduler",

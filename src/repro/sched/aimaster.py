@@ -113,7 +113,7 @@ class AIMaster:
         correction + slowdown fallback), expire stale proposals, re-plan
         on current resources, generate new proposals.
         """
-        self._apply_measurements()
+        self._apply_measurements(owned)
         self._expire_proposals(now)
         self.scheduler.apply_best_plan(owned)
         proposals = self.scheduler.propose(owned, cluster_free)
@@ -140,7 +140,7 @@ class AIMaster:
         self.preemptions += 1
         return self.scheduler.on_decision(owned)
 
-    def _apply_measurements(self) -> None:
+    def _apply_measurements(self, owned: Mapping[str, int]) -> None:
         if not self.monitor.ready or self.monitor.value is None:
             return
         measured = self.monitor.value
@@ -148,8 +148,9 @@ class AIMaster:
         if estimated <= 0:
             return
         # Role-3 tail: if the reconfigured plan underperforms its
-        # predecessor, revert and release the extra GPUs
-        if self.scheduler.on_slowdown(measured, estimated):
+        # predecessor, revert and release the extra GPUs — unless the
+        # predecessor no longer fits what the job currently owns
+        if self.scheduler.on_slowdown(measured, estimated, owned=owned):
             self.fallbacks += 1
             self.monitor.reset()
             return

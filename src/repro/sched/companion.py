@@ -6,7 +6,7 @@ Eq. (1) model, and answers two queries for the intra-job scheduler:
 
 - ``best_plans(available)`` — top-K feasible plans under the currently
   free GPUs (Role-1/Role-2 input);
-- ``update_capability(type, measured)`` — bias correction: when reported
+- ``report_measurement(type, est, meas)`` — bias correction: when reported
   throughput diverges from the estimate, the database re-fits that type's
   capability and re-scores (the "actively update the database once it has
   monitored significant biases" behaviour).
@@ -14,15 +14,97 @@ Eq. (1) model, and answers two queries for the intra-job scheduler:
 Plans balance load by assigning ESTs proportionally to capability, with
 floor/ceil integrality choices enumerated (the "quantum property of EST
 allocation" the paper calls out).
+
+Fast path
+---------
+
+The full enumeration is ``O(max_gpus_per_type^|types|)`` and the §3.4
+proposal loop issues it once per (GPU-type × chunk) per round, so the
+database memoizes aggressively:
+
+- results are cached under the *normalized* availability vector (see
+  :func:`~repro.sched.plancache.availability_key`), invalidated whenever
+  the capability table's **generation** counter bumps — which every
+  mutation path (``report_measurement``, ``apply_calibration``, direct
+  item assignment) does automatically via :class:`_CapabilityTable`;
+- top-K searches apply **dominance pruning**: a GPU-count vector whose
+  aggregate capability ``Σ N_i·C_i`` — an upper bound on Eq. (1d)
+  throughput, since waste ≥ 0 — cannot beat the current K-th best is
+  never expanded into EST splits.  Visiting vectors in decreasing-bound
+  order turns the check into an early exit;
+- :meth:`best_plan_delta` scores a scale-out hypothesis ``owned +
+  chunk×gtype`` incrementally: the hypothetical plan space is the owned
+  space (already cached from Role-1) plus only the *slab* of vectors
+  using more than the owned count of ``gtype``.
+
+All three return **exactly** what the seed brute-force enumerator
+(:meth:`enumerate_plans_reference`) returns — same plans, same ranking —
+which the property suite in ``tests/sched/test_companion_fastpath.py``
+asserts.  To make that contract exact under ties, ranking uses the total
+order ``(-throughput, total_gpus, alloc)``.
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
+from repro import obs
 from repro.sched.perfmodel import Plan, ScoredPlan, estimated_throughput
+from repro.sched.plancache import MISS, PlanCache, availability_key
+
+
+def _rank_key(scored: ScoredPlan) -> Tuple[float, int, Tuple[Tuple[str, int, int], ...]]:
+    """Total order on scored plans: throughput desc, GPUs asc, alloc asc.
+
+    The trailing ``alloc`` component makes ranking independent of
+    enumeration order, so the cached/pruned search and the brute-force
+    reference are comparable element-by-element.
+    """
+    return (-scored.throughput, scored.plan.total_gpus, scored.plan.alloc)
+
+
+class _CapabilityTable(dict):
+    """Capability dict that bumps the owner's cache generation on mutation.
+
+    Call sites mutate the table directly (``companion.capability[t] = r``
+    in :meth:`IntraJobScheduler.apply_calibration`, ``*=`` in
+    :meth:`CompanionModule.report_measurement`), so invalidation must live
+    on the container itself — no mutation path may leave a stale plan
+    cache behind.
+    """
+
+    __slots__ = ("_owner",)
+
+    def __init__(self, data: Mapping[str, float], owner: "CompanionModule") -> None:
+        self._owner = owner
+        super().__init__(data)
+
+    def __setitem__(self, key: str, value: float) -> None:
+        super().__setitem__(key, value)
+        self._owner._bump_generation()
+
+    def __delitem__(self, key: str) -> None:
+        super().__delitem__(key)
+        self._owner._bump_generation()
+
+    def update(self, *args, **kwargs) -> None:  # type: ignore[override]
+        super().update(*args, **kwargs)
+        self._owner._bump_generation()
+
+    def pop(self, *args):  # type: ignore[override]
+        value = super().pop(*args)
+        self._owner._bump_generation()
+        return value
+
+    def clear(self) -> None:
+        super().clear()
+        self._owner._bump_generation()
+
+    def setdefault(self, key: str, default: float = None):  # type: ignore[override]
+        if key not in self:
+            self._owner._bump_generation()
+        return super().setdefault(key, default)
 
 
 class CompanionModule:
@@ -35,23 +117,73 @@ class CompanionModule:
         homogeneous_only: bool = False,
         bias_threshold: float = 0.25,
         max_gpus_per_type: int = 16,
+        correction_band: Tuple[float, float] = (0.5, 2.0),
+        cache_size: int = 512,
     ) -> None:
         if max_p <= 0:
             raise ValueError("maxP must be positive")
         if not capability:
             raise ValueError("capability profile is empty")
+        lo, hi = correction_band
+        if not (0.0 < lo <= 1.0 <= hi):
+            raise ValueError(
+                f"correction band must satisfy 0 < lo <= 1 <= hi, got {correction_band}"
+            )
         self.max_p = max_p
-        self.capability: Dict[str, float] = dict(capability)
         self.homogeneous_only = homogeneous_only
         self.bias_threshold = bias_threshold
         self.max_gpus_per_type = max_gpus_per_type
-        #: (estimate, measurement) pairs observed, for bias diagnostics
-        self.observations: List[Tuple[str, float, float]] = []
+        #: per-report multiplicative correction clamp: one garbage
+        #: measurement (a stall mid-reconfiguration) may pull ``C_i`` by at
+        #: most this factor, never collapse it toward 0 or infinity
+        self.correction_band = (float(lo), float(hi))
+        #: (gtype, estimate, measurement, clamped) tuples observed
+        self.observations: List[Tuple[str, float, float, bool]] = []
+        # --- fast path state (before the capability table, whose
+        # constructor may bump the generation) ---
+        self._generation = 0
+        self._full_cache = PlanCache("companion_full", maxsize=cache_size)
+        self._topk_cache = PlanCache("companion_topk", maxsize=cache_size)
+        self._delta_cache = PlanCache("companion_delta", maxsize=cache_size)
+        #: count vectors whose EST expansion the dominance bound skipped
+        self.vectors_pruned = 0
+        #: count vectors fully expanded and scored
+        self.vectors_scored = 0
+        self.capability: Dict[str, float] = _CapabilityTable(capability, self)
+
+    # ------------------------------------------------------------------
+    # cache plumbing
+    # ------------------------------------------------------------------
+    @property
+    def generation(self) -> int:
+        """Bumped on every capability mutation; keys cache validity."""
+        return self._generation
+
+    def _bump_generation(self) -> None:
+        self._generation += 1
+        self._full_cache.invalidate()
+        self._topk_cache.invalidate()
+        self._delta_cache.invalidate()
+
+    def cache_stats(self) -> Dict[str, Dict[str, int]]:
+        """Hit/miss/invalidation/eviction counts for all three caches."""
+        return {
+            "full": self._full_cache.stats.as_dict(),
+            "topk": self._topk_cache.stats.as_dict(),
+            "delta": self._delta_cache.stats.as_dict(),
+        }
+
+    def _key(self, available: Mapping[str, int]) -> Tuple[Tuple[str, int], ...]:
+        return availability_key(
+            available, self.capability, self.max_p, self.max_gpus_per_type
+        )
 
     # ------------------------------------------------------------------
     # plan enumeration
     # ------------------------------------------------------------------
-    def _candidate_counts(self, available: Mapping[str, int]) -> Iterable[Dict[str, int]]:
+    def _candidate_counts(
+        self, available: Mapping[str, int]
+    ) -> Iterable[Dict[str, int]]:
         """Yield candidate GPU-count vectors under the availability caps."""
         types = [t for t in sorted(available) if available[t] > 0 and t in self.capability]
         if not types:
@@ -85,31 +217,191 @@ class CompanionModule:
         for combo in itertools.product(*choices):
             yield {t: a for t, a in zip(types, combo)}
 
-    def enumerate_plans(self, available: Mapping[str, int]) -> List[ScoredPlan]:
-        """All feasible scored plans under the given free-GPU counts."""
+    def _score_counts(
+        self, counts: Mapping[str, int], seen: set
+    ) -> List[ScoredPlan]:
+        """Expand one count vector into scored, feasible, deduped plans."""
         scored: List[ScoredPlan] = []
-        seen = set()
-        for counts in self._candidate_counts(available):
-            for ests in self._ests_for_counts(counts):
-                plan = Plan.build({t: (counts[t], ests[t]) for t in counts}, self.max_p)
-                if not plan.is_feasible:
-                    continue
-                if plan.alloc in seen:
-                    continue
-                seen.add(plan.alloc)
-                throughput = estimated_throughput(plan, self.capability)
-                if throughput <= 0:
-                    continue
-                scored.append(ScoredPlan(plan=plan, throughput=throughput))
-        scored.sort(key=lambda s: (-s.throughput, s.plan.total_gpus))
+        for ests in self._ests_for_counts(counts):
+            plan = Plan.build({t: (counts[t], ests[t]) for t in counts}, self.max_p)
+            if not plan.is_feasible:
+                continue
+            if plan.alloc in seen:
+                continue
+            seen.add(plan.alloc)
+            throughput = estimated_throughput(plan, self.capability)
+            if throughput <= 0:
+                continue
+            scored.append(ScoredPlan(plan=plan, throughput=throughput))
+        self.vectors_scored += 1
         return scored
 
+    def enumerate_plans_reference(
+        self, available: Mapping[str, int]
+    ) -> List[ScoredPlan]:
+        """The seed brute-force enumerator: no cache, no pruning.
+
+        Kept as the equivalence oracle — the property suite and the
+        fast-path benchmark compare every cached/pruned query against it.
+        """
+        scored: List[ScoredPlan] = []
+        seen: set = set()
+        for counts in self._candidate_counts(available):
+            scored.extend(self._score_counts(counts, seen))
+        scored.sort(key=_rank_key)
+        return scored
+
+    def enumerate_plans(self, available: Mapping[str, int]) -> List[ScoredPlan]:
+        """All feasible scored plans under the given free-GPU counts."""
+        key = self._key(available)
+        cached = self._full_cache.get(key)
+        if cached is not MISS:
+            return list(cached)
+        plans = self.enumerate_plans_reference(dict(key))
+        self._full_cache.put(key, plans)
+        return list(plans)
+
     def best_plans(self, available: Mapping[str, int], top_k: int = 3) -> List[ScoredPlan]:
-        return self.enumerate_plans(available)[:top_k]
+        """Top-K plans; cached and dominance-pruned (see module docs)."""
+        key = self._key(available)
+        full = self._full_cache.get(key)
+        if full is not MISS:
+            return list(full[:top_k])
+        cached = self._topk_cache.get((key, top_k))
+        if cached is not MISS:
+            return list(cached)
+        plans = self._search_topk(key, top_k)
+        self._topk_cache.put((key, top_k), plans)
+        return list(plans)
 
     def best_plan(self, available: Mapping[str, int]) -> Optional[ScoredPlan]:
         plans = self.best_plans(available, top_k=1)
         return plans[0] if plans else None
+
+    # ------------------------------------------------------------------
+    # pruned / incremental search
+    # ------------------------------------------------------------------
+    def _upper_bound(self, counts: Mapping[str, int]) -> float:
+        """Aggregate capability ``Σ N_i·C_i`` ≥ Eq. (1d) throughput."""
+        return sum(n * self.capability[t] for t, n in counts.items())
+
+    def _ordered_vectors(
+        self, vectors: Iterable[Mapping[str, int]]
+    ) -> List[Tuple[float, Tuple[Tuple[str, int], ...], Dict[str, int]]]:
+        """Decorate count vectors with bounds, best-first (deterministic)."""
+        decorated = [
+            (self._upper_bound(counts), tuple(sorted(counts.items())), dict(counts))
+            for counts in vectors
+        ]
+        decorated.sort(key=lambda item: (-item[0], item[1]))
+        return decorated
+
+    def _search_topk(
+        self, key: Tuple[Tuple[str, int], ...], top_k: int
+    ) -> List[ScoredPlan]:
+        """Best-first top-K search with the dominance bound as early exit.
+
+        Equivalent to ``enumerate_plans_reference(...)[:top_k]``: a vector
+        is skipped only when its throughput upper bound is *strictly*
+        below the current K-th best — a bound exactly equal to the floor
+        must still be expanded because the ``(total_gpus, alloc)``
+        tie-break can place one of its plans inside the top K.
+        """
+        available = dict(key)
+        best: List[ScoredPlan] = []
+        floor: Optional[float] = None
+        seen: set = set()
+        for bound, _, counts in self._ordered_vectors(self._candidate_counts(available)):
+            if floor is not None and bound < floor:
+                # vectors are bound-sorted: nothing below can recover
+                self.vectors_pruned += 1
+                if obs.is_enabled():
+                    obs.metrics().counter("sched_plan_vectors_pruned_total").inc()
+                break
+            candidates = self._score_counts(counts, seen)
+            if not candidates:
+                continue
+            best = sorted(best + candidates, key=_rank_key)[:top_k]
+            if len(best) == top_k:
+                floor = best[-1].throughput
+        return best
+
+    def best_plan_delta(
+        self, owned: Mapping[str, int], gtype: str, chunk: int
+    ) -> Optional[ScoredPlan]:
+        """Best plan under ``owned + chunk×gtype``, scored incrementally.
+
+        Exactly ``best_plan({**owned, gtype: owned.get(gtype, 0) + chunk})``
+        — but instead of re-enumerating the full hypothetical space, it
+        takes the better of (a) the cached best plan for ``owned`` and
+        (b) the best plan in the *slab* of count vectors that use more
+        than the owned count of ``gtype``; those two sets partition the
+        hypothetical space.  The slab search reuses the dominance bound
+        with the owned best as its initial floor.
+        """
+        if chunk <= 0:
+            raise ValueError(f"chunk must be positive, got {chunk}")
+        base = self.best_plan(owned)
+        if gtype not in self.capability:
+            # unknown types never enter the enumeration: no new space
+            return base
+        old_cap = min(int(owned.get(gtype, 0)), self.max_p, self.max_gpus_per_type)
+        if owned.get(gtype, 0) <= 0:
+            old_cap = 0
+        new_cap = min(int(owned.get(gtype, 0)) + chunk, self.max_p, self.max_gpus_per_type)
+        if new_cap <= old_cap:
+            return base  # caps already saturated: identical plan space
+        owned_key = self._key(owned)
+        delta_key = (owned_key, gtype, old_cap, new_cap)
+        cached = self._delta_cache.get(delta_key)
+        if cached is not MISS:
+            return cached
+        best = base
+        seen: set = set()
+        slab = self._slab_vectors(owned, gtype, old_cap, new_cap)
+        for bound, _, counts in self._ordered_vectors(slab):
+            if best is not None and bound < best.throughput:
+                self.vectors_pruned += 1
+                if obs.is_enabled():
+                    obs.metrics().counter("sched_plan_vectors_pruned_total").inc()
+                break
+            for candidate in self._score_counts(counts, seen):
+                if best is None or _rank_key(candidate) < _rank_key(best):
+                    best = candidate
+        self._delta_cache.put(delta_key, best)
+        return best
+
+    def _slab_vectors(
+        self, owned: Mapping[str, int], gtype: str, old_cap: int, new_cap: int
+    ) -> Iterable[Dict[str, int]]:
+        """Count vectors with ``old_cap < n_gtype <= new_cap``.
+
+        These are exactly the hypothetical-space vectors absent from the
+        owned space (every other type keeps its owned cap).
+        """
+        lo = max(old_cap + 1, 1)
+        if self.homogeneous_only:
+            for n in range(lo, new_cap + 1):
+                yield {gtype: n}
+            return
+        others = [
+            t
+            for t in sorted(owned)
+            if t != gtype and owned[t] > 0 and t in self.capability
+        ]
+        ranges = [
+            range(0, min(owned[t], self.max_p, self.max_gpus_per_type) + 1)
+            for t in others
+        ]
+        for n in range(lo, new_cap + 1):
+            if n > self.max_p:
+                break
+            for counts in itertools.product(*ranges):
+                if n + sum(counts) > self.max_p:
+                    continue
+                vector = {t: c for t, c in zip(others, counts) if c > 0}
+                vector[gtype] = n
+                yield vector
 
     # ------------------------------------------------------------------
     # bias correction
@@ -117,16 +409,27 @@ class CompanionModule:
     def report_measurement(self, gtype: str, estimated: float, measured: float) -> bool:
         """Record an (estimate, measurement) pair; re-fit on large bias.
 
-        Returns True if the capability profile was updated.
+        The multiplicative correction ``measured/estimated`` is clamped to
+        :attr:`correction_band` (default ``[0.5, 2.0]``): a single garbage
+        measurement — e.g. a stall during reconfiguration — can bias
+        ``C_i`` by at most one band step instead of collapsing it toward
+        zero and poisoning every future plan.  Clamped reports are flagged
+        in :attr:`observations`.  Returns True if the capability profile
+        was updated.
         """
         if gtype not in self.capability:
             raise KeyError(f"unknown GPU type {gtype!r}")
-        self.observations.append((gtype, estimated, measured))
-        if estimated <= 0:
-            return False
-        bias = abs(measured - estimated) / estimated
-        if bias > self.bias_threshold and measured > 0:
-            correction = measured / estimated
-            self.capability[gtype] *= correction
-            return True
-        return False
+        clamped = False
+        updated = False
+        if estimated > 0:
+            bias = abs(measured - estimated) / estimated
+            if bias > self.bias_threshold and measured > 0:
+                correction = measured / estimated
+                lo, hi = self.correction_band
+                if correction < lo or correction > hi:
+                    clamped = True
+                    correction = min(max(correction, lo), hi)
+                self.capability[gtype] *= correction
+                updated = True
+        self.observations.append((gtype, estimated, measured, clamped))
+        return updated

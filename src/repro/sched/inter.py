@@ -44,7 +44,13 @@ class InterJobScheduler:
     ) -> List[Grant]:
         """Grant proposals against the free table; one grant per job/round."""
         remaining: Dict[str, int] = {k: int(v) for k, v in free.items()}
-        ranked = sorted(proposals, key=lambda p: (-p.speedup_per_gpu, -p.extra_gpus))
+        # job_id/gtype close the total order: exact speedup ties must not
+        # fall back to caller iteration order, or the grant log (and every
+        # downstream simulator event) depends on proposal collection order
+        ranked = sorted(
+            proposals,
+            key=lambda p: (-p.speedup_per_gpu, -p.extra_gpus, p.job_id, p.gtype),
+        )
         granted: List[Grant] = []
         granted_jobs = set()
         for proposal in ranked:

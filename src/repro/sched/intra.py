@@ -15,7 +15,7 @@ Three roles, verbatim from the paper:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.engine import WorkerAssignment
@@ -93,10 +93,30 @@ class IntraJobScheduler:
     ) -> None:
         self.job_id = job_id
         self.companion = companion
-        self.scaleout_chunks = tuple(scaleout_chunks)
+        self.scaleout_chunks = scaleout_chunks
         self.top_k = top_k
         self.current_plan: Optional[Plan] = None
         self._previous_plan: Optional[Plan] = None
+
+    @property
+    def scaleout_chunks(self) -> Tuple[int, ...]:
+        return self._scaleout_chunks
+
+    @scaleout_chunks.setter
+    def scaleout_chunks(self, chunks: Sequence[int]) -> None:
+        """Normalize the proposal menu: sorted ascending, deduplicated.
+
+        :meth:`propose` early-exits the chunk loop as soon as a chunk
+        exceeds the free pool; with an unsorted menu that silently skipped
+        every remaining (smaller) chunk, so ordering is enforced here —
+        including for callers that assign the attribute directly.
+        """
+        normalized = tuple(sorted(set(int(c) for c in chunks)))
+        if not normalized:
+            raise ValueError("scaleout_chunks must not be empty")
+        if normalized[0] <= 0:
+            raise ValueError(f"scale-out chunks must be positive, got {chunks}")
+        self._scaleout_chunks = normalized
 
     # ------------------------------------------------------------------
     # Role-1
@@ -156,10 +176,10 @@ class IntraJobScheduler:
                 continue
             for chunk in self.scaleout_chunks:
                 if chunk > free:
-                    break
-                hypothetical = dict(owned)
-                hypothetical[gtype] = hypothetical.get(gtype, 0) + chunk
-                best = self.companion.best_plan(hypothetical)
+                    break  # menu is sorted ascending: larger chunks won't fit either
+                # incremental scoring: the hypothetical space is the owned
+                # space (cached from Role-1) plus the new-count slab only
+                best = self.companion.best_plan_delta(owned, gtype, chunk)
                 if best is None:
                     continue
                 if best.throughput <= current_tp * 1.001:
@@ -185,13 +205,29 @@ class IntraJobScheduler:
         best = self.apply_best_plan(owned)
         return plan_to_assignment(best.plan) if best else None
 
-    def on_slowdown(self, measured: float, estimated: float) -> bool:
+    def on_slowdown(
+        self,
+        measured: float,
+        estimated: float,
+        owned: Optional[Mapping[str, int]] = None,
+    ) -> bool:
         """Fallback check after a reconfiguration (Role-3 tail).
 
         Returns True when the job should revert to its previous plan —
         i.e. the measured throughput came in below the previous plan's.
+
+        When ``owned`` is given, the previous plan is first validated
+        against the job's *current* ownership: GPUs may have been revoked
+        since that plan was active, in which case reverting would assign
+        ESTs to hardware the job no longer holds.  A stale previous plan
+        is discarded and the job simply re-plans on what it owns.
         """
         if self._previous_plan is None:
+            return False
+        if owned is not None and not self._plan_fits(self._previous_plan, owned):
+            # stale: fall through to a fresh Role-1 plan on current GPUs
+            self._previous_plan = None
+            self.apply_best_plan(owned)
             return False
         previous_tp = estimated_throughput(self._previous_plan, self.companion.capability)
         if measured < previous_tp:
@@ -199,3 +235,8 @@ class IntraJobScheduler:
             self._previous_plan = None
             return True
         return False
+
+    @staticmethod
+    def _plan_fits(plan: Plan, owned: Mapping[str, int]) -> bool:
+        """Whether ``owned`` still covers every GPU the plan allocates."""
+        return all(plan.gpus_of(t) <= owned.get(t, 0) for t, _, _ in plan.alloc)

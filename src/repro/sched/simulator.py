@@ -11,10 +11,18 @@ identical machinery.
 Reconfiguration is not free: a job whose allocation changed pauses for
 ``reconfig_delay`` seconds (on-demand checkpoint + restart), matching the
 paper's "scale in seconds" granularity.
+
+Two event cores share one iteration body: :meth:`ClusterSimulator.run`
+drives a single ``heapq`` priority queue of arrival/fault/round/completion
+events (lazily invalidated, ``(time, seq)``-ordered), while
+:meth:`ClusterSimulator.run_reference` keeps the original linear
+candidate scan as the equivalence oracle — both produce identical
+:class:`EventLog` streams for the same trace.
 """
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -45,6 +53,11 @@ class JobRuntime:
     faults: List[Tuple[str, float]] = field(default_factory=list)
     #: policy-private state (e.g. the intra-job scheduler)
     agent: object = None
+    #: heap-core bookkeeping: version stamp of the newest completion event
+    #: pushed for this job (stale heap entries fail the stamp check) and
+    #: the exact time value that entry carries
+    _eta_stamp: int = 0
+    _eta_pushed: Optional[float] = None
 
     @property
     def total_owned(self) -> int:
@@ -167,6 +180,9 @@ class ClusterSimulator:
         self.events = EventLog(tracer=obs.tracer() if obs.is_enabled() else None)
         self.now = 0.0
         self._timeline: List[Tuple[float, int]] = []
+        #: index into ``runtimes`` of the next not-yet-admitted arrival
+        #: (runtimes are sorted by arrival time above)
+        self._arrival_cursor = 0
         # lead the log with the cluster's per-type capacity so a saved
         # event stream is self-describing (the utilization report derives
         # idle GPU-seconds from it without access to the Cluster object)
@@ -356,16 +372,194 @@ class ClusterSimulator:
             )
 
     # ------------------------------------------------------------------
-    # main loop
+    # main loop — shared decision-point body
+    # ------------------------------------------------------------------
+    def _iterate(self, t_next: float, arrived: List[JobRuntime]) -> None:
+        """Process one decision point at ``t_next`` (both event cores).
+
+        Accrues progress, admits due arrivals, applies due faults, marks
+        completions, lets the policy reschedule, and records the
+        allocation timeline — exactly the seed iteration body, so the
+        heap core and the reference core emit identical event streams.
+        """
+        for runtime in arrived:
+            runtime.advance(self.now, t_next)
+        self.now = t_next
+
+        while (
+            self._arrival_cursor < len(self.runtimes)
+            and self.runtimes[self._arrival_cursor].job.arrival_time <= self.now
+        ):
+            runtime = self.runtimes[self._arrival_cursor]
+            self._arrival_cursor += 1
+            arrived.append(runtime)
+            self.events.emit(self.now, "job_submit", job=runtime.job.job_id)
+            self.policy.on_job_arrival(self, runtime)
+
+        if self.fault_injector is not None:
+            for event in self.fault_injector.due(self.now):
+                self._apply_fault(event, arrived)
+
+        for runtime in arrived:
+            if runtime.status == "running" and runtime.remaining_work <= self.WORK_EPS:
+                runtime.status = "done"
+                runtime.completion_time = self.now
+                runtime.rate = 0.0
+                released = runtime.total_owned
+                self.release_all(runtime)
+                self.events.emit(
+                    self.now, "job_done", job=runtime.job.job_id, released=released
+                )
+                if obs.is_enabled() and runtime.start_time is not None:
+                    obs.tracer().add_span(
+                        f"job:{runtime.job.job_id}",
+                        start=runtime.start_time,
+                        end=self.now,
+                        cat="sched",
+                        track=runtime.job.job_id,
+                        policy=self.policy.name,
+                    )
+                    obs.metrics().counter(
+                        "sim_jobs_completed_total", policy=self.policy.name
+                    ).inc()
+
+        self.policy.reschedule(self, self.now)
+        self._timeline.append((self.now, self.cluster.allocated_count()))
+
+    def _result(self) -> SimResult:
+        makespan = max(
+            (r.completion_time for r in self.runtimes if r.completion_time is not None),
+            default=0.0,
+        )
+        return SimResult(
+            policy=self.policy.name,
+            jobs=self.runtimes,
+            events=self.events,
+            makespan=makespan,
+            allocation_timeline=self._timeline,
+            preemptions=self.preemptions,
+            recovery_seconds=self.recovery_seconds,
+            lost_work_seconds=self.lost_work_seconds,
+        )
+
+    # ------------------------------------------------------------------
+    # heap event core
     # ------------------------------------------------------------------
     def run(self, max_time: float = 10_000_000.0) -> SimResult:
-        pending_arrivals = list(self.runtimes)
+        """Run the trace on the ``heapq`` event core.
+
+        Arrival, fault, periodic-round, and predicted-completion events
+        live in one priority queue ordered by ``(time, seq)`` — ``seq``
+        is a monotone push counter, so ties are deterministic and never
+        compare payloads.  Completion predictions are *lazily
+        invalidated*: each push carries a per-job version stamp, and a
+        popped entry whose stamp no longer matches (the job was
+        rescheduled, slowed, preempted, or finished) is discarded.
+        Entries at or before the last processed decision point are
+        likewise discarded — the iteration body already handled
+        everything due at that time, mirroring the seed semantics of
+        batching coincident events into one decision point.
+
+        Produces an :class:`EventLog` byte-for-byte identical to
+        :meth:`run_reference` (asserted by the fast-path test suite): the
+        freshest completion entry for a job is always the prediction the
+        seed core would have computed at the previous decision point.
+
+        A simulator instance is single-shot: call :meth:`run` *or*
+        :meth:`run_reference`, once.
+        """
+        heap: List[Tuple[float, int, str, object]] = []
+        seq = 0
+        arrived: List[JobRuntime] = []
+
+        for runtime in self.runtimes:
+            heap.append((runtime.job.arrival_time, seq, "arrival", None))
+            seq += 1
+        if self.fault_injector is not None:
+            # a fault at exactly t=0 is never its own decision point in the
+            # seed core (candidates are strictly after `now`); it fires via
+            # due() at the first real decision point, so don't enqueue it
+            t = 0.0
+            while True:
+                t = self.fault_injector.next_time(t)
+                if t is None:
+                    break
+                heap.append((t, seq, "fault", None))
+                seq += 1
+        heapq.heapify(heap)
+        last_round_pushed: Optional[float] = None
+        processed_until: Optional[float] = None
+
+        while True:
+            # pop until a live entry surfaces (lazy invalidation)
+            t_next: Optional[float] = None
+            while heap:
+                time, _, kind, data = heapq.heappop(heap)
+                if processed_until is not None and time <= processed_until:
+                    continue  # this decision point already handled it
+                if kind == "completion":
+                    runtime, stamp = data  # type: ignore[misc]
+                    if stamp != runtime._eta_stamp or runtime.status != "running":
+                        continue  # superseded prediction
+                elif kind == "round":
+                    if not any(r.status == "running" for r in arrived):
+                        continue  # seed only schedules rounds while work runs
+                t_next = time
+                break
+            if t_next is None:
+                break
+            if t_next > max_time:
+                break
+
+            self._iterate(t_next, arrived)
+            processed_until = t_next
+
+            if self._arrival_cursor >= len(self.runtimes) and all(
+                r.status == "done" for r in arrived
+            ):
+                break
+
+            # refresh volatile events from the post-reschedule state — the
+            # same state the seed core reads at its next iteration's top
+            for runtime in arrived:
+                eta = runtime.predicted_completion(self.now)
+                if eta != runtime._eta_pushed:
+                    runtime._eta_stamp += 1
+                    runtime._eta_pushed = eta
+                    if eta is not None:
+                        heapq.heappush(
+                            heap, (eta, seq, "completion", (runtime, runtime._eta_stamp))
+                        )
+                        seq += 1
+            if any(r.status == "running" for r in arrived):
+                next_round = (
+                    int(self.now / self.round_interval) + 1
+                ) * self.round_interval
+                if next_round != last_round_pushed:
+                    last_round_pushed = next_round
+                    heapq.heappush(heap, (next_round, seq, "round", None))
+                    seq += 1
+
+        return self._result()
+
+    # ------------------------------------------------------------------
+    # reference event core (the seed linear-scan loop)
+    # ------------------------------------------------------------------
+    def run_reference(self, max_time: float = 10_000_000.0) -> SimResult:
+        """The seed O(n²) candidate-scan loop, kept as equivalence oracle.
+
+        Rebuilds the full candidate-time list (head arrival, every running
+        job's predicted completion, the next periodic round, the next
+        fault) at every decision point and steps to the minimum.  The
+        heap core must reproduce this loop's :class:`EventLog` exactly.
+        """
         arrived: List[JobRuntime] = []
 
         while True:
             candidates: List[float] = []
-            if pending_arrivals:
-                candidates.append(max(pending_arrivals[0].job.arrival_time, self.now))
+            if self._arrival_cursor < len(self.runtimes):
+                head = self.runtimes[self._arrival_cursor]
+                candidates.append(max(head.job.arrival_time, self.now))
             for runtime in arrived:
                 eta = runtime.predicted_completion(self.now)
                 if eta is not None:
@@ -383,65 +577,14 @@ class ClusterSimulator:
             if t_next > max_time:
                 break
 
-            for runtime in arrived:
-                runtime.advance(self.now, t_next)
-            self.now = t_next
+            self._iterate(t_next, arrived)
 
-            while pending_arrivals and pending_arrivals[0].job.arrival_time <= self.now:
-                runtime = pending_arrivals.pop(0)
-                arrived.append(runtime)
-                self.events.emit(self.now, "job_submit", job=runtime.job.job_id)
-                self.policy.on_job_arrival(self, runtime)
-
-            if self.fault_injector is not None:
-                for event in self.fault_injector.due(self.now):
-                    self._apply_fault(event, arrived)
-
-            for runtime in arrived:
-                if runtime.status == "running" and runtime.remaining_work <= self.WORK_EPS:
-                    runtime.status = "done"
-                    runtime.completion_time = self.now
-                    runtime.rate = 0.0
-                    released = runtime.total_owned
-                    self.release_all(runtime)
-                    self.events.emit(
-                        self.now, "job_done", job=runtime.job.job_id, released=released
-                    )
-                    if obs.is_enabled() and runtime.start_time is not None:
-                        obs.tracer().add_span(
-                            f"job:{runtime.job.job_id}",
-                            start=runtime.start_time,
-                            end=self.now,
-                            cat="sched",
-                            track=runtime.job.job_id,
-                            policy=self.policy.name,
-                        )
-                        obs.metrics().counter(
-                            "sim_jobs_completed_total", policy=self.policy.name
-                        ).inc()
-
-            self.policy.reschedule(self, self.now)
-            self._timeline.append((self.now, self.cluster.allocated_count()))
-
-            if not pending_arrivals and all(
+            if self._arrival_cursor >= len(self.runtimes) and all(
                 r.status == "done" for r in arrived
             ):
                 break
 
-        makespan = max(
-            (r.completion_time for r in self.runtimes if r.completion_time is not None),
-            default=0.0,
-        )
-        return SimResult(
-            policy=self.policy.name,
-            jobs=self.runtimes,
-            events=self.events,
-            makespan=makespan,
-            allocation_timeline=self._timeline,
-            preemptions=self.preemptions,
-            recovery_seconds=self.recovery_seconds,
-            lost_work_seconds=self.lost_work_seconds,
-        )
+        return self._result()
 
 
 def _canonical(name: str) -> str:

@@ -29,6 +29,14 @@ class Event:
         if self.time < 0:
             raise ValueError(f"event time must be non-negative, got {self.time}")
 
+    def as_tuple(self) -> Tuple[float, str, Tuple[Tuple[str, Any], ...]]:
+        """Canonical hashable form: ``(time, kind, sorted payload items)``.
+
+        Payload order is normalized so two logically identical events
+        compare equal regardless of keyword order at the emit site.
+        """
+        return (self.time, self.kind, tuple(sorted(self.payload.items())))
+
 
 class EventLog:
     """Append-only, time-ordered event collection with simple queries.
@@ -58,6 +66,24 @@ class EventLog:
 
     def __iter__(self) -> Iterator[Event]:
         return iter(self._events)
+
+    def as_tuples(self) -> List[Tuple[float, str, Tuple[Tuple[str, Any], ...]]]:
+        """The whole log in canonical tuple form (exact-equality checks)."""
+        return [e.as_tuple() for e in self._events]
+
+    def fingerprint(self) -> str:
+        """SHA-256 over the canonical event stream.
+
+        Two logs fingerprint identically iff every event matches in time,
+        kind, and payload — the simulator fast-path tests use this to
+        assert the heap core reproduces the reference core byte-for-byte.
+        """
+        import hashlib
+
+        digest = hashlib.sha256()
+        for event in self._events:
+            digest.update(repr(event.as_tuple()).encode("utf-8"))
+        return digest.hexdigest()
 
     def of_kind(self, *kinds: str) -> List[Event]:
         wanted = set(kinds)

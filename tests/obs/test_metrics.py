@@ -214,3 +214,29 @@ class TestDisabledMode:
         obs.configure(enabled=True)
         obs.metrics().counter("real").inc()
         assert obs.metrics().snapshot()["counters"]["real"] == 1
+
+
+class TestTimeInto:
+    def test_times_block_into_histogram(self):
+        from repro.obs.metrics import Histogram, time_into
+
+        hist = Histogram(buckets=(0.5, 60.0))
+        with time_into(hist):
+            pass
+        assert hist.count == 1
+        assert 0.0 <= hist.sum < 60.0
+
+    def test_observes_even_when_block_raises(self):
+        from repro.obs.metrics import Histogram, time_into
+
+        hist = Histogram(buckets=(60.0,))
+        with pytest.raises(RuntimeError):
+            with time_into(hist):
+                raise RuntimeError("boom")
+        assert hist.count == 1
+
+    def test_null_instrument_accepted(self):
+        from repro.obs.metrics import NULL_REGISTRY, time_into
+
+        with time_into(NULL_REGISTRY.histogram("x")):
+            pass  # no-op path must not branch or fail

@@ -78,12 +78,45 @@ class TestBiasCorrection:
     def test_observations_recorded(self):
         comp = CompanionModule(max_p=4, capability=dict(CAP))
         comp.report_measurement("t4", 3.0, 3.1)
-        assert comp.observations == [("t4", 3.0, 3.1)]
+        assert comp.observations == [("t4", 3.0, 3.1, False)]
 
     def test_unknown_type_rejected(self):
         comp = CompanionModule(max_p=4, capability=dict(CAP))
         with pytest.raises(KeyError):
             comp.report_measurement("a100", 1.0, 1.0)
+
+    def test_wild_overestimate_clamped(self):
+        # a single absurd report (e.g. a stalled step producing ~0
+        # throughput) must not crater the capability table: the correction
+        # is clamped to the band's lower edge, not applied raw
+        comp = CompanionModule(max_p=4, capability=dict(CAP))
+        assert comp.report_measurement("v100", estimated=9.0, measured=0.09)
+        assert comp.capability["v100"] == pytest.approx(4.5)  # 9.0 * 0.5
+        assert comp.observations == [("v100", 9.0, 0.09, True)]
+
+    def test_wild_underestimate_clamped(self):
+        comp = CompanionModule(max_p=4, capability=dict(CAP))
+        assert comp.report_measurement("t4", estimated=3.0, measured=30.0)
+        assert comp.capability["t4"] == pytest.approx(6.0)  # 3.0 * 2.0
+        assert comp.observations == [("t4", 3.0, 30.0, True)]
+
+    def test_band_edge_not_flagged_clamped(self):
+        comp = CompanionModule(max_p=4, capability=dict(CAP))
+        assert comp.report_measurement("v100", estimated=9.0, measured=4.5)
+        assert comp.capability["v100"] == pytest.approx(4.5)
+        assert comp.observations[0][3] is False
+
+    def test_custom_band(self):
+        comp = CompanionModule(
+            max_p=4, capability=dict(CAP), correction_band=(0.9, 1.5)
+        )
+        comp.report_measurement("p100", estimated=4.0, measured=1.0)
+        assert comp.capability["p100"] == pytest.approx(3.6)  # 4.0 * 0.9
+
+    def test_band_validation(self):
+        for bad in [(0.0, 2.0), (1.5, 2.0), (0.5, 0.9), (2.0, 0.5)]:
+            with pytest.raises(ValueError):
+                CompanionModule(max_p=4, capability=dict(CAP), correction_band=bad)
 
     def test_refit_changes_future_plans(self):
         comp = CompanionModule(max_p=4, capability=dict(CAP))

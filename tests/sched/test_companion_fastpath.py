@@ -1,0 +1,239 @@
+"""Scheduler fast path: cached/pruned plan search equals brute force.
+
+The contract (see the module docs in ``repro.sched.companion``) is exact:
+``enumerate_plans`` / ``best_plans`` / ``best_plan_delta`` return the very
+plans — same ranking, same floats — that the seed brute-force enumerator
+(``enumerate_plans_reference``) produces, across cache hits, dominance
+pruning, and every capability-mutation path.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sched.companion import CompanionModule
+from repro.sched.plancache import MISS, PlanCache, availability_key
+
+CAP = {"v100": 9.0, "p100": 4.0, "t4": 3.0}
+
+TYPES = ("v100", "p100", "t4")
+
+
+class TestPlanCache:
+    def test_miss_then_hit(self):
+        cache = PlanCache("t")
+        assert cache.get("k") is MISS
+        cache.put("k", [1, 2])
+        assert cache.get("k") == [1, 2]
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+
+    def test_none_is_a_cacheable_value(self):
+        cache = PlanCache("t")
+        cache.put("k", None)
+        assert cache.get("k") is None  # not MISS: None results are cached
+
+    def test_invalidate_clears_and_counts(self):
+        cache = PlanCache("t")
+        cache.put("k", 1)
+        cache.invalidate()
+        assert cache.get("k") is MISS
+        assert cache.stats.invalidations == 1
+
+    def test_fifo_eviction(self):
+        cache = PlanCache("t", maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)
+        assert cache.get("a") is MISS
+        assert cache.get("b") == 2
+        assert cache.stats.evictions == 1
+
+    def test_hit_ratio(self):
+        cache = PlanCache("t")
+        cache.put("k", 1)
+        cache.get("k")
+        cache.get("missing")
+        assert cache.stats.hit_ratio == pytest.approx(0.5)
+
+    def test_availability_key_normalizes(self):
+        # zero counts and unknown types drop; counts clamp to the caps —
+        # exactly mirroring _candidate_counts, so logically identical
+        # availabilities share one cache entry
+        key = availability_key(
+            {"t4": 99, "v100": 2, "a100": 4, "p100": 0}, CAP, max_p=8,
+            max_gpus_per_type=16,
+        )
+        assert key == (("t4", 8), ("v100", 2))
+
+
+class TestCacheBehaviour:
+    def test_repeat_query_hits(self):
+        comp = CompanionModule(max_p=4, capability=dict(CAP))
+        first = comp.best_plans({"v100": 2, "t4": 1})
+        scored_before = comp.vectors_scored
+        second = comp.best_plans({"v100": 2, "t4": 1})
+        assert first == second
+        assert comp.vectors_scored == scored_before  # pure cache hit
+        assert any(s["hits"] > 0 for s in comp.cache_stats().values())
+
+    def test_equivalent_availabilities_share_entries(self):
+        comp = CompanionModule(max_p=4, capability=dict(CAP))
+        comp.best_plans({"v100": 10, "a100": 3})  # clamps to v100: 4
+        scored_before = comp.vectors_scored
+        comp.best_plans({"v100": 4, "p100": 0})
+        assert comp.vectors_scored == scored_before
+
+    def test_direct_capability_write_invalidates(self):
+        # IntraJobScheduler.apply_calibration mutates the table directly;
+        # the _CapabilityTable container must bump the generation itself
+        comp = CompanionModule(max_p=4, capability=dict(CAP))
+        stale = comp.best_plan({"v100": 2, "t4": 2})
+        generation = comp.generation
+        comp.capability["v100"] = 0.5
+        assert comp.generation > generation
+        fresh = comp.best_plan({"v100": 2, "t4": 2})
+        assert fresh == comp.enumerate_plans_reference({"v100": 2, "t4": 2})[0]
+        assert fresh != stale
+
+    def test_report_measurement_invalidates(self):
+        comp = CompanionModule(max_p=4, capability=dict(CAP))
+        comp.best_plan({"v100": 2})
+        generation = comp.generation
+        comp.report_measurement("v100", estimated=9.0, measured=2.0)
+        assert comp.generation > generation
+
+    def test_small_bias_report_keeps_cache(self):
+        comp = CompanionModule(max_p=4, capability=dict(CAP))
+        comp.best_plan({"v100": 2})
+        generation = comp.generation
+        comp.report_measurement("v100", estimated=9.0, measured=9.1)
+        assert comp.generation == generation  # below threshold: no refit
+
+    def test_all_mutator_paths_bump_generation(self):
+        comp = CompanionModule(max_p=4, capability=dict(CAP))
+        g = comp.generation
+        comp.capability.update({"v100": 8.0})
+        assert comp.generation > g
+        g = comp.generation
+        comp.capability.pop("t4")
+        assert comp.generation > g
+        g = comp.generation
+        comp.capability.setdefault("t4", 3.0)
+        assert comp.generation > g
+
+
+class TestPruning:
+    def test_pruning_fires_and_preserves_results(self):
+        comp = CompanionModule(max_p=8, capability=dict(CAP))
+        avail = {"v100": 8, "p100": 8, "t4": 8}
+        top = comp.best_plans(avail, top_k=3)
+        assert comp.vectors_pruned > 0
+        assert top == comp.enumerate_plans_reference(avail)[:3]
+
+    def test_delta_matches_full_search(self):
+        comp = CompanionModule(max_p=6, capability=dict(CAP))
+        owned = {"v100": 2}
+        got = comp.best_plan_delta(owned, "t4", 2)
+        expected = comp.enumerate_plans_reference({"v100": 2, "t4": 2})
+        assert got == expected[0]
+
+    def test_delta_unknown_type_returns_owned_best(self):
+        comp = CompanionModule(max_p=4, capability=dict(CAP))
+        assert comp.best_plan_delta({"v100": 2}, "a100", 4) == comp.best_plan(
+            {"v100": 2}
+        )
+
+    def test_delta_saturated_cap_returns_owned_best(self):
+        comp = CompanionModule(max_p=2, capability=dict(CAP))
+        # owned already covers maxP for this type: no new vectors exist
+        assert comp.best_plan_delta({"v100": 2}, "v100", 4) == comp.best_plan(
+            {"v100": 2}
+        )
+
+    def test_delta_rejects_nonpositive_chunk(self):
+        comp = CompanionModule(max_p=4, capability=dict(CAP))
+        with pytest.raises(ValueError):
+            comp.best_plan_delta({"v100": 1}, "v100", 0)
+
+
+def _availability(draw):
+    avail = {}
+    for gtype in TYPES + ("a100",):
+        if draw(st.booleans()):
+            avail[gtype] = draw(st.integers(0, 5))
+    return avail
+
+
+class TestEquivalenceProperties:
+    @given(data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_fastpath_equals_bruteforce_under_interleaving(self, data):
+        """Random query/mutation interleavings never desynchronize the
+        cache: every fast-path answer equals the brute-force oracle run
+        against the *current* capability table."""
+        draw = data.draw
+        types = draw(
+            st.lists(st.sampled_from(TYPES), min_size=1, max_size=3, unique=True)
+        )
+        caps = {t: draw(st.floats(0.25, 16.0)) for t in types}
+        comp = CompanionModule(
+            max_p=draw(st.integers(1, 6)),
+            capability=caps,
+            homogeneous_only=draw(st.booleans()),
+            max_gpus_per_type=4,
+        )
+        for _ in range(draw(st.integers(1, 6))):
+            op = draw(
+                st.sampled_from(
+                    ["enumerate", "topk", "delta", "calibrate", "report"]
+                )
+            )
+            if op == "enumerate":
+                avail = _availability(draw)
+                assert comp.enumerate_plans(avail) == comp.enumerate_plans_reference(
+                    avail
+                )
+            elif op == "topk":
+                avail = _availability(draw)
+                k = draw(st.integers(1, 4))
+                assert (
+                    comp.best_plans(avail, top_k=k)
+                    == comp.enumerate_plans_reference(avail)[:k]
+                )
+            elif op == "delta":
+                owned = _availability(draw)
+                gtype = draw(st.sampled_from(TYPES + ("a100",)))
+                chunk = draw(st.integers(1, 4))
+                got = comp.best_plan_delta(owned, gtype, chunk)
+                if gtype in comp.capability:
+                    hypothetical = dict(owned)
+                    hypothetical[gtype] = hypothetical.get(gtype, 0) + chunk
+                else:
+                    hypothetical = owned
+                ranked = comp.enumerate_plans_reference(hypothetical)
+                assert got == (ranked[0] if ranked else None)
+            elif op == "calibrate":
+                gtype = draw(st.sampled_from(types))
+                comp.capability[gtype] = draw(st.floats(0.25, 16.0))
+            elif op == "report":
+                gtype = draw(st.sampled_from(types))
+                comp.report_measurement(
+                    gtype,
+                    estimated=draw(st.floats(0.5, 16.0)),
+                    measured=draw(st.floats(0.5, 16.0)),
+                )
+
+    @given(
+        seed_counts=st.lists(st.integers(0, 6), min_size=3, max_size=3),
+        top_k=st.integers(1, 5),
+        max_p=st.integers(1, 8),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_topk_is_prefix_of_full_ranking(self, seed_counts, top_k, max_p):
+        avail = {t: n for t, n in zip(TYPES, seed_counts)}
+        comp = CompanionModule(max_p=max_p, capability=dict(CAP))
+        assert (
+            comp.best_plans(avail, top_k=top_k)
+            == comp.enumerate_plans_reference(avail)[:top_k]
+        )

@@ -68,6 +68,32 @@ class TestArbitrate:
         inter = InterJobScheduler()
         assert inter.arbitrate([proposal("a", "v100", 1, 10.0, 10.0)], {"v100": 4}) == []
 
+    def test_tied_proposals_granted_in_input_order_independent_way(self):
+        # regression: exact speedup/size ties used to resolve by caller
+        # iteration order, making the grant log (and every downstream
+        # simulator event) depend on proposal collection order
+        import itertools
+
+        tied = [
+            proposal("c", "v100", 1, 0.0, 5.0),
+            proposal("a", "v100", 1, 0.0, 5.0),
+            proposal("b", "v100", 1, 0.0, 5.0),
+        ]
+        outcomes = set()
+        for perm in itertools.permutations(tied):
+            grants = InterJobScheduler().arbitrate(list(perm), free={"v100": 2})
+            outcomes.add(tuple(grants))
+        assert outcomes == {(Grant("a", "v100", 1), Grant("b", "v100", 1))}
+
+    def test_same_job_tie_broken_by_gtype(self):
+        tied = [
+            proposal("a", "t4", 1, 0.0, 5.0),
+            proposal("a", "p100", 1, 0.0, 5.0),
+        ]
+        forward = InterJobScheduler().arbitrate(tied, free={"t4": 1, "p100": 1})
+        backward = InterJobScheduler().arbitrate(tied[::-1], free={"t4": 1, "p100": 1})
+        assert forward == backward == [Grant("a", "p100", 1)]
+
     def test_grant_log_accumulates(self):
         inter = InterJobScheduler()
         inter.arbitrate([proposal("a", "t4", 1, 0.0, 3.0)], {"t4": 1})

@@ -60,6 +60,29 @@ class TestRole2:
         sched = make_sched(max_p=8, top_k=2)
         assert len(sched.propose({}, {"v100": 8, "p100": 8, "t4": 8})) <= 2
 
+    def test_chunk_order_invariance(self):
+        # regression: propose() breaks the chunk loop at the first chunk
+        # exceeding the free pool; an unsorted menu used to silently skip
+        # the smaller chunks listed after it
+        shuffled = make_sched(max_p=8, scaleout_chunks=(8, 1, 4, 2))
+        ordered = make_sched(max_p=8, scaleout_chunks=(1, 2, 4, 8))
+        free = {"v100": 2}  # 8 and 4 don't fit; 1 and 2 must still be tried
+        assert shuffled.propose({}, free) == ordered.propose({}, free)
+        assert shuffled.propose({}, free)  # and they are non-empty here
+
+    def test_chunks_normalized_on_assignment(self):
+        # ablation harnesses assign the attribute directly; the setter
+        # must normalize that path too
+        sched = make_sched()
+        sched.scaleout_chunks = [4, 4, 2, 1]
+        assert sched.scaleout_chunks == (1, 2, 4)
+
+    def test_chunk_validation(self):
+        with pytest.raises(ValueError):
+            make_sched(scaleout_chunks=())
+        with pytest.raises(ValueError):
+            make_sched(scaleout_chunks=(2, 0))
+
 
 class TestRole3:
     def test_on_decision_replans(self):
@@ -82,6 +105,29 @@ class TestRole3:
         sched.apply_best_plan({"v100": 1})
         sched.apply_best_plan({"v100": 2})
         assert not sched.on_slowdown(measured=100.0, estimated=18.0)
+
+    def test_no_revert_to_plan_exceeding_ownership(self):
+        # regression: after a revocation shrank the job from 4 to 2 GPUs,
+        # a slowdown report must not revert to the old 4-GPU plan — the
+        # job no longer owns the hardware that plan assigns ESTs to
+        sched = make_sched()
+        sched.apply_best_plan({"v100": 4})
+        sched.apply_best_plan({"v100": 2})
+        assert not sched.on_slowdown(measured=0.1, estimated=18.0, owned={"v100": 2})
+        assert sched.current_plan is not None
+        assert sched.current_plan.gpus_of("v100") <= 2
+
+    def test_feasible_previous_plan_still_reverts(self):
+        # ownership unchanged: the classic fallback must keep working
+        # through the validated path
+        sched = make_sched()
+        sched.apply_best_plan({"v100": 2})
+        good_plan = sched.current_plan
+        sched.apply_best_plan({"v100": 2, "t4": 2})
+        assert sched.on_slowdown(
+            measured=1.0, estimated=20.0, owned={"v100": 2, "t4": 2}
+        )
+        assert sched.current_plan == good_plan
 
 
 class TestPlanToAssignment:

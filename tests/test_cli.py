@@ -77,7 +77,21 @@ class TestCommands:
 
     def test_trace_sim_single_policy(self, capsys):
         assert main(["trace-sim", "--policy", "homo", "--jobs", "6"]) == 0
-        assert "easyscale-homo" in capsys.readouterr().out
+        out = capsys.readouterr().out
+        assert "easyscale-homo" in out
+        assert "plan cache" in out  # companion fast-path stats surface
+
+    def test_trace_sim_cores_agree(self, capsys):
+        assert main(["trace-sim", "--policy", "heter", "--jobs", "5",
+                     "--core", "heap"]) == 0
+        heap_out = capsys.readouterr().out
+        assert main(["trace-sim", "--policy", "heter", "--jobs", "5",
+                     "--core", "reference"]) == 0
+        assert capsys.readouterr().out == heap_out
+
+    def test_trace_sim_yarn_has_no_cache_stats(self, capsys):
+        assert main(["trace-sim", "--policy", "yarn", "--jobs", "4"]) == 0
+        assert "plan cache" not in capsys.readouterr().out
 
 
 class TestObsCommands:

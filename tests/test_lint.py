@@ -58,6 +58,20 @@ def test_lint_walk_covers_exec_package():
         assert expected in files, f"lint gate does not see {expected}"
 
 
+def test_lint_walk_covers_sched_fastpath_modules():
+    # pin the scheduler fast-path surface (plan cache, companion search,
+    # dual-core simulator) so a restructuring cannot drop it from the gate
+    files = {os.path.relpath(p, SRC) for p in _python_files(SRC)}
+    for expected in (
+        "sched/plancache.py",
+        "sched/companion.py",
+        "sched/intra.py",
+        "sched/inter.py",
+        "sched/simulator.py",
+    ):
+        assert expected in files, f"lint gate does not see {expected}"
+
+
 def test_no_pyflakes_errors():
     pyflakes_api = pytest.importorskip(
         "pyflakes.api", reason="pyflakes not installed; compile check still ran"

@@ -1,0 +1,43 @@
+"""Tier-2 target: the scheduler fast-path benchmark at reduced size.
+
+Runs ``benchmarks/bench_sched_fastpath.py`` in its own pytest subprocess
+under ``REPRO_BENCH_SMOKE=1``, proving the cold/warm planning-cost
+comparison (and its >= 5x acceptance bar plus the brute-force equality
+check) still holds end to end.  Deselected by default via the
+``schedbench`` marker; run with::
+
+    PYTHONPATH=src python -m pytest -m schedbench tests/test_schedbench.py
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+pytestmark = pytest.mark.schedbench
+
+
+def test_fastpath_bench_in_smoke_mode():
+    env = dict(os.environ)
+    env["REPRO_BENCH_SMOKE"] = "1"
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(REPO_ROOT / "src"), str(REPO_ROOT), env.get("PYTHONPATH", "")]
+    ).rstrip(os.pathsep)
+    proc = subprocess.run(
+        [sys.executable, "-m", "pytest", "-q", "-s", "-p", "no:cacheprovider",
+         "benchmarks/bench_sched_fastpath.py"],
+        cwd=str(REPO_ROOT),
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, (
+        f"fast-path bench failed in smoke mode:\n"
+        f"{proc.stdout[-4000:]}\n{proc.stderr[-2000:]}"
+    )
+    assert "warm/cold speedup" in proc.stdout

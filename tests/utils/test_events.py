@@ -57,3 +57,35 @@ class TestEventLog:
         log.emit(1.0, "note")
         series = log.timeline(lambda e: e.payload.get("gpus"))
         assert series == [(0.0, 1.0)]
+
+
+class TestCanonicalForm:
+    def test_as_tuple_normalizes_payload_order(self):
+        a = Event(time=1.0, kind="k", payload={"x": 1, "y": 2})
+        b = Event(time=1.0, kind="k", payload={"y": 2, "x": 1})
+        assert a.as_tuple() == b.as_tuple() == (1.0, "k", (("x", 1), ("y", 2)))
+
+    def test_as_tuples_covers_whole_log(self):
+        log = EventLog()
+        log.emit(0.0, "a", n=1)
+        log.emit(1.0, "b")
+        assert log.as_tuples() == [(0.0, "a", (("n", 1),)), (1.0, "b", ())]
+
+    def test_fingerprint_equal_iff_streams_equal(self):
+        one, two, three = EventLog(), EventLog(), EventLog()
+        for log in (one, two):
+            log.emit(0.0, "a", n=1)
+            log.emit(2.0, "b", n=2)
+        three.emit(0.0, "a", n=1)
+        three.emit(2.0, "b", n=3)  # payload differs
+        assert one.fingerprint() == two.fingerprint()
+        assert one.fingerprint() != three.fingerprint()
+
+    def test_fingerprint_sensitive_to_time_and_kind(self):
+        base = EventLog()
+        base.emit(1.0, "a")
+        shifted = EventLog()
+        shifted.emit(1.5, "a")
+        renamed = EventLog()
+        renamed.emit(1.0, "b")
+        assert len({base.fingerprint(), shifted.fingerprint(), renamed.fingerprint()}) == 3
