@@ -22,7 +22,7 @@ from repro.models import TABLE1, get_workload
 from repro.tensor import kernels
 from repro.tensor.kernels import D0_POLICY, D2_POLICY
 
-from benchmarks.conftest import print_header, print_table
+from benchmarks.conftest import print_header, print_table, record_trajectory
 
 GPUS = (V100, P100, T4)
 CONV_MODELS = {"shufflenetv2", "resnet50", "vgg19", "yolov3"}
@@ -42,7 +42,11 @@ def model_table():
 
 
 def measure_kernel_slowdown(size=192, repeats=5):
-    """Wall-clock the real NumPy kernels: vendor dialect vs D2 agnostic."""
+    """Wall-clock the real NumPy kernels: vendor dialect vs D2 agnostic.
+
+    Returns ``(slowdown_ratio, vendor_seconds, agnostic_seconds)`` —
+    min-of-repeats timings of a 20-matmul loop per policy.
+    """
     rng = np.random.default_rng(0)
     a = rng.normal(size=(size, size)).astype(np.float32)
     b = rng.normal(size=(size, size)).astype(np.float32)
@@ -58,7 +62,7 @@ def measure_kernel_slowdown(size=192, repeats=5):
 
     vendor = clock(D0_POLICY)
     agnostic = clock(D2_POLICY)
-    return agnostic / vendor
+    return agnostic / vendor, vendor, agnostic
 
 
 def run_experiment():
@@ -66,7 +70,7 @@ def run_experiment():
 
 
 def test_fig12_determinism_overhead(run_once):
-    rows, measured_slowdown = run_once(run_experiment)
+    rows, (measured_slowdown, vendor_s, agnostic_s) = run_once(run_experiment)
 
     print_header("Figure 12: per-iteration time normalized to stock PyTorch")
     print_table(
@@ -101,3 +105,8 @@ def test_fig12_determinism_overhead(run_once):
     # min-of-5 repeats makes this robust to background load; the observed
     # ratio is ~2x, so 1.1 leaves wide margin while still proving the cost
     assert measured_slowdown > 1.1, "agnostic split-K GEMM should be measurably slower"
+
+    record_trajectory(
+        "determinism", "fig12_kernel_overhead", {"size": 192},
+        {"vendor_s": [vendor_s], "agnostic_s": [agnostic_s]},
+    )

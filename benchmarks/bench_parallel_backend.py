@@ -1,0 +1,92 @@
+"""Parallel execution backend — per-step cost, serial vs process pool.
+
+The §4 bitwise serial/parallel contract is proven by the tier-1 suite;
+this regenerator times what the contract *costs*: the same global steps
+of a ResNet-18 job driven once through :class:`SerialBackend` and once
+through :class:`ProcessPoolBackend` (two sticky single-child slots), and
+confirms the two backends still agree on every loss along the way.
+
+On multi-core hosts the pool amortizes its state-shipping overhead and
+approaches the ideal speedup (``tests/exec/test_parallel_speedup.py``
+pins that bar under ``-m parallel``); on a single core it measures pure
+overhead — both are exactly what the ``BENCH_parallel.json`` trajectory
+should track, keyed by this machine's fingerprint.
+"""
+
+import time
+
+from repro.core import (
+    EasyScaleEngine,
+    EasyScaleJobConfig,
+    WorkerAssignment,
+    determinism_from_label,
+)
+from repro.exec import ProcessPoolBackend, SerialBackend
+from repro.hw import gpu_type
+from repro.models import get_workload
+from repro.optim import SGD
+
+from benchmarks.conftest import print_header, print_table, record_trajectory, smoke_scale
+
+STEPS = smoke_scale(4, 2)
+ESTS = 4
+POOL = ["V100", "V100"]
+
+
+def _engine(spec, dataset, backend):
+    config = EasyScaleJobConfig(
+        num_ests=ESTS, seed=0, batch_size=8,
+        determinism=determinism_from_label("D1+D2"),
+    )
+    assignment = WorkerAssignment.balanced([gpu_type(n) for n in POOL], ESTS)
+    return EasyScaleEngine(
+        spec, dataset, config,
+        lambda model: SGD(model.named_parameters(), lr=0.05, momentum=0.9),
+        assignment, backend=backend,
+    )
+
+
+def run_experiment():
+    spec = get_workload("resnet18")
+    dataset = spec.build_dataset(64, seed=7)
+
+    serial = _engine(spec, dataset, SerialBackend())
+    start = time.perf_counter()
+    serial_losses = serial.train_steps(STEPS)
+    serial_s = (time.perf_counter() - start) / STEPS
+
+    with ProcessPoolBackend(max_workers=len(POOL)) as backend:
+        pooled = _engine(spec, dataset, backend)
+        # first step pays child start-up + replica builds; time it apart
+        # from steady state but keep its loss for the contract check
+        start = time.perf_counter()
+        warmup_losses = pooled.train_steps(1)
+        warmup_s = time.perf_counter() - start
+        start = time.perf_counter()
+        pool_losses = warmup_losses + pooled.train_steps(STEPS - 1)
+        pool_s = (time.perf_counter() - start) / max(STEPS - 1, 1)
+    return serial_s, pool_s, warmup_s, serial_losses, pool_losses
+
+
+def test_parallel_backend_step_cost(run_once):
+    serial_s, pool_s, warmup_s, serial_losses, pool_losses = run_once(run_experiment)
+
+    # the contract half: identical training trajectories, step by step
+    assert pool_losses == serial_losses
+
+    print_header(f"Execution backends: {STEPS} steps, {len(POOL)} workers, {ESTS} ESTs")
+    print_table(
+        ["backend", "s/step", "vs serial"],
+        [
+            ["serial", f"{serial_s:.4f}", "x1.00"],
+            ["process pool", f"{pool_s:.4f}", f"x{serial_s / pool_s:.2f}"],
+        ],
+        fmt="14",
+    )
+    print(f"\npool warm-up (first step, incl. replica builds): {warmup_s:.4f}s")
+
+    record_trajectory(
+        "parallel", "backend_step",
+        {"workers": len(POOL), "ests": ESTS, "steps": STEPS},
+        {"serial_step_s": [serial_s], "pool_step_s": [pool_s]},
+    )

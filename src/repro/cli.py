@@ -21,9 +21,17 @@ Gives the repository's main entry points a shell surface:
   plan, then proves the two bitwise-identical by diffing their audit
   trails.  ``train --faults PLAN`` trains through the controller.
 
+- ``bench`` — performance-regression observatory: ``bench run`` times
+  the built-in benches (sched plan round, parallel pool step,
+  determinism kernel) and appends schema-versioned records to the
+  repo-root ``BENCH_<area>.json`` trajectory files; ``bench compare``
+  prints the latest-vs-previous verdict per metric; ``bench gate``
+  exits non-zero on any regression, for CI (see docs/BENCHMARKS.md).
+
 Exit codes: 0 success; 2 missing/malformed input file; 3 failed
 self-test; 4 divergent audit trails or fingerprints (``obs diff-audit``,
-``faults replay``, ``train --faults --verify``).
+``faults replay``, ``train --faults --verify``); 5 performance
+regression (``bench gate``).
 """
 
 from __future__ import annotations
@@ -65,8 +73,15 @@ def _parse_stage(stage: str):
 
 
 def _cmd_train(args: argparse.Namespace) -> int:
+    import os
+
     from repro import obs
 
+    # REPRO_TRACE=1 turns tracing on without a flag (the same switch the
+    # benchmark suite honours); REPRO_TRACE_PATH overrides the output.
+    env_trace = os.environ.get("REPRO_TRACE") == "1"
+    if env_trace and not args.trace:
+        args.trace = os.environ.get("REPRO_TRACE_PATH", "repro_trace.jsonl")
     if args.trace or args.audit:
         # a fault-recovery run restores to earlier steps and re-records
         # them, which a plain audit trail would reject
@@ -76,8 +91,16 @@ def _cmd_train(args: argparse.Namespace) -> int:
         return _run_train(args)
     finally:
         if args.trace:
+            # the backend has been closed by now, so pool-child shards are
+            # already merged into the global tracer — the saved trace (and
+            # Chrome export) covers every process that did work
             obs.tracer().save(args.trace)
             print(f"span trace written to {args.trace}")
+            if env_trace:
+                chrome = args.trace + ".chrome.json"
+                obs.tracer().save_chrome_trace(chrome)
+                print(f"merged Chrome trace written to {chrome} "
+                      f"(load in chrome://tracing or https://ui.perfetto.dev)")
         if args.audit:
             print(f"audit trail written to {args.audit}")
         if args.trace or args.audit:
@@ -177,7 +200,7 @@ def _build_backend(args):
     """The execution backend selected by ``train --backend/--workers``."""
     from repro.exec import ProcessPoolBackend, SerialBackend
 
-    if getattr(args, "backend", "serial") == "process":
+    if getattr(args, "backend", "serial") in ("process", "pool"):
         return ProcessPoolBackend(max_workers=args.workers)
     return SerialBackend()
 
@@ -559,6 +582,9 @@ def _run_obs(args: argparse.Namespace, obs) -> int:
             print(f"warning: {args.trace_file} has a truncated trailing line (skipped)")
         spans = [r for r in tracer.records if r["kind"] == "span"]
         instants = [r for r in tracer.records if r["kind"] == "instant"]
+        if not spans and not instants:
+            print(f"no records in {args.trace_file}")
+            return 0
         print(f"{len(spans)} spans, {len(instants)} instants from {args.trace_file}")
         print(tracer.flame_summary(limit=args.limit))
         return 0
@@ -571,6 +597,9 @@ def _run_obs(args: argparse.Namespace, obs) -> int:
         tracer = obs.SpanTracer.load(args.trace_file)
         if getattr(tracer, "truncated", False):
             print(f"warning: {args.trace_file} has a truncated trailing line (skipped)")
+        if not tracer.records:
+            print(f"no records in {args.trace_file}")
+            return 0
         static = None
         if args.workload:
             from repro.hw import static_capability
@@ -694,6 +723,81 @@ def _cmd_scan(args: argparse.Namespace) -> int:
     return 0
 
 
+def _bench_areas(args: argparse.Namespace) -> List[str]:
+    from repro.obs.bench import AREAS
+
+    if not args.area or "all" in args.area:
+        return list(AREAS)
+    return list(dict.fromkeys(args.area))  # dedupe, keep order
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.obs import bench
+
+    areas = _bench_areas(args)
+
+    if args.bench_command == "run":
+        results = bench.run_benches(
+            areas,
+            repeats=args.repeats,
+            smoke=args.smoke or None,
+            directory=args.dir,
+            threshold=args.threshold,
+        )
+        for result in results:
+            path = bench.trajectory_path(result.area, args.dir)
+            metrics = result.record["metrics"]
+            stats = "  ".join(
+                f"{name} {s['median']:.6f}{s['unit']} "
+                f"(p10 {s['p10']:.6f} p90 {s['p90']:.6f}, n={s['repeats']})"
+                for name, s in sorted(metrics.items())
+            )
+            print(f"{result.area}/{result.record['bench']}: {stats}")
+            print(f"  -> appended to {path} "
+                  f"({result.record['git_sha']} @ {result.record['timestamp']})")
+            for row in result.rows:
+                print(f"  {row.describe()}")
+        return 0
+
+    if args.bench_command == "compare":
+        rows, regressed = _load_gate_rows(bench, areas, args)
+        if rows is None:
+            return 2
+        for row in rows:
+            print(row.describe())
+        print(f"{len(rows)} metrics: "
+              f"{sum(r.status == 'improved' for r in rows)} improved, "
+              f"{sum(r.status == 'flat' for r in rows)} flat, "
+              f"{len(regressed)} regressed, "
+              f"{sum(r.status == 'baseline' for r in rows)} baseline")
+        return 0
+
+    if args.bench_command == "gate":
+        rows, regressed = _load_gate_rows(bench, areas, args)
+        if rows is None:
+            return 2
+        for row in rows:
+            print(row.describe())
+        if regressed:
+            print(f"bench gate: FAILED — {len(regressed)} regressed metric(s)")
+            return 5
+        print(f"bench gate: ok ({len(rows)} metrics within tolerance)")
+        return 0
+
+    raise AssertionError(f"unhandled bench subcommand {args.bench_command!r}")
+
+
+def _load_gate_rows(bench, areas, args):
+    """Shared compare/gate loader; ``(None, None)`` on missing trajectories."""
+    try:
+        return bench.gate_trajectories(
+            areas, directory=args.dir, threshold=args.threshold
+        )
+    except FileNotFoundError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return None, None
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="EasyScale reproduction command line"
@@ -717,10 +821,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="GPU stages, e.g. 4xV100 2xV100 1xV100+2xP100",
     )
     train.add_argument("--determinism", default="D1", choices=["D0", "D1", "D0+D2", "D1+D2"])
-    train.add_argument("--backend", default="serial", choices=["serial", "process"],
+    train.add_argument("--backend", default="serial",
+                       choices=["serial", "process", "pool"],
                        help="execution backend: 'serial' steps workers "
-                            "in-process; 'process' runs each worker's "
-                            "compute in a persistent process pool "
+                            "in-process; 'process' (alias 'pool') runs each "
+                            "worker's compute in a persistent process pool "
                             "(bitwise-identical results; see docs/EXECUTION.md)")
     train.add_argument("--workers", type=int, default=None, metavar="N",
                        help="process-pool size for --backend process "
@@ -888,6 +993,48 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--json", metavar="PATH", default=None,
                         help="also write the JSON summary")
 
+    bench_parser = sub.add_parser(
+        "bench",
+        help="benchmark trajectories and the regression gate "
+             "(BENCH_<area>.json; see docs/BENCHMARKS.md)",
+    )
+    bench_sub = bench_parser.add_subparsers(dest="bench_command", required=True)
+
+    def _bench_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--area", action="append", default=None,
+                       choices=["sched", "parallel", "determinism", "all"],
+                       help="bench area (repeatable; default all)")
+        p.add_argument("--dir", metavar="PATH", default=None,
+                       help="trajectory directory (default: repo root, or "
+                            "$REPRO_BENCH_DIR)")
+        p.add_argument("--threshold", type=float, default=0.30,
+                       help="relative regression tolerance before noise "
+                            "widening (default 0.30)")
+
+    bench_run = bench_sub.add_parser(
+        "run", help="time the built-in benches and append trajectory records"
+    )
+    _bench_common(bench_run)
+    bench_run.add_argument("--repeats", type=int, default=5,
+                           help="samples per metric (default 5; medians and "
+                                "p10/p90 are computed over these)")
+    bench_run.add_argument("--smoke", action="store_true",
+                           help="reduced problem sizes (also via "
+                                "REPRO_BENCH_SMOKE=1); records are keyed by "
+                                "params so smoke never gates against full")
+
+    bench_compare = bench_sub.add_parser(
+        "compare", help="latest-vs-previous verdict for every recorded metric"
+    )
+    _bench_common(bench_compare)
+
+    bench_gate = bench_sub.add_parser(
+        "gate",
+        help="CI gate: exit 5 if any metric regressed beyond tolerance, "
+             "2 if no trajectory exists, 0 otherwise",
+    )
+    _bench_common(bench_gate)
+
     return parser
 
 
@@ -900,6 +1047,7 @@ COMMANDS = {
     "scan": _cmd_scan,
     "self-test": _cmd_selftest,
     "obs": _cmd_obs,
+    "bench": _cmd_bench,
 }
 
 

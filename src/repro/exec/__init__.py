@@ -14,9 +14,11 @@ from repro.exec.pool import ProcessPoolBackend
 from repro.exec.serial import SerialBackend
 
 #: registry consulted by :func:`resolve_backend` and ``cli train --backend``
+#: ("pool" is an alias for the process-pool backend)
 BACKENDS: Dict[str, Type[ExecutionBackend]] = {
     "serial": SerialBackend,
     "process": ProcessPoolBackend,
+    "pool": ProcessPoolBackend,
 }
 
 

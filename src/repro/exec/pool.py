@@ -44,6 +44,8 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import shutil
+import tempfile
 from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
@@ -100,9 +102,16 @@ def _run_worker_task(task: Dict[str, Any]) -> List[Dict[str, Any]]:
     journal keyed by module *name* (layer objects don't cross process
     boundaries), and — for vrank 0 on a reconstruction step — the
     gradient arrival order.
+
+    Observability: the parent ships its :class:`~repro.obs.ObsConfig`
+    snapshot with every task; the child bootstraps ``repro.obs`` from it
+    (a per-process global the pool would otherwise leave disabled), spans
+    its per-EST compute, and flushes per-pid shards the parent later
+    merges.  Pure observation — none of it touches the numerics.
     """
     from repro.core.worker import execute_local_step
 
+    obs.configure_from(task.get("obs"))
     spec = task["spec"]
     model, named_params, names_by_id, modules_by_id = _get_replica(spec, task["seed"])
     model.load_state_dict(task["state"])
@@ -114,19 +123,30 @@ def _run_worker_task(task: Dict[str, Any]) -> List[Dict[str, Any]]:
         arrival: Optional[List[str]] = (
             [] if (task["need_arrival"] and vrank == 0) else None
         )
-        loss, grads, journal = execute_local_step(
-            model,
-            spec,
-            rng,
-            x,
-            y,
-            dialect=task["dialect"],
-            policy=task["policy"],
-            micro_batches=task["micro_batches"],
-            named_params=named_params,
-            arrival_sink=arrival,
-            param_names_by_id=names_by_id,
-        )
+        with obs.span(
+            "exec.child_local_step",
+            cat="exec",
+            worker=task.get("worker", -1),
+            vrank=vrank,
+            gpu=task.get("gpu", "?"),
+        ):
+            loss, grads, journal = execute_local_step(
+                model,
+                spec,
+                rng,
+                x,
+                y,
+                dialect=task["dialect"],
+                policy=task["policy"],
+                micro_batches=task["micro_batches"],
+                named_params=named_params,
+                arrival_sink=arrival,
+                param_names_by_id=names_by_id,
+            )
+        if obs.is_enabled():
+            obs.metrics().counter(
+                "exec_child_local_steps_total", gpu=task.get("gpu", "?")
+            ).inc()
         buckets: List[Tuple[Tuple[str, ...], Optional[np.ndarray]]] = []
         for bucket_idx, names in enumerate(layout.buckets):
             present = [n for n in names if n in grads]
@@ -147,6 +167,7 @@ def _run_worker_task(task: Dict[str, Any]) -> List[Dict[str, Any]]:
                 "arrival": arrival,
             }
         )
+    obs.flush_shard()
     return out
 
 
@@ -158,10 +179,23 @@ def _run_worker_task(task: Dict[str, Any]) -> List[Dict[str, Any]]:
 class ProcessPoolBackend(ExecutionBackend):
     """Run each physical worker's step compute in a persistent process pool.
 
-    ``max_workers`` caps pool size (default: up to 4, bounded by CPU
-    count).  ``start_method`` defaults to ``fork`` where available —
-    cheapest, and it inherits registered kernels — falling back to
-    ``spawn``, where :func:`_child_init` re-hydrates them.
+    ``max_workers`` caps the slot row (default 4).  Slots are placement
+    units, not throughput units: one child per *physical worker*, created
+    lazily as worker ids appear, even on a single-core machine — the
+    children idle between steps, and per-process isolation (replica
+    cache, obs shard, trace lane) is the point.  ``start_method``
+    defaults to ``fork`` where available — cheapest, and it inherits
+    registered kernels — falling back to ``spawn``, where
+    :func:`_child_init` re-hydrates them.
+
+    Placement is *sticky*: the pool is a row of single-child slots and
+    physical worker ``w`` always dispatches to slot ``w % max_workers``.
+    A shared task queue would let one hot child drain every task (tiny
+    steps finish before sibling processes wake), which both defeats the
+    per-child replica cache — a cold child rebuilds the model — and
+    collapses the trace into one process lane.  Sticky slots give each
+    child exactly one replica build and a stable pid lane in the merged
+    Chrome trace.
 
     The pool is created lazily on the first step and survives engine
     rebuilds (reconfigure / fault recovery): pass the same backend object
@@ -182,26 +216,58 @@ class ProcessPoolBackend(ExecutionBackend):
             start_method = "fork" if "fork" in methods else "spawn"
         self._ctx = multiprocessing.get_context(start_method)
         self.start_method = start_method
-        self.max_workers = int(max_workers or max(1, min(4, os.cpu_count() or 1)))
+        self.max_workers = int(max_workers or 4)
         self._pool = None
+        #: scratch directory for the children's per-pid obs shards; created
+        #: lazily the first time a step runs with observability enabled
+        self._shard_dir: Optional[str] = None
 
     # -- lifecycle ------------------------------------------------------
-    def _ensure_pool(self):
+    def _ensure_slot(self, index: int):
+        """Lazily create slot ``index`` (a one-child pool) and return it.
+
+        The row (``self._pool``) is one list object for the backend's
+        lifetime once any slot exists, so callers may hold its identity
+        across engine rebuilds.
+        """
         if self._pool is None:
+            self._pool = []
+        while len(self._pool) <= index:
             from repro.tensor.kernels import export_matmul_variants
 
-            self._pool = self._ctx.Pool(
-                processes=self.max_workers,
-                initializer=_child_init,
-                initargs=(export_matmul_variants(),),
+            self._pool.append(
+                self._ctx.Pool(
+                    processes=1,
+                    initializer=_child_init,
+                    initargs=(export_matmul_variants(),),
+                )
             )
-        return self._pool
+        return self._pool[index]
+
+    def collect_observability(self) -> int:
+        """Merge the children's span/metric shards into the parent's obs.
+
+        Child spans arrive stamped with their pid (one Chrome process
+        lane per pool worker) and child metrics gain a ``pid`` label.
+        Shards are consumed on merge, so calling this after every few
+        steps or once at ``close()`` yields the same totals.
+        """
+        if self._shard_dir is None or not obs.is_enabled():
+            return 0
+        return obs.collect_shards(self._shard_dir)
 
     def close(self) -> None:
         if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
+            # drain outstanding tasks' shards before tearing the slots down
+            for slot in self._pool:
+                slot.close()
+            for slot in self._pool:
+                slot.join()
             self._pool = None
+        self.collect_observability()
+        if self._shard_dir is not None:
+            shutil.rmtree(self._shard_dir, ignore_errors=True)
+            self._shard_dir = None
 
     def __del__(self) -> None:  # pragma: no cover - GC-order dependent
         try:
@@ -236,6 +302,11 @@ class ProcessPoolBackend(ExecutionBackend):
         state = request.model.state_dict()
         layout_state = request.layout.to_state()
         need_arrival = request.arrival_sink is not None
+        obs_snapshot = None
+        if obs.is_enabled():
+            if self._shard_dir is None:
+                self._shard_dir = tempfile.mkdtemp(prefix="repro-obs-shards-")
+            obs_snapshot = obs.config_snapshot(shard_dir=self._shard_dir)
         tasks = []
         for worker in request.workers:
             ests = []
@@ -255,13 +326,21 @@ class ProcessPoolBackend(ExecutionBackend):
                     "ests": ests,
                     "layout": layout_state,
                     "need_arrival": need_arrival,
+                    "worker": worker.worker_id,
+                    "gpu": worker.gpu.name,
+                    "obs": obs_snapshot,
                 }
             )
 
-        # Phase 2: dispatch everything, then collect in SUBMISSION order —
-        # completion order never reaches the caller.
-        pool = self._ensure_pool()
-        handles = [pool.apply_async(_run_worker_task, (task,)) for task in tasks]
+        # Phase 2: dispatch everything (worker w -> slot w % max_workers),
+        # then collect in SUBMISSION order — completion order never
+        # reaches the caller.
+        handles = [
+            self._ensure_slot(task["worker"] % self.max_workers).apply_async(
+                _run_worker_task, (task,)
+            )
+            for task in tasks
+        ]
 
         param_shapes = {n: p.data.shape for n, p in request.named_params.items()}
         parent_layers = dict(request.model.named_modules())

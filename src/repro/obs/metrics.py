@@ -19,7 +19,7 @@ import math
 import threading
 import time
 from contextlib import contextmanager
-from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 #: Default histogram bucket upper bounds (seconds-flavored; +Inf is implicit).
 DEFAULT_BUCKETS: Tuple[float, ...] = (
@@ -206,6 +206,16 @@ class NullRegistry:
     def delta(self, previous: Mapping[str, Mapping[str, Any]]) -> Dict[str, Dict[str, Any]]:
         return self.snapshot()
 
+    def to_state(self) -> List[Dict[str, Any]]:
+        return []
+
+    def merge_state(
+        self,
+        state: Iterable[Mapping[str, Any]],
+        extra_labels: Optional[Mapping[str, str]] = None,
+    ) -> None:
+        pass
+
     def to_prometheus_text(self) -> str:
         return ""
 
@@ -315,6 +325,68 @@ class MetricsRegistry:
                     "nonfinite": h.get("nonfinite", 0) - prior.get("nonfinite", 0),
                 }
         return {"counters": counters, "gauges": current["gauges"], "histograms": histograms}
+
+    def to_state(self) -> List[Dict[str, Any]]:
+        """Structured dump of every instrument: kind, name, labels, values.
+
+        Unlike :meth:`snapshot` (whose keys are pre-formatted
+        ``name{labels}`` strings), this keeps labels as a mapping so a
+        receiving registry can re-key them — the cross-process shard
+        format consumed by :meth:`merge_state`.
+        """
+        with self._lock:
+            state: List[Dict[str, Any]] = []
+            for (name, key), counter in sorted(self._counters.items()):
+                state.append({"kind": "counter", "name": name,
+                              "labels": dict(key), "value": counter.value})
+            for (name, key), gauge in sorted(self._gauges.items()):
+                state.append({"kind": "gauge", "name": name,
+                              "labels": dict(key), "value": gauge.value,
+                              "nonfinite": gauge.nonfinite})
+            for (name, key), hist in sorted(self._histograms.items()):
+                state.append({"kind": "histogram", "name": name,
+                              "labels": dict(key), "bounds": list(hist.bounds),
+                              "counts": list(hist.counts), "sum": hist.sum,
+                              "count": hist.count, "nonfinite": hist.nonfinite})
+            return state
+
+    def merge_state(
+        self,
+        state: Iterable[Mapping[str, Any]],
+        extra_labels: Optional[Mapping[str, str]] = None,
+    ) -> None:
+        """Fold a :meth:`to_state` dump into this registry.
+
+        ``extra_labels`` (e.g. ``{"pid": "12345"}``) are added to every
+        merged series, keeping a child process's counts distinguishable
+        from the parent's own — the "label-prefixed" half of the
+        cross-process observability contract.  Counters and histograms
+        accumulate; gauges overwrite (last write wins, like Prometheus).
+        """
+        extra = dict(extra_labels or {})
+        for row in state:
+            labels = {**{str(k): str(v) for k, v in row.get("labels", {}).items()},
+                      **extra}
+            kind = row.get("kind")
+            if kind == "counter":
+                self.counter(row["name"], **labels).inc(float(row["value"]))
+            elif kind == "gauge":
+                gauge = self.gauge(row["name"], **labels)
+                gauge.set(float(row["value"]))
+                gauge.nonfinite += int(row.get("nonfinite", 0))
+            elif kind == "histogram":
+                hist = self.histogram(row["name"], buckets=row["bounds"], **labels)
+                if list(hist.bounds) != [float(b) for b in row["bounds"]]:
+                    raise ValueError(
+                        f"histogram {row['name']!r} bucket bounds differ between "
+                        f"merge source and registry"
+                    )
+                hist.counts = [a + b for a, b in zip(hist.counts, row["counts"])]
+                hist.sum += float(row["sum"])
+                hist.count += int(row["count"])
+                hist.nonfinite += int(row.get("nonfinite", 0))
+            else:
+                raise ValueError(f"unknown instrument kind {kind!r} in merge_state")
 
     def to_prometheus_text(self) -> str:
         """Prometheus text exposition (counters, gauges, histograms)."""

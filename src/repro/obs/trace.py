@@ -25,10 +25,66 @@ import json
 import threading
 import time
 from collections import deque
-from typing import Any, Dict, Iterable, List, Optional, Union
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
 
 #: JSONL schema version for saved traces.
 TRACE_FORMAT_VERSION = 1
+
+#: File suffix of per-pid span shards written by child processes
+#: (see :func:`repro.obs.flush_shard` / :func:`repro.obs.collect_shards`).
+SHARD_SPAN_SUFFIX = ".spans.jsonl"
+
+#: Synthetic Chrome-trace thread-id bases for derived lanes.  Real thread
+#: ids are masked to 16 bits and simulator tracks start at 0x10000, so
+#: these ranges never collide with either.
+EST_LANE_BASE = 0x20000
+WORKER_LANE_BASE = 0x30000
+
+
+def shard_span_path(shard_dir: str, pid: int) -> str:
+    return f"{shard_dir}/shard-{pid}{SHARD_SPAN_SUFFIX}"
+
+
+def append_shard_records(path: str, records: Iterable[Dict[str, Any]],
+                         pid: Optional[int] = None) -> int:
+    """Append span records to a per-process shard file (JSONL).
+
+    Each record is stamped with ``pid`` so the merged trace keeps one
+    process lane per pool worker.  Returns the number of lines written.
+    """
+    written = 0
+    with open(path, "a", encoding="utf-8") as fh:
+        for record in records:
+            if pid is not None:
+                record = dict(record, pid=pid)
+            fh.write(json.dumps(record, sort_keys=True, default=str) + "\n")
+            written += 1
+    return written
+
+
+def load_shard_records(path: str) -> List[Dict[str, Any]]:
+    """Read a span-shard JSONL file, skipping a truncated trailing line.
+
+    A pool child killed mid-write (terminate on ``close()``) may leave a
+    partial last line; everything before it is still good data.
+    """
+    records: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        lines = fh.readlines()
+    last_content = max((i for i, line in enumerate(lines) if line.strip()), default=-1)
+    for lineno, line in enumerate(lines):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as err:
+            if lineno == last_content:
+                continue
+            raise ValueError(f"{path}:{lineno + 1}: malformed shard line: {err}") from err
+        if isinstance(payload, dict) and payload.get("kind") in ("span", "instant"):
+            records.append(payload)
+    return records
 
 
 class SimClock:
@@ -232,6 +288,21 @@ class SpanTracer:
                 self._tracks[label] = 0x10000 + len(self._tracks)
             return self._tracks[label]
 
+    def ingest(self, records: Iterable[Dict[str, Any]]) -> int:
+        """Fold externally produced records (e.g. child shards) into the ring.
+
+        Records pass through unmodified — in particular a ``pid`` field
+        stamped by :func:`append_shard_records` survives, keeping each
+        source process on its own lane in the Chrome export.
+        """
+        count = 0
+        with self._lock:
+            for record in records:
+                self._records.append(record)
+                self.emitted += 1
+                count += 1
+        return count
+
     def clear(self) -> None:
         with self._lock:
             self._records.clear()
@@ -302,7 +373,9 @@ class SpanTracer:
     # ------------------------------------------------------------------
     def to_chrome_trace(self) -> Dict[str, Any]:
         """Chrome ``trace_event`` format (one complete/instant event per record)."""
-        return records_to_chrome_trace(self.records)
+        with self._lock:
+            lane_names = {tid: label for label, tid in self._tracks.items()}
+        return records_to_chrome_trace(self.records, lane_names=lane_names)
 
     def save_chrome_trace(self, path: str) -> None:
         with open(path, "w", encoding="utf-8") as fh:
@@ -313,23 +386,83 @@ class SpanTracer:
         return flame_summary(self.records, limit=limit)
 
 
-def records_to_chrome_trace(records: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
-    """Convert span/instant records to the Chrome ``trace_event`` dict."""
+def _lane_for(record: Dict[str, Any]) -> Optional[Union[int, str]]:
+    """Derive a stable display lane from a record's worker/EST identity.
+
+    Spans carrying a ``vrank`` (EST-level work) land on one lane per EST;
+    worker-level spans (``worker`` but no ``vrank``) on one lane per
+    physical worker.  Everything else keeps its raw thread/track id —
+    which is exactly the pre-fix behaviour that collapsed a whole serial
+    run into a single row.
+    """
+    args = record.get("args", {})
+    try:
+        if "vrank" in args:
+            return EST_LANE_BASE + int(args["vrank"])
+        if "worker" in args:
+            return WORKER_LANE_BASE + int(args["worker"])
+        if "from_vrank" in args:
+            return EST_LANE_BASE + int(args["from_vrank"])
+    except (TypeError, ValueError):
+        return None
+    return None
+
+
+def records_to_chrome_trace(
+    records: Iterable[Dict[str, Any]],
+    lane_names: Optional[Dict[int, str]] = None,
+) -> Dict[str, Any]:
+    """Convert span/instant records to the Chrome ``trace_event`` dict.
+
+    Every record's ``pid`` (0 = the parent process; pool children stamp
+    their real pid via shard collection) becomes a Chrome *process* lane,
+    and worker/EST identity becomes a named *thread* lane within it, so a
+    merged multi-process trace renders as separate tracks in
+    ``chrome://tracing`` / Perfetto instead of one collapsed row.
+    ``process_name`` / ``thread_name`` metadata events label the lanes.
+    """
     events: List[Dict[str, Any]] = []
+    pids: Dict[int, None] = {}
+    threads: Dict[Tuple[int, int], str] = {}
     for r in records:
+        pid = int(r.get("pid", 0))
+        args = r.get("args", {})
+        tid = int(r.get("tid", 0))
+        lane = _lane_for(r)
+        if lane is not None:
+            tid = lane
+            label = (
+                f"EST {args.get('vrank', args.get('from_vrank'))}"
+                if lane >= EST_LANE_BASE and lane < WORKER_LANE_BASE
+                else f"worker {args.get('worker')}"
+            )
+            threads.setdefault((pid, tid), label)
+        elif lane_names and tid in lane_names:
+            threads.setdefault((pid, tid), lane_names[tid])
+        pids.setdefault(pid, None)
         base = {
             "name": r["name"],
             "cat": r.get("cat", "default"),
-            "pid": 0,
-            "tid": r.get("tid", 0),
+            "pid": pid,
+            "tid": tid,
             "ts": r["t0"] * 1e6,  # trace_event timestamps are microseconds
-            "args": r.get("args", {}),
+            "args": args,
         }
         if r["kind"] == "instant":
             events.append({**base, "ph": "i", "s": "t"})
         else:
             events.append({**base, "ph": "X", "dur": max(r["t1"] - r["t0"], 0.0) * 1e6})
-    return {"traceEvents": events, "displayTimeUnit": "ms"}
+    meta: List[Dict[str, Any]] = []
+    for index, pid in enumerate(sorted(pids)):
+        name = "parent" if pid == 0 else f"pool worker pid {pid}"
+        meta.append({"ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+                     "args": {"name": name}})
+        meta.append({"ph": "M", "name": "process_sort_index", "pid": pid, "tid": 0,
+                     "args": {"sort_index": index}})
+    for (pid, tid), label in sorted(threads.items()):
+        meta.append({"ph": "M", "name": "thread_name", "pid": pid, "tid": tid,
+                     "args": {"name": label}})
+    return {"traceEvents": meta + events, "displayTimeUnit": "ms"}
 
 
 def flame_summary(records: Iterable[Dict[str, Any]], limit: Optional[int] = None) -> str:

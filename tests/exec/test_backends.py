@@ -74,7 +74,8 @@ class TestResolveBackend:
     def test_names_resolve(self):
         assert isinstance(resolve_backend("serial"), SerialBackend)
         assert isinstance(resolve_backend("process"), ProcessPoolBackend)
-        assert set(BACKENDS) == {"serial", "process"}
+        assert isinstance(resolve_backend("pool"), ProcessPoolBackend)
+        assert set(BACKENDS) == {"serial", "process", "pool"}
 
     def test_instance_passes_through(self):
         backend = SerialBackend()

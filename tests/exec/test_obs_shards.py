@@ -1,0 +1,207 @@
+"""Cross-process observability: ObsConfig bootstrap, shards, merged traces.
+
+The pool backend's children are separate processes, so the parent's
+module-level ``repro.obs`` switch does not reach them for free.  The
+contract under test: the parent ships an :class:`~repro.obs.ObsConfig`
+snapshot with every task, children bootstrap from it and write per-pid
+span/metric shards, and the parent folds those shards back so one saved
+trace covers every process that did work — with each child on its own
+Chrome process lane and its metrics keyed apart by a ``pid`` label.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro import obs
+from repro.core import (
+    EasyScaleEngine,
+    EasyScaleJobConfig,
+    WorkerAssignment,
+    determinism_from_label,
+)
+from repro.exec import ProcessPoolBackend
+from repro.hw import gpu_type
+from repro.models import get_workload
+from repro.obs.trace import append_shard_records, shard_span_path
+from tests.conftest import sgd_factory
+
+POOL = ["V100", "V100", "T4", "T4"]
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    obs.reset()
+    yield
+    obs.reset()
+
+
+@pytest.fixture(scope="module")
+def env():
+    spec = get_workload("resnet18")
+    dataset = spec.build_dataset(64, seed=7)
+    config = EasyScaleJobConfig(
+        num_ests=4, seed=0, batch_size=8,
+        determinism=determinism_from_label("D1+D2"),
+    )
+    return spec, dataset, config
+
+
+# ---------------------------------------------------------------------------
+# ObsConfig snapshot / bootstrap
+# ---------------------------------------------------------------------------
+
+
+class TestConfigSnapshot:
+    def test_snapshot_carries_the_switch_and_shard_dir(self, tmp_path):
+        obs.configure(enabled=True)
+        snap = obs.config_snapshot(shard_dir=str(tmp_path))
+        assert snap.enabled and snap.shard_dir == str(tmp_path)
+        assert snap.clock == "wall"
+
+    def test_configure_from_is_idempotent_per_generation(self, tmp_path):
+        obs.configure(enabled=True)
+        snap = obs.config_snapshot(shard_dir=str(tmp_path))
+        obs.configure_from(snap)
+        tracer = obs.tracer()
+        with obs.span("first"):
+            pass
+        obs.configure_from(snap)  # same generation: must NOT reinstall
+        assert obs.tracer() is tracer
+        assert len(obs.tracer()) == 1
+
+    def test_configure_from_none_disables_a_bootstrapped_child(self, tmp_path):
+        obs.configure(enabled=True)
+        obs.configure_from(obs.config_snapshot(shard_dir=str(tmp_path)))
+        assert obs.is_enabled()
+        obs.configure_from(None)  # parent turned obs off
+        assert not obs.is_enabled()
+
+    def test_snapshot_is_picklable(self, tmp_path):
+        import pickle
+
+        obs.configure(enabled=True)
+        snap = obs.config_snapshot(shard_dir=str(tmp_path))
+        assert pickle.loads(pickle.dumps(snap)) == snap
+
+
+# ---------------------------------------------------------------------------
+# flush / collect round trip (single process, synthetic shards)
+# ---------------------------------------------------------------------------
+
+
+class TestFlushAndCollect:
+    def test_flush_writes_pid_stamped_spans_and_metrics(self, tmp_path):
+        obs.configure(enabled=True, shard_dir=str(tmp_path))
+        with obs.span("child_work"):
+            pass
+        obs.metrics().counter("work_total").inc(3)
+        path = obs.flush_shard()
+        pid = os.getpid()
+        assert path == shard_span_path(str(tmp_path), pid)
+        rows = [json.loads(l) for l in open(path, encoding="utf-8")]
+        assert [r["name"] for r in rows] == ["child_work"]
+        assert rows[0]["pid"] == pid
+        metrics_payload = json.load(
+            open(tmp_path / f"shard-{pid}.metrics.json", encoding="utf-8")
+        )
+        assert metrics_payload["pid"] == pid
+        assert any(row["name"] == "work_total" for row in metrics_payload["state"])
+
+    def test_reflush_does_not_duplicate_spans(self, tmp_path):
+        obs.configure(enabled=True, shard_dir=str(tmp_path))
+        with obs.span("once"):
+            pass
+        path = obs.flush_shard()
+        obs.flush_shard()  # nothing new emitted: watermark holds
+        rows = [json.loads(l) for l in open(path, encoding="utf-8")]
+        assert len(rows) == 1
+
+    def test_flush_without_shard_dir_is_noop(self):
+        obs.configure(enabled=True)
+        assert obs.flush_shard() is None
+
+    def test_collect_merges_and_consumes(self, tmp_path):
+        obs.configure(enabled=True)
+        # forge two children's shards
+        for fake_pid in (111, 222):
+            append_shard_records(
+                shard_span_path(str(tmp_path), fake_pid),
+                [{"kind": "span", "name": "child_step", "path": "child_step",
+                  "t0": 0.0, "t1": 1.0}],
+                pid=fake_pid,
+            )
+            with open(tmp_path / f"shard-{fake_pid}.metrics.json", "w",
+                      encoding="utf-8") as fh:
+                json.dump({"pid": fake_pid, "state": [
+                    {"kind": "counter", "name": "child_steps_total",
+                     "labels": {}, "value": 2},
+                ]}, fh)
+        merged = obs.collect_shards(str(tmp_path))
+        assert merged == 2
+        pids = {r.get("pid") for r in obs.tracer().records}
+        assert pids == {111, 222}
+        counters = obs.metrics().snapshot()["counters"]
+        assert counters['child_steps_total{pid="111"}'] == 2
+        assert counters['child_steps_total{pid="222"}'] == 2
+        # consumed: a second collect finds nothing to merge
+        assert obs.collect_shards(str(tmp_path)) == 0
+        assert len(obs.tracer()) == 2
+
+
+# ---------------------------------------------------------------------------
+# the real thing: a pool run whose merged trace spans >= 2 child pids
+# ---------------------------------------------------------------------------
+
+
+def test_pool_run_merges_spans_from_multiple_children(env):
+    spec, dataset, config = env
+    obs.configure(enabled=True)
+    with ProcessPoolBackend(max_workers=2) as backend:
+        engine = EasyScaleEngine(
+            spec, dataset, config, sgd_factory(),
+            WorkerAssignment.balanced([gpu_type(n) for n in POOL], 4),
+            backend=backend,
+        )
+        engine.train_steps(2)
+        shard_dir = backend._shard_dir
+        assert shard_dir is not None and os.path.isdir(shard_dir)
+    # close() collected the shards and removed the scratch dir
+    assert backend._shard_dir is None
+    assert not os.path.isdir(shard_dir)
+
+    records = obs.tracer().records
+    child_spans = [r for r in records if r["name"] == "exec.child_local_step"]
+    child_pids = {r["pid"] for r in child_spans}
+    assert len(child_pids) >= 2  # sticky slots: one process lane per worker
+    # every EST's local step of every global step appears exactly once
+    assert len(child_spans) == 4 * 2
+    # child metrics arrive keyed by pid, summing to the dispatched steps
+    counters = obs.metrics().snapshot()["counters"]
+    child_counts = {
+        key: value for key, value in counters.items()
+        if key.startswith("exec_child_local_steps_total")
+    }
+    assert all('pid="' in key for key in child_counts)
+    assert sum(child_counts.values()) == 4 * 2
+
+    # the merged record set exports as one Chrome trace with a lane per pid
+    chrome = obs.tracer().to_chrome_trace()
+    lanes = {e["args"]["name"] for e in chrome["traceEvents"]
+             if e["ph"] == "M" and e["name"] == "process_name"}
+    assert "parent" in lanes
+    assert sum(1 for lane in lanes if lane.startswith("pool worker pid ")) >= 2
+
+
+def test_pool_with_obs_disabled_leaves_no_shards(env):
+    spec, dataset, config = env
+    with ProcessPoolBackend(max_workers=2) as backend:
+        engine = EasyScaleEngine(
+            spec, dataset, config, sgd_factory(),
+            WorkerAssignment.balanced([gpu_type(n) for n in POOL], 4),
+            backend=backend,
+        )
+        engine.train_steps(1)
+        assert backend._shard_dir is None  # never created
+        assert backend.collect_observability() == 0

@@ -50,6 +50,22 @@ class TestCountersAndGauges:
         with pytest.raises(ValueError, match="already registered"):
             reg.gauge("x")
 
+    def test_label_order_is_canonical(self):
+        # the same label set in any keyword order is ONE series
+        reg = MetricsRegistry()
+        reg.counter("ops", gpu="V100", phase="fwd").inc()
+        reg.counter("ops", phase="fwd", gpu="V100").inc()
+        snap = reg.snapshot()["counters"]
+        assert snap == {'ops{gpu="V100",phase="fwd"}': 2}
+
+    def test_exposition_is_stable_across_insertion_order(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("ops", gpu="V100", phase="fwd").inc(3)
+        a.counter("ops", gpu="T4", phase="bwd").inc(1)
+        b.counter("ops", phase="bwd", gpu="T4").inc(1)
+        b.counter("ops", phase="fwd", gpu="V100").inc(3)
+        assert a.to_prometheus_text() == b.to_prometheus_text()
+
 
 class TestHistogram:
     def test_boundary_value_lands_in_its_bucket(self):
@@ -235,8 +251,74 @@ class TestTimeInto:
                 raise RuntimeError("boom")
         assert hist.count == 1
 
+    def test_duration_recorded_and_exception_unmodified(self):
+        from repro.obs.metrics import Histogram, time_into
+
+        hist = Histogram(buckets=(0.5, 60.0))
+        marker = KeyError("original")
+        with pytest.raises(KeyError) as excinfo:
+            with time_into(hist):
+                raise marker
+        assert excinfo.value is marker  # propagates untouched, not wrapped
+        assert hist.count == 1
+        assert 0.0 <= hist.sum < 60.0  # a real (tiny) duration was observed
+
     def test_null_instrument_accepted(self):
         from repro.obs.metrics import NULL_REGISTRY, time_into
 
         with time_into(NULL_REGISTRY.histogram("x")):
             pass  # no-op path must not branch or fail
+
+
+class TestStateMerge:
+    """to_state/merge_state: the cross-process metrics shard format."""
+
+    def _populated(self):
+        reg = MetricsRegistry()
+        reg.counter("steps", gpu="V100").inc(3)
+        reg.gauge("depth").set(7)
+        reg.histogram("lat", buckets=(1.0, 10.0)).observe(0.5)
+        return reg
+
+    def test_round_trip_preserves_series(self):
+        src = self._populated()
+        dst = MetricsRegistry()
+        dst.merge_state(src.to_state())
+        assert dst.snapshot() == src.snapshot()
+
+    def test_merge_accumulates_counters_and_histograms(self):
+        src = self._populated()
+        dst = self._populated()
+        dst.merge_state(src.to_state())
+        snap = dst.snapshot()
+        assert snap["counters"]['steps{gpu="V100"}'] == 6
+        assert snap["gauges"]["depth"] == 7  # gauges overwrite, not add
+        assert snap["histograms"]["lat"]["count"] == 2
+
+    def test_extra_labels_key_child_series_apart(self):
+        child = MetricsRegistry()
+        child.counter("steps").inc(2)
+        parent = MetricsRegistry()
+        parent.counter("steps").inc(1)
+        parent.merge_state(child.to_state(), extra_labels={"pid": "42"})
+        snap = parent.snapshot()["counters"]
+        assert snap["steps"] == 1
+        assert snap['steps{pid="42"}'] == 2
+
+    def test_histogram_bounds_mismatch_rejected(self):
+        src = MetricsRegistry()
+        src.histogram("lat", buckets=(1.0, 10.0)).observe(0.5)
+        dst = MetricsRegistry()
+        dst.histogram("lat", buckets=(2.0, 20.0)).observe(0.5)
+        with pytest.raises(ValueError, match="bucket bounds differ"):
+            dst.merge_state(src.to_state())
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown instrument kind"):
+            MetricsRegistry().merge_state([{"kind": "summary", "name": "x"}])
+
+    def test_state_is_json_safe(self):
+        import json
+
+        state = self._populated().to_state()
+        assert json.loads(json.dumps(state)) == state

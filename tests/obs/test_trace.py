@@ -161,7 +161,8 @@ class TestChromeExport:
 
         chrome = loaded.to_chrome_trace()
         events = chrome["traceEvents"]
-        assert {e["ph"] for e in events} == {"X", "i"}
+        # X/i payload events plus M metadata (process/thread lane names)
+        assert {e["ph"] for e in events} == {"X", "i", "M"}
         outer = next(e for e in events if e["name"] == "outer")
         assert outer["dur"] == pytest.approx(5.0 * 1e6)  # inner est + own est
         assert outer["args"]["step"] == 7
@@ -235,3 +236,117 @@ class TestGlobalSwitch:
         assert obs.sim_clock() is None
         obs.configure(enabled=True, clock="sim")
         assert obs.sim_clock() is not None
+
+
+class TestChromeLanes:
+    """Multi-process exports: one pid lane per process, EST/worker tids."""
+
+    def _span(self, name, pid=None, **args):
+        rec = {"kind": "span", "name": name, "path": name,
+               "t0": 0.0, "t1": 1.0, "tid": 1, "args": args}
+        if pid is not None:
+            rec["pid"] = pid
+        return rec
+
+    def test_child_records_keep_their_pid_lane(self):
+        from repro.obs.trace import records_to_chrome_trace
+
+        doc = records_to_chrome_trace([
+            self._span("parent_side"),
+            self._span("child_side", pid=4242),
+        ])
+        by_name = {e["name"]: e for e in doc["traceEvents"] if e["ph"] == "X"}
+        assert by_name["parent_side"]["pid"] == 0
+        assert by_name["child_side"]["pid"] == 4242
+
+    def test_process_metadata_names_lanes(self):
+        from repro.obs.trace import records_to_chrome_trace
+
+        doc = records_to_chrome_trace([
+            self._span("a"),
+            self._span("b", pid=77),
+        ])
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        names = {(e["pid"], e["args"]["name"])
+                 for e in meta if e["name"] == "process_name"}
+        assert (0, "parent") in names
+        assert (77, "pool worker pid 77") in names
+
+    def test_vrank_and_worker_args_pick_lanes(self):
+        from repro.obs.trace import (
+            EST_LANE_BASE,
+            WORKER_LANE_BASE,
+            records_to_chrome_trace,
+        )
+
+        doc = records_to_chrome_trace([
+            self._span("step", vrank=3),
+            self._span("task", worker=1),
+        ])
+        by_name = {e["name"]: e for e in doc["traceEvents"] if e["ph"] == "X"}
+        assert by_name["step"]["tid"] == EST_LANE_BASE + 3
+        assert by_name["task"]["tid"] == WORKER_LANE_BASE + 1
+        threads = {(e["tid"], e["args"]["name"])
+                   for e in doc["traceEvents"]
+                   if e["ph"] == "M" and e["name"] == "thread_name"}
+        assert (EST_LANE_BASE + 3, "EST 3") in threads
+        assert (WORKER_LANE_BASE + 1, "worker 1") in threads
+
+    def test_non_integer_lane_args_fall_back_to_tid(self):
+        from repro.obs.trace import records_to_chrome_trace
+
+        doc = records_to_chrome_trace([self._span("odd", vrank="?")])
+        (event,) = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert event["tid"] == 1  # the record's own tid, not a lane
+
+
+class TestShards:
+    """Per-pid shard files: append, load, and fold into a tracer."""
+
+    def test_append_load_round_trip(self, tmp_path):
+        from repro.obs.trace import (
+            append_shard_records,
+            load_shard_records,
+            shard_span_path,
+        )
+
+        tracer = SpanTracer()
+        with tracer.span("child_work", step=3):
+            pass
+        path = shard_span_path(str(tmp_path), pid=123)
+        append_shard_records(path, tracer.records, pid=123)
+        append_shard_records(path, tracer.records, pid=123)  # append, not clobber
+        loaded = load_shard_records(path)
+        assert len(loaded) == 2
+        assert all(r["pid"] == 123 for r in loaded)
+        assert all(r["name"] == "child_work" for r in loaded)
+
+    def test_load_skips_truncated_tail(self, tmp_path):
+        from repro.obs.trace import (
+            append_shard_records,
+            load_shard_records,
+            shard_span_path,
+        )
+
+        tracer = SpanTracer()
+        with tracer.span("ok"):
+            pass
+        path = shard_span_path(str(tmp_path), pid=9)
+        append_shard_records(path, tracer.records, pid=9)
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"kind": "span", "name": "torn')
+        loaded = load_shard_records(path)
+        assert [r["name"] for r in loaded] == ["ok"]
+
+    def test_ingest_folds_foreign_records(self):
+        tracer = SpanTracer()
+        with tracer.span("local"):
+            pass
+        tracer.ingest([
+            {"kind": "span", "name": "remote", "path": "remote",
+             "t0": 0.0, "t1": 1.0, "pid": 55},
+        ])
+        names = {r["name"]: r for r in tracer.records}
+        assert names["remote"]["pid"] == 55
+        assert "pid" not in names["local"]  # parent records stay pid-less
+        assert tracer.emitted == 2

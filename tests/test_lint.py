@@ -58,6 +58,21 @@ def test_lint_walk_covers_exec_package():
         assert expected in files, f"lint gate does not see {expected}"
 
 
+def test_lint_walk_covers_bench_observatory_modules():
+    # pin the performance-regression observatory and the modules the
+    # cross-process trace collection touches, so a restructuring cannot
+    # silently drop them from the gate
+    files = {os.path.relpath(p, SRC) for p in _python_files(SRC)}
+    for expected in (
+        "obs/bench.py",
+        "obs/trace.py",
+        "obs/metrics.py",
+        "exec/base.py",
+        "exec/pool.py",
+    ):
+        assert expected in files, f"lint gate does not see {expected}"
+
+
 def test_lint_walk_covers_sched_fastpath_modules():
     # pin the scheduler fast-path surface (plan cache, companion search,
     # dual-core simulator) so a restructuring cannot drop it from the gate
