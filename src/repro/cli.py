@@ -30,8 +30,10 @@ Gives the repository's main entry points a shell surface:
 
 Exit codes: 0 success; 2 missing/malformed input file; 3 failed
 self-test; 4 divergent audit trails or fingerprints (``obs diff-audit``,
-``faults replay``, ``train --faults --verify``); 5 performance
-regression (``bench gate``).
+``obs why``, ``faults replay``, ``train --faults --verify``); 5
+performance regression (``bench gate``).  ``obs postmortem`` renders a
+flight-recorder bundle (0 readable / 2 unreadable); ``obs why`` adds a
+ranked cause attribution on top of the diff-audit contract.
 """
 
 from __future__ import annotations
@@ -93,7 +95,9 @@ def _cmd_train(args: argparse.Namespace) -> int:
         if args.trace:
             # the backend has been closed by now, so pool-child shards are
             # already merged into the global tracer — the saved trace (and
-            # Chrome export) covers every process that did work
+            # Chrome export) covers every process that did work; close()
+            # flushes spans a crash left open so the export stays matched
+            obs.tracer().close()
             obs.tracer().save(args.trace)
             print(f"span trace written to {args.trace}")
             if env_trace:
@@ -503,6 +507,7 @@ def _cmd_trace_sim(args: argparse.Namespace) -> int:
                 print(f"{count} events written to {path} (see: repro obs report)")
     finally:
         if args.trace:
+            obs.tracer().close()
             obs.tracer().save(args.trace)
             print(f"span trace written to {args.trace}")
             obs.reset()
@@ -674,6 +679,37 @@ def _run_obs(args: argparse.Namespace, obs) -> int:
         print(f"B: {len(b)} steps ({args.audit_b})")
         print(diff.describe())
         return 0 if diff.identical else 4
+
+    if args.obs_command == "postmortem":
+        from repro.obs import flightrec
+
+        bundle = flightrec.load_bundle(args.bundle)
+        print(flightrec.render_bundle(bundle, tail=args.tail))
+        return 0
+
+    if args.obs_command == "why":
+        from repro.obs import flightrec
+        from repro.obs.forensics import analyze_divergence, trail_from_bundle
+
+        def _load_side(path):
+            """A side is either an audit-trail JSONL or a postmortem bundle."""
+            if flightrec.is_bundle_file(path):
+                bundle = flightrec.load_bundle(path)
+                return trail_from_bundle(bundle), bundle.get("events") or []
+            trail = obs.AuditTrail.load(path)
+            if trail.truncated:
+                print(f"warning: {path} has a truncated trailing line (skipped)")
+            return trail, None
+
+        trail_a, events_a = _load_side(args.trail_a)
+        trail_b, events_b = _load_side(args.trail_b)
+        report = analyze_divergence(
+            trail_a, trail_b, events_a=events_a, events_b=events_b, window=args.window
+        )
+        print(f"A: {len(trail_a)} steps ({args.trail_a})")
+        print(f"B: {len(trail_b)} steps ({args.trail_b})")
+        print(report.describe())
+        return 0 if report.identical else 4
 
     raise AssertionError(f"unhandled obs subcommand {args.obs_command!r}")
 
@@ -962,6 +998,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     diff.add_argument("audit_a")
     diff.add_argument("audit_b")
+
+    postmortem = obs_sub.add_parser(
+        "postmortem", help="render a flight-recorder postmortem bundle"
+    )
+    postmortem.add_argument("bundle", help="postmortem-<step>.json written on crash")
+    postmortem.add_argument("--tail", type=int, default=20,
+                            help="show the last N ring events (default 20)")
+
+    why = obs_sub.add_parser(
+        "why",
+        help="divergence root-cause forensics over two audit trails "
+             "(or postmortem bundles); exit 0 identical, 4 diverged",
+    )
+    why.add_argument("trail_a", help="audit-trail JSONL or postmortem bundle")
+    why.add_argument("trail_b", help="audit-trail JSONL or postmortem bundle")
+    why.add_argument("--window", type=int, default=8,
+                     help="steps before the divergence to walk back (default 8)")
 
     profile = obs_sub.add_parser(
         "profile",

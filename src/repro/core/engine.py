@@ -36,6 +36,7 @@ from repro.nn.module import Module
 from repro.optim.lr_scheduler import LRScheduler
 from repro.optim.optimizer import Optimizer
 from repro.utils.fingerprint import fingerprint_arrays, fingerprint_state_dict
+from repro.obs import flightrec
 from repro.obs.profiler import OnlineProfiler
 from repro.utils.rng import RNGBundle, derive_seed
 from repro.utils.telemetry import RunLog
@@ -207,6 +208,19 @@ class EasyScaleEngine:
     # ------------------------------------------------------------------
     def _build_workers(self, assignment: WorkerAssignment) -> None:
         self.assignment = assignment
+        flightrec.set_context(
+            determinism=self.config.determinism.label,
+            dialects=[g.dialect for g in assignment.gpus],
+            gpus=[g.name for g in assignment.gpus],
+            num_ests=self.config.num_ests,
+            backend=self.backend.name,
+        )
+        flightrec.record(
+            "engine.scale_event",
+            step=self.global_step,
+            gpus=[g.name for g in assignment.gpus],
+            dialects=[g.dialect for g in assignment.gpus],
+        )
         if self.telemetry is not None:
             self.telemetry.scale_event(
                 self.global_step, [g.name for g in assignment.gpus]
@@ -272,14 +286,52 @@ class EasyScaleEngine:
 
     def run_global_step(self) -> List[float]:
         """One synchronized global step across all ESTs; returns losses
-        ordered by virtual rank."""
-        with obs.span(
-            "engine.global_step",
-            cat="engine",
-            step=self.global_step,
-            backend=self.backend.name,
-        ):
-            return self._run_global_step()
+        ordered by virtual rank.
+
+        Any exception escaping the step — an injected fault signal, a
+        numerics bug, a backend failure — dumps a flight-recorder
+        postmortem bundle before propagating, so even a run with all
+        tracing off leaves evidence naming the failing step and worker.
+        """
+        try:
+            with obs.span(
+                "engine.global_step",
+                cat="engine",
+                step=self.global_step,
+                backend=self.backend.name,
+            ):
+                return self._run_global_step()
+        except Exception as exc:
+            self._dump_crash(exc)
+            raise
+
+    def _dump_crash(self, exc: BaseException) -> None:
+        """Write a postmortem bundle for an exception escaping a step."""
+        worker = getattr(exc, "worker_id", None)
+        event = getattr(exc, "event", None)
+        crash = {
+            "step": self.global_step,
+            "worker": worker,
+            "vrank": getattr(exc, "vrank", None),
+            "kind": getattr(event, "kind", None),
+            "dialect": (
+                self.assignment.gpus[worker].dialect
+                if worker is not None and worker < len(self.assignment.gpus)
+                else None
+            ),
+        }
+        flightrec.record(
+            "engine.crash",
+            step=crash["step"],
+            worker=crash["worker"],
+            vrank=crash["vrank"],
+            fault=crash["kind"],
+            dialect=crash["dialect"],
+        )
+        try:
+            flightrec.dump("exception", exc=exc, crash=crash)
+        except OSError:  # postmortems must never mask the original error
+            pass
 
     def _run_global_step(self) -> List[float]:
         if self.fault_injector is not None:
@@ -351,6 +403,13 @@ class EasyScaleEngine:
                 self.scheduler.step()
         losses = [r.loss for r in results]
         self.loss_history.append(losses)
+        flightrec.record(
+            "engine.step",
+            step=self.global_step - 1,
+            epoch=self.epoch,
+            sim_time=self.sim_time,
+            loss=losses[-1],
+        )
         if self.telemetry is not None:
             self.telemetry.step(
                 self.global_step - 1, losses, epoch=self.epoch, sim_time=self.sim_time
@@ -372,7 +431,7 @@ class EasyScaleEngine:
             arrays = [averaged[n] for n in names if n in averaged]
             if arrays:
                 bucket_fps[str(idx)] = fingerprint_arrays(arrays)
-        obs.audit_trail().capture(
+        record = obs.audit_trail().capture(
             step=self.global_step - 1,
             params=fingerprint_state_dict(self.model.state_dict()),
             buckets=bucket_fps,
@@ -381,6 +440,7 @@ class EasyScaleEngine:
             policy=self.config.determinism.label,
             dialects=[g.dialect for g in self.assignment.gpus],
         )
+        flightrec.note_audit(record)
 
     def train_steps(self, num_steps: int) -> List[float]:
         """Run ``num_steps`` global steps; returns the last EST's losses."""
@@ -410,6 +470,7 @@ class EasyScaleEngine:
     # ------------------------------------------------------------------
     def checkpoint(self) -> Checkpoint:
         """Snapshot at a global-step boundary (the only legal point)."""
+        flightrec.record("engine.checkpoint_save", step=self.global_step)
         with obs.span("engine.checkpoint_save", cat="engine", step=self.global_step):
             return self._checkpoint()
 
@@ -442,6 +503,9 @@ class EasyScaleEngine:
         )
 
     def _load_checkpoint(self, ckpt: Checkpoint) -> None:
+        flightrec.record(
+            "engine.checkpoint_restore", step=int(ckpt.extra["global_step"])
+        )
         with obs.span(
             "engine.checkpoint_restore", cat="engine", step=int(ckpt.extra["global_step"])
         ):

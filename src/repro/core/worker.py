@@ -21,6 +21,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 import numpy as np
 
 from repro import obs
+from repro.obs import flightrec
 from repro.core.est import EasyScaleThread
 from repro.ddp.ddp import micro_slices
 from repro.hw.gpu import GPUType
@@ -165,6 +166,13 @@ class EasyScaleWorker:
         for position, est in enumerate(self.ests):
             if self.fault_hook is not None:
                 self.fault_hook(self.worker_id, est.vrank)
+            flightrec.record(
+                "worker.local_step",
+                worker=self.worker_id,
+                vrank=est.vrank,
+                gpu=self.gpu.name,
+                dialect=self.gpu.dialect,
+            )
             with obs.span(
                 "worker.local_step",
                 cat="worker",

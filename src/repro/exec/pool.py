@@ -51,6 +51,7 @@ from typing import Any, Dict, List, Optional, Tuple
 import numpy as np
 
 from repro import obs
+from repro.obs import flightrec
 from repro.comm.bucketing import BucketAssignment
 from repro.exec.base import ExecutionBackend, StepRequest
 from repro.hw.timing import context_switch_time, minibatch_time
@@ -112,6 +113,23 @@ def _run_worker_task(task: Dict[str, Any]) -> List[Dict[str, Any]]:
     from repro.core.worker import execute_local_step
 
     obs.configure_from(task.get("obs"))
+    flightrec.ensure_child()
+    flight_dir = task.get("flight")
+    try:
+        return _run_worker_task_inner(task, execute_local_step)
+    finally:
+        # ship this child's flight-ring tail even when the task failed —
+        # the parent's postmortem dump merges these shards
+        if flight_dir is not None:
+            try:
+                flightrec.flush_shard(flight_dir)
+            except OSError:  # pragma: no cover - scratch dir vanished
+                pass
+
+
+def _run_worker_task_inner(
+    task: Dict[str, Any], execute_local_step
+) -> List[Dict[str, Any]]:
     spec = task["spec"]
     model, named_params, names_by_id, modules_by_id = _get_replica(spec, task["seed"])
     model.load_state_dict(task["state"])
@@ -122,6 +140,13 @@ def _run_worker_task(task: Dict[str, Any]) -> List[Dict[str, Any]]:
         rng.set_state(rng_state)
         arrival: Optional[List[str]] = (
             [] if (task["need_arrival"] and vrank == 0) else None
+        )
+        flightrec.record(
+            "exec.child_local_step",
+            worker=task.get("worker", -1),
+            vrank=vrank,
+            gpu=task.get("gpu", "?"),
+            dialect=task["dialect"],
         )
         with obs.span(
             "exec.child_local_step",
@@ -221,6 +246,11 @@ class ProcessPoolBackend(ExecutionBackend):
         #: scratch directory for the children's per-pid obs shards; created
         #: lazily the first time a step runs with observability enabled
         self._shard_dir: Optional[str] = None
+        #: scratch directory for the children's flight-recorder shards;
+        #: created on the first step regardless of the obs switch (the
+        #: flight recorder is always on) and registered with the parent's
+        #: recorder so a postmortem dump merges child history
+        self._flight_dir: Optional[str] = None
 
     # -- lifecycle ------------------------------------------------------
     def _ensure_slot(self, index: int):
@@ -268,6 +298,16 @@ class ProcessPoolBackend(ExecutionBackend):
         if self._shard_dir is not None:
             shutil.rmtree(self._shard_dir, ignore_errors=True)
             self._shard_dir = None
+        if self._flight_dir is not None:
+            # fold the children's remaining flight history into the
+            # parent ring before dropping the scratch directory
+            try:
+                flightrec.collect_shards(self._flight_dir)
+            except OSError:  # pragma: no cover - scratch dir vanished
+                pass
+            flightrec.detach_shard_dir(self._flight_dir)
+            shutil.rmtree(self._flight_dir, ignore_errors=True)
+            self._flight_dir = None
 
     def __del__(self) -> None:  # pragma: no cover - GC-order dependent
         try:
@@ -307,6 +347,9 @@ class ProcessPoolBackend(ExecutionBackend):
             if self._shard_dir is None:
                 self._shard_dir = tempfile.mkdtemp(prefix="repro-obs-shards-")
             obs_snapshot = obs.config_snapshot(shard_dir=self._shard_dir)
+        if self._flight_dir is None:
+            self._flight_dir = tempfile.mkdtemp(prefix="repro-flight-shards-")
+            flightrec.attach_shard_dir(self._flight_dir)
         tasks = []
         for worker in request.workers:
             ests = []
@@ -329,6 +372,7 @@ class ProcessPoolBackend(ExecutionBackend):
                     "worker": worker.worker_id,
                     "gpu": worker.gpu.name,
                     "obs": obs_snapshot,
+                    "flight": self._flight_dir,
                 }
             )
 

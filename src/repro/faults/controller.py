@@ -51,6 +51,7 @@ from repro.faults.schedule import FaultEvent, FaultPlan
 from repro.hw.gpu import GPUType, gpu_type
 from repro.hw.timing import static_capability
 from repro.models.registry import WorkloadSpec
+from repro.obs import flightrec
 from repro.sched.companion import CompanionModule
 from repro.sched.intra import IntraJobScheduler
 
@@ -302,6 +303,12 @@ class ResilienceController:
     # ------------------------------------------------------------------
     def _note_fault(self, event: FaultEvent) -> None:
         self.stats.faults_injected += 1
+        flightrec.record(
+            "resilience.detect",
+            fault=event.kind,
+            step=self.engine.global_step,
+            magnitude=event.magnitude,
+        )
         if obs.is_enabled():
             obs.instant(
                 "fault.injected",
@@ -408,6 +415,13 @@ class ResilienceController:
             clock_at_fault=self.clock - delay,
         )
         assignment = self._plan_assignment()
+        flightrec.record(
+            "resilience.replan",
+            step=fault_step,
+            fault=event.kind,
+            gpus=[g.name for g in assignment.gpus],
+            dialects=[g.dialect for g in assignment.gpus],
+        )
         if ckpt is not None:
             self.engine = EasyScaleEngine.from_checkpoint(
                 self.spec,
@@ -424,8 +438,22 @@ class ResilienceController:
                 backend=self.backend,
             )
         else:
-            # cold restart: deterministic construction reproduces the
-            # job-submission state bit for bit
+            # cold restart: every snapshot is gone, so the whole run to
+            # this point is lost — worth a postmortem even though the job
+            # itself survives (deterministic construction reproduces the
+            # job-submission state bit for bit)
+            try:
+                flightrec.dump(
+                    "cold_restart",
+                    crash={
+                        "step": fault_step,
+                        "kind": event.kind,
+                        "restore_step": 0,
+                        "retries": retries,
+                    },
+                )
+            except OSError:
+                pass
             self.engine = EasyScaleEngine(
                 self.spec,
                 self.dataset,
@@ -440,6 +468,14 @@ class ResilienceController:
                 backend=self.backend,
             )
             self.manager.take(self.engine)  # re-seed the snapshot chain
+        flightrec.record(
+            "resilience.restore",
+            fault=event.kind,
+            fault_step=fault_step,
+            restore_step=restore_step,
+            retries=retries,
+            downtime_s=delay,
+        )
         self.stats.recoveries += 1
         self.stats.incidents.append(incident)
         self._open_incidents.append(incident)

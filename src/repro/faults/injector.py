@@ -28,6 +28,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Iterator, List, Optional, Tuple
 
 from repro.faults.schedule import GRACEFUL_KINDS, FaultEvent, FaultPlan
+from repro.obs import flightrec
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a core<->faults cycle
     from repro.core.engine import EasyScaleEngine
@@ -106,6 +107,9 @@ class FaultInjector:
         self._num_workers = engine.assignment.num_workers
         for idx, event in self._due(engine.global_step, {"node_preempt"}):
             self._fired.add(idx)
+            flightrec.record(
+                "fault.detect", fault=event.kind, step=engine.global_step
+            )
             raise NodePreemptSignal(event)
 
     def on_local_step(self, worker_id: int, vrank: int) -> None:
@@ -115,6 +119,13 @@ class FaultInjector:
         for idx, event in self._due(self._current_step, {"worker_crash"}):
             if event.target_worker(self._num_workers) == worker_id:
                 self._fired.add(idx)
+                flightrec.record(
+                    "fault.detect",
+                    fault=event.kind,
+                    step=self._current_step,
+                    worker=worker_id,
+                    vrank=vrank,
+                )
                 raise WorkerCrashSignal(event, worker_id=worker_id, vrank=vrank)
 
     # ------------------------------------------------------------------
@@ -125,6 +136,13 @@ class FaultInjector:
         due: List[FaultEvent] = []
         for idx, event in self._due(step, GRACEFUL_KINDS):
             self._fired.add(idx)
+            flightrec.record(
+                "fault.graceful",
+                fault=event.kind,
+                step=step,
+                target=event.target,
+                magnitude=event.magnitude,
+            )
             due.append(event)
         return due
 

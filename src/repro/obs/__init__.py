@@ -62,6 +62,19 @@ from repro.obs.trace import (
     load_shard_records,
     records_to_chrome_trace,
 )
+from repro.obs.flightrec import (
+    BUNDLE_FORMAT_VERSION,
+    FlightRecorder,
+    is_bundle_file,
+    load_bundle,
+    render_bundle,
+)
+from repro.obs.forensics import (
+    Cause,
+    ForensicsReport,
+    analyze_divergence,
+    trail_from_bundle,
+)
 from repro.obs.profiler import (
     OnlineProfiler,
     ProfilerConfig,
@@ -112,6 +125,15 @@ __all__ = [
     "AuditDiff",
     "diff_audits",
     "fingerprint_rng_states",
+    "BUNDLE_FORMAT_VERSION",
+    "FlightRecorder",
+    "is_bundle_file",
+    "load_bundle",
+    "render_bundle",
+    "Cause",
+    "ForensicsReport",
+    "analyze_divergence",
+    "trail_from_bundle",
     "flame_summary",
     "records_to_chrome_trace",
     "OnlineProfiler",

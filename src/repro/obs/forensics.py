@@ -1,0 +1,431 @@
+"""Divergence root-cause forensics: from "the bits differ" to "why".
+
+:func:`repro.obs.audit.diff_audits` localizes the **first divergent
+step** between two runs; this module explains it.  Starting from that
+step, :func:`analyze_divergence` walks a window of preceding audit
+records (and, when available, flight-recorder events from postmortem
+bundles) and correlates the divergent field/bucket with every known
+determinism hazard:
+
+- **kernel-dialect switches** — a worker's dialect tuple changing within
+  a trail (a reconfigure onto a different GPU type), or the two runs
+  disagreeing on dialects at the divergence step: the paper's D2 story;
+- **policy-label changes** — D0 vs D1 vs D1+D2 mismatches;
+- **reconfigure boundaries** — the worker count changing (the D0
+  bucket-rebuild hazard, paper Fig. 9);
+- **fault recovery rewinds** — a trail re-recording earlier steps
+  (restore + re-execute), visible as non-monotonic raw records;
+- **RNG / loader drift** — the compared fields themselves, when they are
+  the earliest thing that moved;
+- **fault / resilience / scheduler events** — flight events near the
+  divergence step, when a postmortem bundle supplies them.
+
+Each correlation becomes a :class:`Cause`, scored by *hazard weight ×
+temporal proximity* — a dialect switch at the divergence step outranks a
+loader wobble five steps earlier — and the ranked list plus a causal
+timeline form the :class:`ForensicsReport` rendered by ``repro obs
+why``.  The contract asserted by the tests: a seeded kernel-variant swap
+at step *k* is attributed to step *k* and the dialect switch, not merely
+"params differ".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.audit import AuditDiff, AuditRecord, AuditTrail, diff_audits
+
+#: How many steps before the divergence the walk-back inspects.
+DEFAULT_WINDOW = 8
+
+#: Hazard weights: how strongly each cause kind explains a bit flip.
+CAUSE_WEIGHTS: Dict[str, float] = {
+    "dialect_switch": 5.0,
+    "dialect_mismatch": 5.0,
+    "policy_switch": 4.0,
+    "policy_mismatch": 4.0,
+    "fault_event": 3.5,
+    "reconfigure": 3.0,
+    "recovery_rewind": 2.5,
+    "rng_divergence": 2.0,
+    "scheduler_decision": 1.5,
+    "loader_divergence": 1.5,
+}
+
+#: Flight-event kinds treated as fault/resilience activity.
+_FAULT_EVENT_KINDS = (
+    "fault.detect",
+    "fault.graceful",
+    "resilience.detect",
+    "resilience.replan",
+    "resilience.restore",
+    "engine.crash",
+)
+
+_SCHED_EVENT_KINDS = ("sched.decision", "sched.propose", "sched.grant")
+
+
+@dataclass(frozen=True)
+class Cause:
+    """One candidate explanation for the divergence."""
+
+    kind: str
+    step: Optional[int]
+    side: str  # "A", "B", or "both"
+    detail: str
+    score: float
+
+    def describe(self) -> str:
+        where = f"step {self.step}" if self.step is not None else "unknown step"
+        return f"[{self.kind}] {where} ({self.side}): {self.detail}"
+
+
+@dataclass
+class ForensicsReport:
+    """Ranked cause attribution for one audit-trail divergence."""
+
+    diff: AuditDiff
+    causes: List[Cause] = field(default_factory=list)
+    timeline: List[str] = field(default_factory=list)
+    window: int = DEFAULT_WINDOW
+
+    @property
+    def identical(self) -> bool:
+        return self.diff.identical
+
+    @property
+    def attributed(self) -> bool:
+        """True when a structural cause (not just field drift) was found."""
+        return any(
+            c.kind not in ("rng_divergence", "loader_divergence") for c in self.causes
+        )
+
+    @property
+    def top_cause(self) -> Optional[Cause]:
+        return self.causes[0] if self.causes else None
+
+    def headline(self) -> str:
+        if self.diff.identical:
+            return "trails are bitwise identical"
+        step = self.diff.first_divergent_step
+        if step is None:
+            return (
+                f"no divergence on common steps, but step coverage differs "
+                f"({self.diff.only_in_a} only in A, {self.diff.only_in_b} only in B)"
+            )
+        what = (
+            f"bucket {', '.join(self.diff.buckets)}"
+            if self.diff.buckets
+            else "/".join(self.diff.fields) or "state"
+        )
+        head = f"{what} diverged at step {step}"
+        top = self.top_cause
+        if top is not None and top.kind not in ("rng_divergence", "loader_divergence"):
+            gap = step - top.step if top.step is not None else None
+            when = (
+                "at the divergence step"
+                if gap in (0, None)
+                else f"{gap} step(s) after"
+            )
+            head += f", {when} {top.detail}"
+        return head
+
+    def describe(self) -> str:
+        lines = [self.headline()]
+        if self.diff.identical:
+            return lines[0]
+        if self.causes:
+            lines.append("ranked causes:")
+            for rank, cause in enumerate(self.causes, start=1):
+                lines.append(f"  {rank}. {cause.describe()}  score={cause.score:.2f}")
+        else:
+            lines.append("no correlated cause found in the walk-back window")
+        if self.timeline:
+            lines.append(f"causal timeline (last {self.window} steps before divergence):")
+            lines.extend(f"  {entry}" for entry in self.timeline)
+        return "\n".join(lines)
+
+
+def _proximity(divergent_step: int, step: Optional[int]) -> float:
+    """1 at the divergence step, decaying with distance before it."""
+    if step is None:
+        return 0.5
+    return 1.0 / (1.0 + max(0, divergent_step - step))
+
+
+def _dialect_changes(
+    records: Dict[int, AuditRecord], steps: Sequence[int], side: str, s: int
+) -> List[Cause]:
+    """Within-trail dialect/policy/worker-count changes inside the window."""
+    causes: List[Cause] = []
+    for prev_step, step in zip(steps, steps[1:]):
+        prev, cur = records[prev_step], records[step]
+        if tuple(prev.dialects) != tuple(cur.dialects):
+            changed = [
+                f"worker {i}: {a}->{b}"
+                for i, (a, b) in enumerate(zip(prev.dialects, cur.dialects))
+                if a != b
+            ]
+            if len(prev.dialects) != len(cur.dialects):
+                causes.append(
+                    Cause(
+                        kind="reconfigure",
+                        step=step,
+                        side=side,
+                        detail=(
+                            f"worker count changed {len(prev.dialects)}->"
+                            f"{len(cur.dialects)} "
+                            f"({'/'.join(prev.dialects)} -> {'/'.join(cur.dialects)})"
+                        ),
+                        score=CAUSE_WEIGHTS["reconfigure"] * _proximity(s, step),
+                    )
+                )
+            if changed or len(prev.dialects) != len(cur.dialects):
+                detail = (
+                    f"a {'/'.join(prev.dialects)} -> {'/'.join(cur.dialects)} "
+                    f"dialect switch"
+                )
+                if changed:
+                    detail += f" ({'; '.join(changed)})"
+                causes.append(
+                    Cause(
+                        kind="dialect_switch",
+                        step=step,
+                        side=side,
+                        detail=detail,
+                        score=CAUSE_WEIGHTS["dialect_switch"] * _proximity(s, step),
+                    )
+                )
+        if prev.policy != cur.policy and prev.policy and cur.policy:
+            causes.append(
+                Cause(
+                    kind="policy_switch",
+                    step=step,
+                    side=side,
+                    detail=f"a determinism-policy switch {prev.policy} -> {cur.policy}",
+                    score=CAUSE_WEIGHTS["policy_switch"] * _proximity(s, step),
+                )
+            )
+    return causes
+
+
+def _rewinds(trail: AuditTrail, side: str, s: int, window: int) -> List[Cause]:
+    """Fault-recovery rewinds visible in the raw (pre-last-wins) records."""
+    causes: List[Cause] = []
+    prev_step: Optional[int] = None
+    for record in trail.records:
+        if prev_step is not None and record.step <= prev_step:
+            if s - window <= record.step <= s:
+                causes.append(
+                    Cause(
+                        kind="recovery_rewind",
+                        step=record.step,
+                        side=side,
+                        detail=(
+                            f"a recovery rewind to step {record.step} "
+                            f"(was at step {prev_step})"
+                        ),
+                        score=CAUSE_WEIGHTS["recovery_rewind"] * _proximity(s, record.step),
+                    )
+                )
+        prev_step = record.step
+    return causes
+
+
+def _event_causes(
+    events: Sequence[Dict[str, Any]], side: str, s: int, window: int
+) -> List[Cause]:
+    """Fault/resilience/scheduler flight events near the divergence step."""
+    causes: List[Cause] = []
+    for event in events:
+        kind = str(event.get("kind", ""))
+        step = event.get("step")
+        try:
+            step = int(step) if step is not None else None
+        except (TypeError, ValueError):
+            step = None
+        if step is not None and not (s - window <= step <= s):
+            continue
+        extra = " ".join(
+            f"{k}={event[k]}"
+            for k in sorted(event)
+            if k not in ("seq", "t", "kind", "pid")
+        )
+        if kind in _FAULT_EVENT_KINDS:
+            causes.append(
+                Cause(
+                    kind="fault_event",
+                    step=step,
+                    side=side,
+                    detail=f"a {kind} event ({extra})",
+                    score=CAUSE_WEIGHTS["fault_event"] * _proximity(s, step),
+                )
+            )
+        elif kind in _SCHED_EVENT_KINDS and step is not None:
+            causes.append(
+                Cause(
+                    kind="scheduler_decision",
+                    step=step,
+                    side=side,
+                    detail=f"a {kind} event ({extra})",
+                    score=CAUSE_WEIGHTS["scheduler_decision"] * _proximity(s, step),
+                )
+            )
+    return causes
+
+
+def _dedupe(causes: List[Cause]) -> List[Cause]:
+    """Keep the highest-scoring instance of each (kind, step, side)."""
+    best: Dict[Tuple[str, Optional[int], str], Cause] = {}
+    for cause in causes:
+        key = (cause.kind, cause.step, cause.side)
+        if key not in best or cause.score > best[key].score:
+            best[key] = cause
+    return sorted(best.values(), key=lambda c: (-c.score, c.kind, c.step or -1))
+
+
+def analyze_divergence(
+    trail_a: AuditTrail,
+    trail_b: AuditTrail,
+    events_a: Optional[Sequence[Dict[str, Any]]] = None,
+    events_b: Optional[Sequence[Dict[str, Any]]] = None,
+    window: int = DEFAULT_WINDOW,
+) -> ForensicsReport:
+    """Walk back from the first divergent step and rank candidate causes.
+
+    ``events_a`` / ``events_b`` are optional flight-recorder event lists
+    (from postmortem bundles) enriching the timeline with fault,
+    resilience, and scheduler activity the audit records cannot see.
+    """
+    if window < 1:
+        raise ValueError("window must be positive")
+    diff = diff_audits(trail_a, trail_b)
+    report = ForensicsReport(diff=diff, window=window)
+    if diff.identical or diff.first_divergent_step is None:
+        return report
+    s = diff.first_divergent_step
+    causes: List[Cause] = []
+
+    for side, trail in (("A", trail_a), ("B", trail_b)):
+        by_step = trail.by_step()
+        steps = sorted(step for step in by_step if s - window <= step <= s)
+        causes.extend(_dialect_changes(by_step, steps, side, s))
+        causes.extend(_rewinds(trail, side, s, window))
+
+    # cross-trail disagreement *at* the divergence step
+    ra, rb = trail_a.by_step().get(s), trail_b.by_step().get(s)
+    if ra is not None and rb is not None:
+        if tuple(ra.dialects) != tuple(rb.dialects):
+            causes.append(
+                Cause(
+                    kind="dialect_mismatch",
+                    step=s,
+                    side="both",
+                    detail=(
+                        f"the runs disagree on kernel dialects: "
+                        f"A={'/'.join(ra.dialects) or '?'} vs "
+                        f"B={'/'.join(rb.dialects) or '?'}"
+                    ),
+                    score=CAUSE_WEIGHTS["dialect_mismatch"],
+                )
+            )
+        if ra.policy != rb.policy and (ra.policy or rb.policy):
+            causes.append(
+                Cause(
+                    kind="policy_mismatch",
+                    step=s,
+                    side="both",
+                    detail=(
+                        f"the runs disagree on the determinism policy: "
+                        f"A={ra.policy or '?'} vs B={rb.policy or '?'}"
+                    ),
+                    score=CAUSE_WEIGHTS["policy_mismatch"],
+                )
+            )
+    if "rng" in diff.fields:
+        causes.append(
+            Cause(
+                kind="rng_divergence",
+                step=s,
+                side="both",
+                detail="the EST RNG-state fingerprints themselves diverged",
+                score=CAUSE_WEIGHTS["rng_divergence"],
+            )
+        )
+    if "loader" in diff.fields:
+        causes.append(
+            Cause(
+                kind="loader_divergence",
+                step=s,
+                side="both",
+                detail="the data-loader cursors diverged",
+                score=CAUSE_WEIGHTS["loader_divergence"],
+            )
+        )
+    for side, events in (("A", events_a), ("B", events_b)):
+        if events:
+            causes.extend(_event_causes(events, side, s, window))
+
+    report.causes = _dedupe(causes)
+    report.timeline = _build_timeline(trail_a, trail_b, events_a, events_b, s, window)
+    return report
+
+
+def _build_timeline(
+    trail_a: AuditTrail,
+    trail_b: AuditTrail,
+    events_a: Optional[Sequence[Dict[str, Any]]],
+    events_b: Optional[Sequence[Dict[str, Any]]],
+    s: int,
+    window: int,
+) -> List[str]:
+    """Merged per-step view of both trails (and events) before the divergence."""
+    entries: List[Tuple[int, str]] = []
+    by_a, by_b = trail_a.by_step(), trail_b.by_step()
+    for step in sorted(set(by_a) | set(by_b)):
+        if not (s - window <= step <= s):
+            continue
+        parts = []
+        for side, record in (("A", by_a.get(step)), ("B", by_b.get(step))):
+            if record is None:
+                parts.append(f"{side}: absent")
+            else:
+                parts.append(
+                    f"{side}: {record.policy or '?'} "
+                    f"[{'/'.join(record.dialects) or '?'}]"
+                )
+        marker = "  <-- first divergence" if step == s else ""
+        entries.append((step, f"step {step}: " + "   ".join(parts) + marker))
+    for side, events in (("A", events_a), ("B", events_b)):
+        for event in events or ():
+            step = event.get("step")
+            try:
+                step = int(step)
+            except (TypeError, ValueError):
+                continue
+            kind = str(event.get("kind", ""))
+            if (s - window <= step <= s) and (
+                kind in _FAULT_EVENT_KINDS or kind in _SCHED_EVENT_KINDS
+            ):
+                entries.append((step, f"step {step}: {side} event {kind}"))
+    entries.sort(key=lambda e: e[0])
+    return [text for _, text in entries]
+
+
+def trail_from_bundle(bundle: Dict[str, Any]) -> AuditTrail:
+    """Rebuild an :class:`AuditTrail` from a postmortem bundle's audit tail."""
+    trail = AuditTrail(allow_rewind=True)
+    for payload in bundle.get("audits", []):
+        trail.record(
+            AuditRecord(
+                step=int(payload["step"]),
+                params=str(payload.get("params", "")),
+                buckets=dict(payload.get("buckets", {})),
+                rng=str(payload.get("rng", "")),
+                loader=dict(payload.get("loader", {})),
+                policy=str(payload.get("policy", "")),
+                dialects=tuple(payload.get("dialects", ())),
+            )
+        )
+    return trail

@@ -33,11 +33,23 @@ def _label_key(labels: Mapping[str, Any]) -> LabelKey:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus exposition-format spec.
+
+    Backslash must be escaped first, then double-quote and newline —
+    otherwise the backslashes introduced by the later replacements would
+    be doubled again.
+    """
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
 def _format_labels(key: LabelKey, extra: Sequence[Tuple[str, str]] = ()) -> str:
     pairs = list(key) + list(extra)
     if not pairs:
         return ""
-    return "{" + ",".join(f'{k}="{v}"' for k, v in pairs) + "}"
+    return "{" + ",".join(f'{k}="{_escape_label_value(v)}"' for k, v in pairs) + "}"
 
 
 class Counter:

@@ -115,7 +115,7 @@ class _SpanCtx:
     per-thread stack unwound even when the body raises.
     """
 
-    __slots__ = ("_tracer", "name", "cat", "est", "args", "_t0", "_path")
+    __slots__ = ("_tracer", "name", "cat", "est", "args", "_t0", "_path", "_tid")
 
     def __init__(
         self,
@@ -132,6 +132,7 @@ class _SpanCtx:
         self.args = args
         self._t0 = 0.0
         self._path = ""
+        self._tid = 0
 
     def set(self, **attrs: Any) -> "_SpanCtx":
         """Attach extra attributes to the span while it is open."""
@@ -143,6 +144,8 @@ class _SpanCtx:
         stack.append(self.name)
         self._path = ";".join(stack)
         self._t0 = self._tracer.now()
+        self._tid = self._tracer._tid()
+        self._tracer._open_add(self)
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
@@ -150,6 +153,9 @@ class _SpanCtx:
         if self.est is not None and tracer.sim_clock is not None:
             tracer.sim_clock.advance(self.est)
         t1 = tracer.now()
+        if not tracer._open_remove(self):
+            # already flushed by close() — don't record it twice
+            return False
         stack = tracer._stack()
         if stack and stack[-1] == self.name:
             stack.pop()
@@ -197,6 +203,9 @@ class SpanTracer:
         self._local = threading.local()
         self._lock = threading.Lock()
         self._tracks: Dict[str, int] = {}
+        #: spans currently open (entered but not yet exited), keyed by
+        #: context identity; flushed as complete events by :meth:`close`
+        self._open: Dict[int, _SpanCtx] = {}
         #: total records ever emitted (>= len(records) once the ring wraps)
         self.emitted = 0
 
@@ -219,6 +228,67 @@ class SpanTracer:
         with self._lock:
             self._records.append(record)
             self.emitted += 1
+
+    def _open_add(self, ctx: "_SpanCtx") -> None:
+        with self._lock:
+            self._open[id(ctx)] = ctx
+
+    def _open_remove(self, ctx: "_SpanCtx") -> bool:
+        with self._lock:
+            return self._open.pop(id(ctx), None) is not None
+
+    def open_spans(self) -> List[Dict[str, Any]]:
+        """Snapshot of spans currently entered but not yet exited.
+
+        Deepest-first per thread (the order :meth:`close` would flush
+        them); used by the flight recorder to capture what the process
+        was inside at dump time.
+        """
+        with self._lock:
+            open_ctxs = list(self._open.values())
+        return [
+            {
+                "name": ctx.name,
+                "cat": ctx.cat or "default",
+                "path": ctx._path,
+                "t0": ctx._t0,
+                "tid": ctx._tid,
+                "args": dict(ctx.args),
+            }
+            for ctx in sorted(open_ctxs, key=lambda c: -c._path.count(";"))
+        ]
+
+    def close(self) -> None:
+        """Flush still-open spans as complete events (``unclosed=True``).
+
+        A crash (or an export taken mid-run) would otherwise silently
+        drop every span on the open stack — the Chrome export only emits
+        complete ``"X"`` events, so an unexited span simply vanished.
+        Closing records each one with ``t1 = now`` and an ``unclosed``
+        marker, deepest first so parent/child durations stay nested, and
+        clears the per-thread stacks.  The tracer remains usable.
+        """
+        now = self.now()
+        with self._lock:
+            open_ctxs = sorted(self._open.values(), key=lambda c: -c._path.count(";"))
+            self._open.clear()
+        for ctx in open_ctxs:
+            self._record(
+                {
+                    "kind": "span",
+                    "name": ctx.name,
+                    "cat": ctx.cat or "default",
+                    "path": ctx._path,
+                    "t0": ctx._t0,
+                    "t1": now,
+                    "tid": ctx._tid,
+                    "depth": ctx._path.count(";"),
+                    "args": dict(ctx.args, unclosed=True),
+                }
+            )
+        stack = getattr(self._local, "stack", None)
+        if stack:
+            del stack[:]
 
     # ------------------------------------------------------------------
     # recording API

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro.obs import flightrec
 from repro.sched.intra import ResourceProposal
 
 
@@ -66,6 +67,9 @@ class InterJobScheduler:
             granted.append(grant)
             granted_jobs.add(proposal.job_id)
             self.grant_log.append(grant)
+            flightrec.record(
+                "sched.grant", job=grant.job_id, gtype=grant.gtype, gpus=grant.gpus
+            )
         return granted
 
     @staticmethod

@@ -20,6 +20,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.engine import WorkerAssignment
 from repro.hw.gpu import gpu_type
+from repro.obs import flightrec
 from repro.sched.companion import CompanionModule
 from repro.sched.perfmodel import Plan, ScoredPlan, estimated_throughput
 
@@ -195,7 +196,14 @@ class IntraJobScheduler:
                     )
                 )
         proposals.sort(key=lambda p: (-p.speedup_per_gpu, -p.extra_gpus))
-        return proposals[: self.top_k]
+        kept = proposals[: self.top_k]
+        if kept:
+            flightrec.record(
+                "sched.propose",
+                job=self.job_id,
+                proposals=[(p.gtype, p.extra_gpus) for p in kept],
+            )
+        return kept
 
     # ------------------------------------------------------------------
     # Role-3
@@ -203,7 +211,14 @@ class IntraJobScheduler:
     def on_decision(self, owned: Mapping[str, int]) -> Optional[WorkerAssignment]:
         """React to a grant/revocation: re-plan on the new ownership."""
         best = self.apply_best_plan(owned)
-        return plan_to_assignment(best.plan) if best else None
+        assignment = plan_to_assignment(best.plan) if best else None
+        flightrec.record(
+            "sched.decision",
+            job=self.job_id,
+            owned=dict(owned),
+            gpus=[g.name for g in assignment.gpus] if assignment is not None else None,
+        )
+        return assignment
 
     def on_slowdown(
         self,

@@ -6,8 +6,21 @@ import numpy as np
 import pytest
 
 from repro.models import get_workload
+from repro.obs import flightrec
 from repro.optim import SGD
 from repro.utils.rng import RNGBundle
+
+
+@pytest.fixture(autouse=True)
+def _flightrec_sandbox(tmp_path):
+    """Point postmortem bundles at a tmpdir and reset the ring per test.
+
+    The flight recorder is always on, so fault-injection tests would
+    otherwise litter the repository root with ``postmortem-*.json``.
+    """
+    flightrec.configure(directory=str(tmp_path))
+    yield
+    flightrec.reset()
 
 
 @pytest.fixture

@@ -128,6 +128,81 @@ class TestDiffAudits:
         assert diff.buckets == ("1",)
 
 
+class TestDiffDamagedTrails:
+    """diff_audits must stay useful — and never raise — on trails damaged
+    by a crash (cut mid-record), of unequal length, or containing
+    fault-recovery rewind overlap."""
+
+    def test_diff_against_mid_record_truncated_trail(self, tmp_path):
+        path = tmp_path / "crashed.jsonl"
+        with AuditTrail(str(path)) as writer:
+            for s in range(4):
+                writer.record(_record(s))
+        # simulate a crash mid-write of the step-4 record
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"step": 4, "params": "half-writ')
+        full = AuditTrail()
+        for s in range(6):
+            full.record(_record(s))
+        crashed = AuditTrail.load(str(path))
+        assert crashed.truncated
+        diff = diff_audits(full, crashed)
+        assert diff.first_divergent_step is None  # common prefix identical
+        assert not diff.identical  # but coverage differs
+        assert diff.common_steps == 4
+        assert diff.only_in_a == 2 and diff.only_in_b == 0
+
+    def test_unequal_length_with_divergence_before_the_gap(self):
+        a, b = AuditTrail(), AuditTrail()
+        for s in range(6):
+            a.record(_record(s))
+        for s in range(3):
+            b.record(_record(s, params="other" if s == 1 else "p"))
+        diff = diff_audits(a, b)
+        # the real divergence wins over the coverage mismatch
+        assert diff.first_divergent_step == 1
+        assert diff.only_in_a == 3
+
+    def test_rewound_trail_compares_equal_when_replay_is_bitwise(self, tmp_path):
+        path = tmp_path / "rewound.jsonl"
+        with AuditTrail(str(path), allow_rewind=True) as writer:
+            for s in range(4):
+                writer.record(_record(s))
+            for s in (2, 3, 4, 5):  # restore to step 2, re-execute identically
+                writer.record(_record(s))
+        plain = AuditTrail()
+        for s in range(6):
+            plain.record(_record(s))
+        rewound = AuditTrail.load(str(path))
+        assert len(rewound.records) == 8  # raw history keeps the overlap
+        diff = diff_audits(plain, rewound)
+        assert diff.identical  # by_step last-wins collapses the replay
+
+    def test_rewound_trail_diverges_when_replay_differs(self, tmp_path):
+        path = tmp_path / "rewound.jsonl"
+        with AuditTrail(str(path), allow_rewind=True) as writer:
+            for s in range(4):
+                writer.record(_record(s))
+            for s in (2, 3):  # replay flips bits at step 3
+                writer.record(_record(s, params="replayed" if s == 3 else "p"))
+        plain = AuditTrail()
+        for s in range(4):
+            plain.record(_record(s))
+        diff = diff_audits(plain, AuditTrail.load(str(path)))
+        assert diff.first_divergent_step == 3
+        assert "params" in diff.fields
+
+    def test_empty_trails_do_not_raise(self):
+        empty = AuditTrail()
+        some = AuditTrail()
+        some.record(_record(0))
+        assert diff_audits(empty, AuditTrail()).identical
+        diff = diff_audits(some, empty)
+        assert not diff.identical
+        assert diff.first_divergent_step is None
+        assert diff.only_in_a == 1
+
+
 def _train_audited(tmp_path, name, flip_policy_mid_run):
     """6 steps of resnet18 with a reconfigure after step 3; optionally the
     restored engine flips to D2 (hardware-agnostic) kernels — the seeded

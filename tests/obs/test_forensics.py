@@ -1,0 +1,213 @@
+"""Divergence forensics: ranked cause attribution beyond "params differ".
+
+The acceptance contract (ISSUE 7): two runs with a seeded kernel-variant
+swap at step *k* must be attributed to step *k* and the dialect switch —
+not merely reported as divergent parameters.
+"""
+
+import pytest
+
+from repro import obs
+from repro.core import (
+    EasyScaleEngine,
+    EasyScaleJobConfig,
+    WorkerAssignment,
+    determinism_from_label,
+)
+from repro.models import get_workload
+from repro.obs.audit import AuditRecord, AuditTrail
+from repro.obs.flightrec import FlightRecorder, load_bundle
+from repro.obs.forensics import analyze_divergence, trail_from_bundle
+from tests.conftest import sgd_factory
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    obs.reset()
+    yield
+    obs.reset()
+
+
+def _record(step, params="p", policy="D1", dialects=("v100", "v100"), rng="r",
+            loader=None):
+    return AuditRecord(
+        step=step,
+        params=params,
+        buckets={"0": params},
+        rng=rng,
+        loader=loader if loader is not None else {"epoch": 0, "step_in_epoch": step},
+        policy=policy,
+        dialects=tuple(dialects),
+    )
+
+
+# ---------------------------------------------------------------------------
+# synthetic trails
+# ---------------------------------------------------------------------------
+
+
+class TestSyntheticAttribution:
+    def test_identical_trails_report_identical(self):
+        a, b = AuditTrail(), AuditTrail()
+        for s in range(4):
+            a.record(_record(s))
+            b.record(_record(s))
+        report = analyze_divergence(a, b)
+        assert report.identical
+        assert not report.causes
+        assert "identical" in report.describe()
+
+    def test_dialect_swap_attributed_to_step_and_switch(self):
+        a, b = AuditTrail(), AuditTrail()
+        for s in range(6):
+            a.record(_record(s))
+            if s < 3:
+                b.record(_record(s))
+            else:
+                # the seeded kernel-variant swap: worker 1 moves to a T4
+                b.record(_record(s, params=f"swapped{s}", dialects=("v100", "t4")))
+        report = analyze_divergence(a, b)
+        assert not report.identical
+        assert report.diff.first_divergent_step == 3
+        assert report.attributed, "must find a structural cause, not just drift"
+        top = report.top_cause
+        assert top.kind in ("dialect_switch", "dialect_mismatch")
+        assert top.step == 3
+        head = report.headline()
+        assert "step 3" in head and "dialect" in head
+        # the full report ranks the dialect cause above any field drift
+        text = report.describe()
+        assert "ranked causes" in text and "1. [dialect_" in text
+
+    def test_field_drift_alone_is_not_attributed(self):
+        a, b = AuditTrail(), AuditTrail()
+        for s in range(4):
+            a.record(_record(s))
+            b.record(_record(s, rng="other" if s >= 2 else "r"))
+        report = analyze_divergence(a, b)
+        assert report.diff.first_divergent_step == 2
+        assert not report.attributed
+        assert all(c.kind in ("rng_divergence", "loader_divergence")
+                   for c in report.causes)
+
+    def test_policy_mismatch_attributed(self):
+        a, b = AuditTrail(), AuditTrail()
+        for s in range(3):
+            a.record(_record(s))
+            b.record(_record(s, params="q" if s >= 1 else "p",
+                             policy="D1+D2" if s >= 1 else "D1"))
+        report = analyze_divergence(a, b)
+        assert report.attributed
+        kinds = {c.kind for c in report.causes}
+        assert kinds & {"policy_switch", "policy_mismatch"}
+
+    def test_recovery_rewind_detected(self, tmp_path):
+        a = AuditTrail()
+        for s in range(5):
+            a.record(_record(s))
+        # the rewound raw history only survives in the JSONL mirror — the
+        # in-memory trail truncates the stale tail on rewind
+        path = tmp_path / "rewound.jsonl"
+        with AuditTrail(str(path), allow_rewind=True) as writer:
+            for s in (0, 1, 2, 3):
+                writer.record(_record(s))
+            for s in (2, 3, 4):  # restore to step 2 and re-execute
+                writer.record(_record(s, params="replayed" if s >= 3 else "p"))
+        b = AuditTrail.load(str(path))
+        report = analyze_divergence(a, b)
+        assert report.diff.first_divergent_step == 3
+        assert any(c.kind == "recovery_rewind" and c.side == "B"
+                   for c in report.causes)
+
+    def test_flight_events_enrich_attribution(self):
+        a, b = AuditTrail(), AuditTrail()
+        for s in range(5):
+            a.record(_record(s))
+            b.record(_record(s, params="x" if s >= 3 else "p"))
+        events_b = [
+            {"kind": "fault.detect", "step": 3, "fault": "worker_crash"},
+            {"kind": "sched.grant", "step": 2, "job": "j0"},
+            {"kind": "fault.detect", "step": 50, "fault": "far_away"},  # outside window
+        ]
+        report = analyze_divergence(a, b, events_b=events_b)
+        assert report.attributed
+        fault_causes = [c for c in report.causes if c.kind == "fault_event"]
+        assert len(fault_causes) == 1 and fault_causes[0].step == 3
+        assert "worker_crash" in fault_causes[0].detail
+        assert any(c.kind == "scheduler_decision" for c in report.causes)
+        assert any("event fault.detect" in line for line in report.timeline)
+
+    def test_coverage_mismatch_without_common_divergence(self):
+        a, b = AuditTrail(), AuditTrail()
+        for s in range(4):
+            a.record(_record(s))
+        b.record(_record(0))
+        report = analyze_divergence(a, b)
+        assert not report.identical
+        assert report.diff.first_divergent_step is None
+        assert "coverage differs" in report.headline()
+
+    def test_window_must_be_positive(self):
+        with pytest.raises(ValueError):
+            analyze_divergence(AuditTrail(), AuditTrail(), window=0)
+
+
+def test_trail_from_bundle_round_trip(tmp_path):
+    rec = FlightRecorder(directory=str(tmp_path))
+    for s in range(3):
+        rec.note_audit(
+            _record(s, dialects=("v100", "t4")).__dict__
+            | {"buckets": {"0": "p"}, "dialects": ["v100", "t4"]}
+        )
+    bundle = load_bundle(rec.dump("roundtrip"))
+    trail = trail_from_bundle(bundle)
+    assert [r.step for r in trail.records] == [0, 1, 2]
+    assert trail.records[-1].dialects == ("v100", "t4")
+    assert trail.records[-1].policy == "D1"
+
+
+# ---------------------------------------------------------------------------
+# real runs: seeded kernel-variant swap at step 3
+# ---------------------------------------------------------------------------
+
+
+def _train_audited(tmp_path, name, swap_gpu_mid_run):
+    """6 steps of resnet18 under D1; run B reconfigures worker 1 onto a T4
+    after step 3 — the seeded kernel-variant swap forensics must localize."""
+    spec = get_workload("resnet18")
+    dataset = spec.build_dataset(64, seed=3)
+    path = tmp_path / f"{name}.jsonl"
+    obs.configure(enabled=True, audit_path=str(path))
+    config = EasyScaleJobConfig(
+        num_ests=2, seed=3, batch_size=4, determinism=determinism_from_label("D1")
+    )
+    engine = EasyScaleEngine(
+        spec, dataset, config, sgd_factory(),
+        WorkerAssignment.named(["V100", "V100"], 2),
+    )
+    engine.train_steps(3)
+    if swap_gpu_mid_run:
+        engine = engine.reconfigure(WorkerAssignment.named(["V100", "T4"], 2))
+    engine.train_steps(3)
+    obs.audit_trail().close()
+    obs.reset()
+    return path
+
+
+class TestRealRunAttribution:
+    def test_seeded_dialect_swap_attributed_not_just_params(self, tmp_path):
+        path_a = _train_audited(tmp_path, "steady", swap_gpu_mid_run=False)
+        path_b = _train_audited(tmp_path, "swapped", swap_gpu_mid_run=True)
+        a = AuditTrail.load(str(path_a))
+        b = AuditTrail.load(str(path_b))
+        report = analyze_divergence(a, b)
+        # under D1 (no D2 dialect pinning) the T4 kernels flip bits at the
+        # first post-swap step
+        assert report.diff.first_divergent_step == 3
+        assert report.attributed
+        top = report.top_cause
+        assert top.kind in ("dialect_switch", "dialect_mismatch")
+        assert top.step == 3
+        assert "t4" in top.detail
+        head = report.headline()
+        assert "step 3" in head and "dialect" in head

@@ -210,6 +210,40 @@ class TestPrometheusText:
     def test_empty_registry_empty_text(self):
         assert MetricsRegistry().to_prometheus_text() == ""
 
+    def test_label_values_escaped(self):
+        # the three characters the Prometheus text format requires escaping
+        reg = MetricsRegistry()
+        reg.counter("ops", path='C:\\tmp\\"job"\nnext').inc()
+        text = reg.to_prometheus_text()
+        assert 'ops{path="C:\\\\tmp\\\\\\"job\\"\\nnext"} 1' in text
+        # no raw newline may leak into the series line
+        series = [l for l in text.splitlines() if l.startswith("ops{")]
+        assert len(series) == 1
+
+    def test_escaped_labels_round_trip_through_snapshot_and_merge(self):
+        src = MetricsRegistry()
+        src.counter("ops", note='say "hi"\n').inc(2)
+        dst = MetricsRegistry()
+        dst.merge_state(src.to_state())
+        assert dst.snapshot() == src.snapshot()
+        dst.merge_state(src.to_state())
+        # the escaped value stays one series, accumulating across merges
+        (key, value), = dst.snapshot()["counters"].items()
+        assert value == 4
+        assert "ops" in key
+
+    def test_escaping_unescapes_to_original(self):
+        from repro.obs.metrics import _escape_label_value
+
+        original = 'back\\slash "quoted"\nnewline'
+        escaped = _escape_label_value(original)
+        # inverse mapping per the exposition-format spec
+        restored = (
+            escaped.replace("\\n", "\n").replace('\\"', '"').replace("\\\\", "\\")
+        )
+        assert restored == original
+        assert "\n" not in escaped
+
 
 class TestDisabledMode:
     def test_null_registry_is_shared_and_inert(self):

@@ -238,6 +238,66 @@ class TestGlobalSwitch:
         assert obs.sim_clock() is not None
 
 
+class TestOpenSpansAndClose:
+    """Still-open spans: inspectable live, flushed exactly once on close()."""
+
+    def test_open_spans_snapshot_deepest_first(self):
+        tracer = SpanTracer()
+        with tracer.span("outer", step=1):
+            with tracer.span("inner"):
+                open_now = tracer.open_spans()
+                assert [s["name"] for s in open_now] == ["inner", "outer"]
+                assert open_now[1]["args"] == {"step": 1}
+                assert open_now[0]["path"] == "outer;inner"
+        assert tracer.open_spans() == []
+
+    def test_close_flushes_unclosed_span_once(self):
+        tracer = SpanTracer()
+        ctx = tracer.span("dangling", step=5)
+        ctx.__enter__()
+        tracer.close()
+        records = [r for r in tracer.records if r["name"] == "dangling"]
+        assert len(records) == 1
+        assert records[0]["args"]["unclosed"] is True
+        assert records[0]["args"]["step"] == 5
+        assert records[0]["t1"] >= records[0]["t0"]
+        # the with-block exit after close() must NOT record a second copy
+        ctx.__exit__(None, None, None)
+        assert len([r for r in tracer.records if r["name"] == "dangling"]) == 1
+
+    def test_tracer_usable_after_close(self):
+        tracer = SpanTracer()
+        ctx = tracer.span("orphan")
+        ctx.__enter__()
+        tracer.close()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        by_name = {r["name"]: r for r in tracer.records}
+        assert by_name["a"]["depth"] == 0  # stack was reset, not corrupted
+        assert by_name["b"]["path"] == "a;b"
+
+    def test_closed_spans_export_cleanly_to_chrome(self):
+        tracer = SpanTracer()
+        outer = tracer.span("outer")
+        outer.__enter__()
+        inner = tracer.span("inner")
+        inner.__enter__()
+        tracer.close()
+        doc = tracer.to_chrome_trace()
+        complete = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert {e["name"] for e in complete} == {"outer", "inner"}
+        assert all(e["dur"] >= 0 for e in complete)
+
+    def test_close_on_clean_tracer_is_noop(self):
+        tracer = SpanTracer()
+        with tracer.span("done"):
+            pass
+        before = len(tracer)
+        tracer.close()
+        assert len(tracer) == before
+
+
 class TestChromeLanes:
     """Multi-process exports: one pid lane per process, EST/worker tids."""
 

@@ -155,6 +155,82 @@ class TestObsCommands:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["obs"])
 
+    @pytest.fixture
+    def bundle_file(self, tmp_path):
+        from repro.obs import flightrec
+
+        rec = flightrec.FlightRecorder(directory=str(tmp_path))
+        rec.set_context(determinism="D1+D2", dialects=["v100", "t4"])
+        rec.record("engine.step", step=0)
+        rec.record("fault.detect", fault="worker_crash", step=1, worker=1)
+        rec.note_audit({"step": 0, "params": "p", "buckets": {"0": "b"},
+                        "rng": "r", "loader": {}, "policy": "D1+D2",
+                        "dialects": ["v100", "t4"]})
+        return rec.dump("test", crash={"step": 1, "worker": 1,
+                                       "kind": "worker_crash", "dialect": "t4"})
+
+    def test_postmortem_renders_bundle(self, bundle_file, capsys):
+        assert main(["obs", "postmortem", bundle_file]) == 0
+        out = capsys.readouterr().out
+        assert "worker_crash" in out and "dialect=t4" in out
+        assert "D1+D2" in out
+
+    def test_postmortem_tail_accepted(self, bundle_file, capsys):
+        assert main(["obs", "postmortem", bundle_file, "--tail", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "fault.detect" in out
+        assert "engine.step" not in out  # trimmed by --tail 1
+
+    def test_postmortem_missing_file_exit_2(self, capsys):
+        assert main(["obs", "postmortem", "no-such-bundle.json"]) == 2
+        assert capsys.readouterr().err
+
+    def test_postmortem_garbage_exit_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert main(["obs", "postmortem", str(bad)]) == 2
+        notjson = tmp_path / "audit.jsonl"
+        notjson.write_text('{"step": 0, "params": "x"}\n')
+        assert main(["obs", "postmortem", str(notjson)]) == 2
+
+    def test_why_identical_exit_0(self, audit_pair, capsys):
+        assert main(["obs", "why", audit_pair[0], audit_pair[0]]) == 0
+        assert "identical" in capsys.readouterr().out
+
+    def test_why_divergent_exit_4_with_attribution_text(self, audit_pair, capsys):
+        assert main(["obs", "why", *audit_pair]) == 4
+        out = capsys.readouterr().out
+        assert "diverged at step 1" in out
+
+    def test_why_attributes_dialect_swap(self, tmp_path, capsys):
+        from repro.obs.audit import AuditRecord, AuditTrail
+
+        paths = []
+        for name, dialects in (("a", ("v100", "v100")), ("b", ("v100", "t4"))):
+            path = tmp_path / f"{name}.jsonl"
+            with AuditTrail(str(path)) as trail:
+                for s in range(4):
+                    swapped = s >= 2 and dialects[1] == "t4"
+                    trail.record(AuditRecord(
+                        step=s,
+                        params="swap" if swapped else "x",
+                        buckets={"0": "swap" if swapped else "y"},
+                        policy="D1",
+                        dialects=dialects if swapped else ("v100", "v100"),
+                    ))
+            paths.append(str(path))
+        assert main(["obs", "why", *paths, "--window", "4"]) == 4
+        out = capsys.readouterr().out
+        assert "step 2" in out and "dialect" in out
+
+    def test_why_accepts_bundles(self, bundle_file, capsys):
+        assert main(["obs", "why", bundle_file, bundle_file]) == 0
+        assert "identical" in capsys.readouterr().out
+
+    def test_why_missing_input_exit_2(self, audit_pair, capsys):
+        assert main(["obs", "why", audit_pair[0], "no-such.jsonl"]) == 2
+        assert capsys.readouterr().err
+
     def test_missing_file_is_a_clean_error(self, capsys):
         assert main(["obs", "summarize", "no-such-trace.jsonl"]) == 2
         assert "no such file" in capsys.readouterr().err

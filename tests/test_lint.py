@@ -87,6 +87,17 @@ def test_lint_walk_covers_sched_fastpath_modules():
         assert expected in files, f"lint gate does not see {expected}"
 
 
+def test_lint_walk_covers_flight_recorder_modules():
+    # pin the always-on flight recorder and the divergence forensics so a
+    # restructuring cannot silently drop them from the gate
+    files = {os.path.relpath(p, SRC) for p in _python_files(SRC)}
+    for expected in (
+        "obs/flightrec.py",
+        "obs/forensics.py",
+    ):
+        assert expected in files, f"lint gate does not see {expected}"
+
+
 def test_no_pyflakes_errors():
     pyflakes_api = pytest.importorskip(
         "pyflakes.api", reason="pyflakes not installed; compile check still ran"
