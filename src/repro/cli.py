@@ -20,6 +20,13 @@ Gives the repository's main entry points a shell surface:
   :class:`~repro.faults.controller.ResilienceController` run under the
   plan, then proves the two bitwise-identical by diffing their audit
   trails.  ``train --faults PLAN`` trains through the controller.
+- ``membership`` — cluster membership scenarios: ``membership gen``
+  writes a seeded :class:`~repro.membership.plan.MembershipPlan` JSON
+  file (random host churn, or ``--rolling N`` for a rolling-upgrade
+  drain); ``membership replay`` runs the static reference and a
+  :class:`~repro.membership.controller.MembershipController` run under
+  the plan, then proves the two bitwise-identical by diffing their
+  audit trails.  ``train --hosts PLAN`` trains through the controller.
 
 - ``bench`` — performance-regression observatory: ``bench run`` times
   the built-in benches (sched plan round, parallel pool step,
@@ -30,7 +37,8 @@ Gives the repository's main entry points a shell surface:
 
 Exit codes: 0 success; 2 missing/malformed input file; 3 failed
 self-test; 4 divergent audit trails or fingerprints (``obs diff-audit``,
-``obs why``, ``faults replay``, ``train --faults --verify``); 5
+``obs why``, ``faults replay``, ``membership replay``,
+``train --faults/--hosts --verify``); 5
 performance regression (``bench gate``).  ``obs postmortem`` renders a
 flight-recorder bundle (0 readable / 2 unreadable); ``obs why`` adds a
 ranked cause attribution on top of the diff-audit contract.
@@ -85,10 +93,10 @@ def _cmd_train(args: argparse.Namespace) -> int:
     if env_trace and not args.trace:
         args.trace = os.environ.get("REPRO_TRACE_PATH", "repro_trace.jsonl")
     if args.trace or args.audit:
-        # a fault-recovery run restores to earlier steps and re-records
-        # them, which a plain audit trail would reject
+        # a fault-recovery or membership run restores to earlier steps and
+        # re-records them, which a plain audit trail would reject
         obs.configure(enabled=True, audit_path=args.audit,
-                      audit_rewind=bool(args.faults))
+                      audit_rewind=bool(args.faults or args.hosts))
     try:
         return _run_train(args)
     finally:
@@ -149,6 +157,11 @@ def _run_train(args: argparse.Namespace) -> int:
     backend = _build_backend(args)
 
     try:
+        if args.hosts:
+            return _train_with_membership(
+                args, spec, dataset, config, optimizer, telemetry,
+                profiler, backend,
+            )
         if args.faults:
             return _train_with_faults(
                 args, spec, dataset, config, optimizer, stages, telemetry,
@@ -265,6 +278,75 @@ def _train_with_faults(args, spec, dataset, config, optimizer, stages,
     return 0
 
 
+def _roster_pool(plan):
+    """The GPU pool a membership plan's initial roster provides."""
+    from repro.hw.gpu import gpu_type
+
+    pool = []
+    for host in plan.initial_hosts:
+        pool.extend([gpu_type(host.gtype.upper())] * host.slots)
+    return pool
+
+
+def _train_with_membership(args, spec, dataset, config, optimizer,
+                           telemetry, profiler, backend=None) -> int:
+    """``train --hosts PLAN``: drive the job through the membership
+    controller.  The plan's initial roster is the starting pool — the
+    ``--schedule`` stages are ignored — and host events grow and shrink
+    it at step boundaries.  ``--faults`` may run alongside."""
+    from repro.faults import FaultPlan
+    from repro.membership import MembershipController, MembershipPlan
+
+    try:
+        plan = MembershipPlan.load(args.hosts)
+        faults = FaultPlan.load(args.faults) if args.faults else None
+    except FileNotFoundError as err:
+        print(f"error: no such file: {err.filename}", file=sys.stderr)
+        return 2
+    except ValueError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    total = args.steps_per_stage * len(args.schedule)
+    print(plan.describe())
+    controller = MembershipController(
+        spec, dataset, config, optimizer, plan, faults=faults,
+        telemetry=telemetry, profiler=profiler, backend=backend,
+    )
+    stats = controller.run(total)
+    if controller.losses:
+        print(f"{total} steps survived the plan; "
+              f"last loss {controller.losses[-1][-1]:.6f}")
+    print(controller.mstats.describe())
+    print(stats.describe())
+    print(f"clock: {controller.clock:.1f}s = {controller.compute_s:.1f}s "
+          f"compute + {stats.downtime_s:.1f}s downtime")
+
+    if profiler is not None:
+        profiler.flush()
+        print()
+        print(profiler.describe())
+    if telemetry is not None:
+        telemetry.close()
+        print(f"telemetry written to {args.telemetry}")
+
+    if args.verify:
+        from repro.core import EasyScaleEngine, WorkerAssignment
+        from repro.utils.fingerprint import fingerprint_state_dict
+
+        reference = EasyScaleEngine(
+            spec, dataset, config, optimizer,
+            WorkerAssignment.balanced(_roster_pool(plan), args.ests),
+        )
+        reference.train_steps(total)
+        same = fingerprint_state_dict(
+            controller.engine.model.state_dict()
+        ) == fingerprint_state_dict(reference.model.state_dict())
+        print(f"bitwise vs static EasyScale reference: "
+              f"{'IDENTICAL' if same else 'DIFFERENT'}")
+        return 0 if same else 4
+    return 0
+
+
 def _cmd_faults(args: argparse.Namespace) -> int:
     try:
         if args.faults_command == "gen":
@@ -366,6 +448,121 @@ def _run_faults_replay(args: argparse.Namespace) -> int:
     print(diff.describe())
     if args.audit:
         print(f"audit trails written to {ref_path} and {fault_path}")
+    print("replay:", "BITWISE-IDENTICAL" if diff.identical else "DIVERGED")
+    return 0 if diff.identical else 4
+
+
+def _cmd_membership(args: argparse.Namespace) -> int:
+    try:
+        if args.membership_command == "gen":
+            return _run_membership_gen(args)
+        if args.membership_command == "replay":
+            return _run_membership_replay(args)
+    except FileNotFoundError as err:
+        print(f"error: no such file: {err.filename}", file=sys.stderr)
+        return 2
+    except ValueError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    raise AssertionError(
+        f"unhandled membership subcommand {args.membership_command!r}"
+    )
+
+
+def _run_membership_gen(args: argparse.Namespace) -> int:
+    from repro.membership import (
+        HostSpec,
+        random_membership_plan,
+        rolling_upgrade_plan,
+    )
+
+    if args.rolling is not None:
+        if args.rolling < 2:
+            print("error: --rolling needs at least 2 hosts", file=sys.stderr)
+            return 2
+        hosts = [HostSpec(f"host{i}", "v100", 1) for i in range(args.rolling)]
+        plan = rolling_upgrade_plan(
+            hosts,
+            start_step=1,
+            max_unavailable=args.max_unavailable,
+            note=args.note or f"rolling upgrade of {args.rolling} hosts",
+        )
+    else:
+        plan = random_membership_plan(
+            args.seed,
+            horizon_steps=args.steps,
+            max_events=args.events,
+            note=args.note or "",
+        )
+    plan.save(args.out)
+    print(plan.describe())
+    print(f"membership plan written to {args.out} "
+          f"(replay with: repro membership replay --plan {args.out})")
+    return 0
+
+
+def _run_membership_replay(args: argparse.Namespace) -> int:
+    from repro import obs
+    from repro.core import (
+        EasyScaleEngine,
+        EasyScaleJobConfig,
+        WorkerAssignment,
+        determinism_from_label,
+    )
+    from repro.membership import MembershipController, MembershipPlan
+    from repro.models import get_workload
+    from repro.optim import SGD
+
+    plan = MembershipPlan.load(args.plan)
+    spec = get_workload(args.workload)
+    dataset = spec.build_dataset(args.samples, seed=args.seed)
+    pool = _roster_pool(plan)
+    config = EasyScaleJobConfig(
+        num_ests=args.ests, seed=args.seed, batch_size=args.batch_size,
+        determinism=determinism_from_label(args.determinism),
+    )
+
+    def optimizer(model):
+        return SGD(model.named_parameters(), lr=args.lr, momentum=0.9)
+
+    print(plan.describe())
+    if not plan.step_events:
+        print("warning: plan has no step-triggered events "
+              "(time-triggered plans are for trace-sim)")
+
+    # leg 1: the static reference on the initial roster, audited per step
+    ref_path = f"{args.audit}.ref.jsonl" if args.audit else None
+    obs.configure(enabled=True, audit=True, audit_path=ref_path)
+    reference = EasyScaleEngine(
+        spec, dataset, config, optimizer,
+        WorkerAssignment.balanced(pool, args.ests),
+    )
+    reference.train_steps(args.steps)
+    ref_trail = obs.audit_trail()
+
+    # leg 2: the same job under the membership plan; the trail must allow
+    # rewinds because forceful recoveries re-record re-executed steps
+    member_path = f"{args.audit}.member.jsonl" if args.audit else None
+    obs.configure(enabled=True, audit=True, audit_path=member_path,
+                  audit_rewind=True)
+    try:
+        controller = MembershipController(
+            spec, dataset, config, optimizer, plan,
+            snapshot_interval=args.snapshot_interval,
+        )
+        stats = controller.run(args.steps)
+        member_trail = obs.audit_trail()
+    finally:
+        obs.reset()
+
+    print(controller.mstats.describe())
+    print(stats.describe())
+    print(f"clock: {controller.clock:.1f}s = {controller.compute_s:.1f}s "
+          f"compute + {stats.downtime_s:.1f}s downtime")
+    diff = obs.diff_audits(ref_trail, member_trail)
+    print(diff.describe())
+    if args.audit:
+        print(f"audit trails written to {ref_path} and {member_path}")
     print("replay:", "BITWISE-IDENTICAL" if diff.identical else "DIVERGED")
     return 0 if diff.identical else 4
 
@@ -885,6 +1082,13 @@ def build_parser() -> argparse.ArgumentParser:
                             "the first --schedule stage is the starting "
                             "pool, and --verify compares bitwise against "
                             "the fault-free run")
+    train.add_argument("--hosts", metavar="PLAN", default=None,
+                       help="train through the membership controller under "
+                            "this membership plan JSON (see: repro "
+                            "membership gen); the plan's initial roster is "
+                            "the starting pool (--schedule is ignored), "
+                            "--faults may run alongside, and --verify "
+                            "compares bitwise against the static run")
 
     trace = sub.add_parser("trace-sim", help="replay a job trace")
     trace.add_argument("--policy", default="all", choices=["yarn", "homo", "heter", "all"])
@@ -965,6 +1169,60 @@ def build_parser() -> argparse.ArgumentParser:
                         help="instead of the audit diff, run the four-way "
                              "contrast against a checkpoint-restart elastic "
                              "baseline (shows the baseline diverging)")
+
+    membership = sub.add_parser(
+        "membership",
+        help="cluster membership scenarios (plan generation, bitwise replay)",
+    )
+    membership_sub = membership.add_subparsers(
+        dest="membership_command", required=True
+    )
+
+    mgen = membership_sub.add_parser(
+        "gen", help="generate a seeded membership plan (JSON)"
+    )
+    mgen.add_argument("--seed", type=int, default=0)
+    mgen.add_argument("--steps", type=int, default=12,
+                      help="horizon in global steps (default 12)")
+    mgen.add_argument("--events", type=int, default=4,
+                      help="maximum host events in the plan (default 4)")
+    mgen.add_argument("--rolling", type=int, default=None, metavar="HOSTS",
+                      help="instead of random churn, emit a rolling-upgrade "
+                           "plan draining all but one of HOSTS single-V100 "
+                           "hosts, --max-unavailable at a time")
+    mgen.add_argument("--max-unavailable", type=int, default=1,
+                      help="hosts drained per wave with --rolling (default 1)")
+    mgen.add_argument("--out", metavar="PATH", default="membership_plan.json",
+                      help="output path (default membership_plan.json)")
+    mgen.add_argument("--note", default=None,
+                      help="free-text note stored in the plan")
+
+    mreplay = membership_sub.add_parser(
+        "replay",
+        help="prove bitwise membership: run the static reference on the "
+             "plan's initial roster and a membership-controller run under "
+             "the plan, then diff their determinism audit trails "
+             "(exit 0 identical, 4 divergent)",
+    )
+    mreplay.add_argument("--plan", required=True, metavar="PATH",
+                         help="membership plan JSON (from: repro membership gen)")
+    mreplay.add_argument("--workload", default="resnet18")
+    mreplay.add_argument("--ests", type=int, default=4)
+    mreplay.add_argument("--seed", type=int, default=0)
+    mreplay.add_argument("--batch-size", type=int, default=8)
+    mreplay.add_argument("--lr", type=float, default=0.05)
+    mreplay.add_argument("--samples", type=int, default=64)
+    mreplay.add_argument("--steps", type=int, default=12,
+                         help="global steps to train (default 12)")
+    mreplay.add_argument("--determinism", default="D1+D2",
+                         choices=["D0", "D1", "D0+D2", "D1+D2"],
+                         help="heterogeneous rosters need D2 for bitwise "
+                              "identity across reconfigurations (default D1+D2)")
+    mreplay.add_argument("--snapshot-interval", type=int, default=4,
+                         help="periodic checkpoint interval in steps (default 4)")
+    mreplay.add_argument("--audit", metavar="PREFIX", default=None,
+                         help="also write PREFIX.ref.jsonl and "
+                              "PREFIX.member.jsonl audit trails")
 
     colo = sub.add_parser("colocation", help="two-day serving co-location stats")
     colo.add_argument("--gpus", type=int, default=3000)
@@ -1096,6 +1354,7 @@ COMMANDS = {
     "train": _cmd_train,
     "trace-sim": _cmd_trace_sim,
     "faults": _cmd_faults,
+    "membership": _cmd_membership,
     "colocation": _cmd_colocation,
     "scan": _cmd_scan,
     "self-test": _cmd_selftest,

@@ -283,8 +283,7 @@ class ResilienceController:
             raise ValueError("total_steps must be non-negative")
         while self.engine.global_step < total_steps:
             step = self.engine.global_step
-            for event in self.injector.boundary_events(step):
-                self._handle_graceful(event)
+            self._on_boundary(step)
             before = self.engine.sim_time
             try:
                 losses = self.engine.run_global_step()
@@ -301,6 +300,16 @@ class ResilienceController:
     # ------------------------------------------------------------------
     # fault handling
     # ------------------------------------------------------------------
+    def _on_boundary(self, step: int) -> None:
+        """Step-boundary hook: consume due graceful plan events.
+
+        Subclasses (the membership controller) extend this to apply
+        their own boundary-negotiated transitions before the fault
+        plan's graceful events fire.
+        """
+        for event in self.injector.boundary_events(step):
+            self._handle_graceful(event)
+
     def _note_fault(self, event: FaultEvent) -> None:
         self.stats.faults_injected += 1
         flightrec.record(

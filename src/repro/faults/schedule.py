@@ -64,6 +64,30 @@ GRACEFUL_KINDS = frozenset(set(FAULT_KINDS) - ABRUPT_KINDS)
 CAPACITY_KINDS = frozenset({"gpu_revoke", "node_preempt"})
 
 
+def validate_event_kinds(raw_events, known_kinds, source: str = "plan") -> None:
+    """Eagerly validate the ``kind`` of every raw (pre-dataclass) event.
+
+    Shared by :meth:`FaultPlan.from_json` and
+    :meth:`repro.membership.plan.MembershipPlan.from_json` so both plan
+    formats reject an unknown kind at parse time with a path-and-index
+    message (``<source>: events[3]: unknown kind 'gpu_revoek'``) instead
+    of a bare dataclass error — or, worse, only at trigger time.
+    """
+    known = tuple(known_kinds)
+    for index, raw in enumerate(raw_events):
+        if not isinstance(raw, dict):
+            raise ValueError(
+                f"{source}: events[{index}]: must be a JSON object, "
+                f"got {type(raw).__name__}"
+            )
+        kind = raw.get("kind")
+        if kind not in known:
+            raise ValueError(
+                f"{source}: events[{index}]: unknown kind {kind!r}; "
+                f"expected one of {known}"
+            )
+
+
 @dataclass(frozen=True)
 class FaultEvent:
     """One timed fault.
@@ -234,7 +258,7 @@ class FaultPlan:
         )
 
     @classmethod
-    def from_json(cls, text: str) -> "FaultPlan":
+    def from_json(cls, text: str, source: str = "fault plan") -> "FaultPlan":
         try:
             payload = json.loads(text)
         except json.JSONDecodeError as err:
@@ -249,6 +273,7 @@ class FaultPlan:
         events = payload["events"]
         if not isinstance(events, list):
             raise ValueError("fault plan 'events' must be a list")
+        validate_event_kinds(events, FAULT_KINDS, source=source)
         return cls(
             events=tuple(FaultEvent.from_state(e) for e in events),
             seed=int(payload.get("seed", 0)),
@@ -264,8 +289,10 @@ class FaultPlan:
 
     @classmethod
     def load(cls, path) -> "FaultPlan":
+        import os
+
         with open(path, "r", encoding="utf-8") as fh:
-            return cls.from_json(fh.read())
+            return cls.from_json(fh.read(), source=os.fspath(path))
 
 
 # ----------------------------------------------------------------------

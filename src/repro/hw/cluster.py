@@ -67,6 +67,45 @@ class Cluster:
         return sorted({gpu.type.name for gpu in self.gpus})
 
     # ------------------------------------------------------------------
+    # membership: capacity joining and leaving at runtime
+    # ------------------------------------------------------------------
+    def add_machine(self, machine: Machine) -> None:
+        """Grow the inventory: a host joined the cluster."""
+        if not machine.gpus:
+            raise ValueError(f"machine {machine.name!r} has no GPUs")
+        self.machines.append(machine)
+        self.gpus.extend(machine.gpus)
+
+    def remove_free(self, type_name: str, count: int) -> int:
+        """Shrink the inventory by ``count`` *free* GPUs of one type.
+
+        Takes from the end of the pool (the most recently joined capacity
+        leaves first), prunes machines left without GPUs, and refuses to
+        empty the cluster — callers must free capacity (preempt owners)
+        before removing it.
+        """
+        if count <= 0:
+            return 0
+        victims: List[GPU] = []
+        for gpu in reversed(self.gpus):
+            if len(victims) == count:
+                break
+            if gpu.free and gpu.type.name == type_name:
+                victims.append(gpu)
+        if len(victims) < count:
+            raise RuntimeError(
+                f"cannot remove {count} {type_name}: only {len(victims)} free"
+            )
+        if len(self.gpus) - count == 0:
+            raise RuntimeError("cannot remove the last GPUs in the cluster")
+        doomed = set(map(id, victims))
+        self.gpus = [g for g in self.gpus if id(g) not in doomed]
+        for machine in self.machines:
+            machine.gpus = [g for g in machine.gpus if id(g) not in doomed]
+        self.machines = [m for m in self.machines if m.gpus]
+        return count
+
+    # ------------------------------------------------------------------
     # allocation
     # ------------------------------------------------------------------
     def allocate(self, job_id: str, type_name: str, count: int) -> List[GPU]:

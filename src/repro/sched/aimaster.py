@@ -127,6 +127,17 @@ class AIMaster:
         self.monitor.reset()
         return self.scheduler.on_decision(owned)
 
+    def on_join(self, now: float, owned: Mapping[str, int]) -> Optional[WorkerAssignment]:
+        """New cluster capacity appeared (a host joined or rejoined).
+
+        Replan on current ownership like a grant, but keep pending
+        proposals alive — the join answers none of them (the cluster got
+        bigger; the job's asks are still outstanding and now likelier to
+        be granted) — and keep the throughput monitor: the allocation
+        itself did not change, so its measurements still apply.
+        """
+        return self.scheduler.on_decision(owned)
+
     def on_preempt(self, now: float, owned: Mapping[str, int]) -> Optional[WorkerAssignment]:
         """GPUs were taken away by a fault, not a scheduling decision.
 

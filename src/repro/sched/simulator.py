@@ -99,6 +99,16 @@ class SchedulingPolicy:
         next scheduling round).  Gang schedulers must requeue here; elastic
         policies can replan immediately on the shrunken ownership."""
 
+    def on_join(self, sim: "ClusterSimulator", now: float, gtype: str, count: int) -> None:
+        """React to new capacity joining the cluster (membership: a host
+        finished warming, or a blacklist expired).  Default: wait for the
+        next scheduling round, which already sees the larger free pool."""
+
+    def on_slowdown(self, sim: "ClusterSimulator", runtime: JobRuntime, now: float, factor: float) -> None:
+        """React to a job's throughput degrading by ``factor`` (a fault
+        slowed its workers).  Default: the degraded rate already feeds the
+        next round's estimates, so do nothing."""
+
 
 @dataclass
 class SimResult:
@@ -149,6 +159,7 @@ class ClusterSimulator:
         round_interval: float = 120.0,
         faults: Optional[object] = None,
         checkpoint_interval: float = 600.0,
+        membership: Optional[object] = None,
     ) -> None:
         if reconfig_delay < 0 or round_interval <= 0:
             raise ValueError("invalid simulator timing parameters")
@@ -166,6 +177,22 @@ class ClusterSimulator:
             from repro.faults.injector import SimFaultInjector
 
             self.fault_injector = SimFaultInjector(faults)
+        self.membership = None
+        if membership is not None:
+            from repro.hw.cluster import Machine
+            from repro.hw.gpu import gpu_type
+            from repro.membership.discovery import SimMembershipDriver
+
+            self.membership = SimMembershipDriver(membership)
+            # the plan's initial roster is extra capacity on top of the
+            # base cluster, added before the capacity event below so the
+            # saved stream self-describes the true starting inventory
+            for spec in membership.initial_hosts:
+                cluster.add_machine(
+                    Machine.build(
+                        spec.host_id, gpu_type(_canonical(spec.gtype)), spec.slots
+                    )
+                )
         self.preemptions = 0
         self.recovery_seconds = 0.0
         self.lost_work_seconds = 0.0
@@ -356,6 +383,7 @@ class ClusterSimulator:
                 job=victim.job.job_id,
                 magnitude=event.magnitude,
             )
+            self.policy.on_slowdown(self, victim, self.now, victim.fault_slowdown)
         elif event.kind == "worker_crash":
             self.preempt(victim, count=0, abrupt=True, kind=event.kind)
         elif event.kind == "gpu_revoke":
@@ -370,6 +398,101 @@ class ClusterSimulator:
                 abrupt=True,
                 kind=event.kind,
             )
+
+    # ------------------------------------------------------------------
+    # membership: hosts joining and leaving at decision points
+    # ------------------------------------------------------------------
+    def _evict_host_capacity(
+        self, gtype: str, slots: int, arrived: List[JobRuntime], abrupt: bool, kind: str
+    ) -> None:
+        """Free ``slots`` GPUs of a leaving host's type, then remove them.
+
+        Holders are preempted largest-first (ties by job id) — gracefully
+        for drains/reclaims/blacklists (checkpoint at the boundary, zero
+        lost work), abruptly for forceful removals (progress since the
+        last periodic checkpoint is lost).
+        """
+        canonical = _canonical(gtype)
+        while self.cluster.free_count(canonical) < slots:
+            holders = [
+                r
+                for r in arrived
+                if r.status == "running" and r.owned.get(gtype, 0) > 0
+            ]
+            if not holders:
+                break
+            victim = max(holders, key=lambda r: (r.owned.get(gtype, 0), r.job.job_id))
+            need = slots - self.cluster.free_count(canonical)
+            take = min(need, victim.owned.get(gtype, 0))
+            self.preempt(victim, take, gtype, abrupt=abrupt, kind=kind)
+        self.cluster.remove_free(canonical, min(slots, self.cluster.free_count(canonical)))
+
+    def _apply_membership(self, action, arrived: List[JobRuntime]) -> None:
+        """Apply one due membership action to registry, cluster, policy."""
+        from repro.hw.cluster import Machine
+        from repro.hw.gpu import gpu_type
+        from repro.membership.lifecycle import (
+            ACTIVE,
+            BLACKLISTED,
+            DRAINING,
+            REMOVED,
+            WARMING,
+        )
+
+        registry = self.membership.registry
+        host = registry.get(action.host_id)
+        op = action.op
+        was_serving = host.serving
+
+        def emit(kind: str) -> None:
+            self.events.emit(
+                self.now, kind, host=host.host_id, gtype=host.gtype, gpus=host.slots
+            )
+
+        if op == "announce":
+            registry.transition(host.host_id, WARMING)
+            emit("host_announce")
+        elif op in ("join", "rejoin"):
+            if op == "join" and host.state != WARMING:
+                return  # already promoted (ready raced its warm-up deadline)
+            if op == "rejoin" and host.state != BLACKLISTED:
+                return  # removed while blacklisted: the expiry is moot
+            registry.transition(host.host_id, ACTIVE)
+            self.cluster.add_machine(
+                Machine.build(
+                    host.host_id, gpu_type(_canonical(host.gtype)), host.slots
+                )
+            )
+            emit(f"host_{op}")
+            self.policy.on_join(self, self.now, host.gtype, host.slots)
+        elif op == "reclaim_notice":
+            registry.transition(host.host_id, DRAINING)
+            emit("host_reclaim_notice")
+        elif op in ("drain", "reclaim"):
+            if op == "drain":
+                registry.transition(host.host_id, DRAINING)
+            elif host.state != DRAINING:
+                return  # removed during the notice window: nothing to reclaim
+            registry.transition(host.host_id, REMOVED)
+            if was_serving:
+                self._evict_host_capacity(
+                    host.gtype, host.slots, arrived, abrupt=False, kind=f"host_{op}"
+                )
+            emit(f"host_{op}")
+        elif op == "blacklist":
+            registry.transition(host.host_id, BLACKLISTED)
+            if was_serving:
+                self._evict_host_capacity(
+                    host.gtype, host.slots, arrived, abrupt=False, kind="host_blacklist"
+                )
+            emit("host_blacklist")
+        elif op == "forceful_remove":
+            registry.transition(host.host_id, REMOVED)
+            if was_serving:
+                self._evict_host_capacity(
+                    host.gtype, host.slots, arrived, abrupt=True, kind="host_remove"
+                )
+            emit("host_remove")
 
     # ------------------------------------------------------------------
     # main loop — shared decision-point body
@@ -395,6 +518,12 @@ class ClusterSimulator:
             arrived.append(runtime)
             self.events.emit(self.now, "job_submit", job=runtime.job.job_id)
             self.policy.on_job_arrival(self, runtime)
+
+        if self.membership is not None:
+            # membership precedes faults: a host that joins and a fault
+            # that strikes at one decision point see consistent capacity
+            for action in self.membership.due(self.now):
+                self._apply_membership(action, arrived)
 
         if self.fault_injector is not None:
             for event in self.fault_injector.due(self.now):
@@ -486,6 +615,13 @@ class ClusterSimulator:
                     break
                 heap.append((t, seq, "fault", None))
                 seq += 1
+        if self.membership is not None:
+            # same rule as faults: an action at exactly t=0 is never its
+            # own decision point; it fires via due() at the first real one
+            for t in self.membership.times():
+                if t > 0.0:
+                    heap.append((t, seq, "membership", None))
+                    seq += 1
         heapq.heapify(heap)
         last_round_pushed: Optional[float] = None
         processed_until: Optional[float] = None
@@ -571,6 +707,10 @@ class ClusterSimulator:
                 fault_time = self.fault_injector.next_time(self.now)
                 if fault_time is not None:
                     candidates.append(fault_time)
+            if self.membership is not None:
+                member_time = self.membership.next_time(self.now)
+                if member_time is not None:
+                    candidates.append(member_time)
             if not candidates:
                 break
             t_next = min(candidates)

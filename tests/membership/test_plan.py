@@ -1,0 +1,244 @@
+"""MembershipPlan: validation, JSON round trip, canned/seeded generators.
+
+Also pins the shared eager kind validator (``validate_event_kinds``) for
+*both* plan families: a malformed ``FaultPlan`` or ``MembershipPlan``
+JSON must fail at load time with the source path and the offending event
+index in the message, not deep inside a replay.
+"""
+
+import json
+
+import pytest
+
+from repro.faults.schedule import FAULT_KINDS, FaultPlan, validate_event_kinds
+from repro.membership.plan import (
+    MEMBERSHIP_KINDS,
+    HostEvent,
+    HostSpec,
+    MembershipPlan,
+    random_membership_plan,
+    rolling_upgrade_plan,
+)
+
+ROSTER = (
+    HostSpec("v100-host0", "v100", 1),
+    HostSpec("v100-host1", "v100", 1),
+    HostSpec("t4-host0", "t4", 1),
+    HostSpec("t4-host1", "t4", 1),
+)
+
+
+class TestHostSpec:
+    def test_gtype_lowered(self):
+        assert HostSpec("h", "V100", 2).gtype == "v100"
+
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_slots_must_be_positive(self, bad):
+        with pytest.raises(ValueError, match="slots"):
+            HostSpec("h", "v100", bad)
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(ValueError, match="host_id"):
+            HostSpec("", "v100")
+
+
+class TestHostEvent:
+    def test_exactly_one_trigger(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            HostEvent(kind="drain", host="h", at_step=1, at_time=1.0)
+        with pytest.raises(ValueError, match="exactly one"):
+            HostEvent(kind="drain", host="h")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown membership kind"):
+            HostEvent(kind="explode", host="h", at_step=1)
+
+    def test_announce_needs_gtype(self):
+        with pytest.raises(ValueError, match="needs a gtype"):
+            HostEvent(kind="announce", host="h", at_step=1)
+
+    @pytest.mark.parametrize("kind", ["blacklist", "reclaim_notice"])
+    def test_expiry_kinds_need_positive_magnitude(self, kind):
+        with pytest.raises(ValueError, match="positive magnitude"):
+            HostEvent(kind=kind, host="h", at_step=1)
+
+    def test_state_round_trip(self):
+        event = HostEvent(kind="announce", host="h", at_step=3,
+                          gtype="T4", slots=2, magnitude=30.0)
+        assert HostEvent.from_state(event.to_state()) == event
+
+
+class TestPlanValidation:
+    def test_needs_initial_hosts(self):
+        with pytest.raises(ValueError, match="at least one initial host"):
+            MembershipPlan(initial_hosts=())
+
+    def test_duplicate_initial_hosts_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            MembershipPlan(initial_hosts=(HostSpec("h", "v100"),
+                                          HostSpec("h", "t4")))
+
+    def test_events_must_be_trigger_ordered(self):
+        with pytest.raises(ValueError, match="ordered"):
+            MembershipPlan(
+                initial_hosts=ROSTER,
+                events=(HostEvent(kind="drain", host="v100-host0", at_step=5),
+                        HostEvent(kind="drain", host="v100-host1", at_step=2)),
+            )
+
+    def test_event_for_unknown_host_rejected(self):
+        with pytest.raises(ValueError, match="never announced"):
+            MembershipPlan(
+                initial_hosts=ROSTER,
+                events=(HostEvent(kind="drain", host="ghost", at_step=1),),
+            )
+
+    def test_announced_host_may_receive_later_events(self):
+        plan = MembershipPlan(
+            initial_hosts=ROSTER,
+            events=(
+                HostEvent(kind="announce", host="new", at_step=1, gtype="t4"),
+                HostEvent(kind="drain", host="new", at_step=5),
+            ),
+        )
+        assert len(plan) == 2
+
+    def test_reannounce_of_existing_host_rejected(self):
+        with pytest.raises(ValueError, match="already exists"):
+            MembershipPlan(
+                initial_hosts=ROSTER,
+                events=(HostEvent(kind="announce", host="t4-host0",
+                                  at_step=1, gtype="t4"),),
+            )
+
+    def test_max_unavailable_must_be_positive(self):
+        with pytest.raises(ValueError, match="max_unavailable"):
+            MembershipPlan(initial_hosts=ROSTER, max_unavailable=0)
+
+    def test_host_spec_lookup(self):
+        plan = MembershipPlan(
+            initial_hosts=ROSTER,
+            events=(HostEvent(kind="announce", host="new", at_step=2,
+                              gtype="t4", slots=2),),
+        )
+        assert plan.host_spec("t4-host0") == ROSTER[2]
+        assert plan.host_spec("new") == HostSpec("new", "t4", 2)
+        assert plan.host_spec("ghost") is None
+
+
+class TestJsonRoundTrip:
+    def _plan(self):
+        return MembershipPlan(
+            initial_hosts=ROSTER,
+            events=(
+                HostEvent(kind="drain", host="v100-host1", at_step=2),
+                HostEvent(kind="blacklist", host="t4-host0", at_step=4,
+                          magnitude=30.0),
+                HostEvent(kind="announce", host="spot-0", at_step=6,
+                          gtype="t4", slots=1, magnitude=10.0),
+            ),
+            seed=11, note="round trip", max_unavailable=2,
+        )
+
+    def test_round_trip_is_exact(self):
+        plan = self._plan()
+        assert MembershipPlan.from_json(plan.to_json()) == plan
+
+    def test_save_load(self, tmp_path):
+        path = tmp_path / "plan.json"
+        plan = self._plan()
+        plan.save(path)
+        assert MembershipPlan.load(path) == plan
+
+    def test_version_check(self):
+        payload = json.loads(self._plan().to_json())
+        payload["version"] = 99
+        with pytest.raises(ValueError, match="version 99"):
+            MembershipPlan.from_json(json.dumps(payload))
+
+    def test_missing_initial_hosts(self):
+        with pytest.raises(ValueError, match="initial_hosts"):
+            MembershipPlan.from_json(json.dumps({"events": []}))
+
+
+class TestEagerKindValidation:
+    """Satellite: the shared validator names the source and event index."""
+
+    def test_membership_unknown_kind_names_path_and_index(self, tmp_path):
+        path = tmp_path / "bad_membership.json"
+        payload = json.loads(MembershipPlan(initial_hosts=ROSTER).to_json())
+        payload["events"] = [
+            {"kind": "drain", "host": "t4-host0", "at_step": 1},
+            {"kind": "vaporize", "host": "t4-host1", "at_step": 2},
+        ]
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError) as err:
+            MembershipPlan.load(path)
+        message = str(err.value)
+        assert str(path) in message
+        assert "events[1]" in message
+        assert "'vaporize'" in message
+
+    def test_fault_unknown_kind_names_path_and_index(self, tmp_path):
+        path = tmp_path / "bad_faults.json"
+        path.write_text(json.dumps({
+            "seed": 0,
+            "events": [{"kind": "meteor_strike", "at_step": 3}],
+        }))
+        with pytest.raises(ValueError) as err:
+            FaultPlan.load(path)
+        message = str(err.value)
+        assert str(path) in message
+        assert "events[0]" in message
+        assert "'meteor_strike'" in message
+
+    def test_non_object_event_entry_rejected(self):
+        with pytest.raises(ValueError, match=r"events\[0\].*JSON object"):
+            validate_event_kinds(["drain"], MEMBERSHIP_KINDS, source="plan")
+
+    def test_validator_accepts_all_known_kinds(self):
+        events = [{"kind": k} for k in FAULT_KINDS]
+        validate_event_kinds(events, FAULT_KINDS, source="plan")  # no raise
+
+
+class TestRollingUpgradePlan:
+    def test_drains_all_but_keep_in_roster_order(self):
+        plan = rolling_upgrade_plan(ROSTER, start_step=2, keep=1)
+        assert [e.host for e in plan.events] == [
+            "v100-host0", "v100-host1", "t4-host0"
+        ]
+        assert all(e.kind == "drain" and e.at_step == 2 for e in plan.events)
+        assert plan.max_unavailable == 1
+
+    def test_keep_must_leave_work_to_do(self):
+        with pytest.raises(ValueError, match="nothing to drain"):
+            rolling_upgrade_plan(ROSTER[:1], keep=1)
+        with pytest.raises(ValueError, match="at least one host"):
+            rolling_upgrade_plan(ROSTER, keep=0)
+
+
+class TestRandomMembershipPlan:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_seeded_plans_are_valid_and_round_trip(self, seed):
+        plan = random_membership_plan(seed, horizon_steps=12)
+        assert plan.seed == seed
+        assert 1 <= len(plan) <= 4
+        assert all(1 <= e.at_step <= 11 for e in plan.events)
+        assert MembershipPlan.from_json(plan.to_json()) == plan
+
+    def test_deterministic_in_seed(self):
+        assert random_membership_plan(5, 12) == random_membership_plan(5, 12)
+        assert random_membership_plan(5, 12) != random_membership_plan(6, 12)
+
+    def test_removals_keep_a_roster_survivor(self):
+        from repro.membership.plan import REMOVAL_KINDS
+
+        for seed in range(50):
+            plan = random_membership_plan(seed, horizon_steps=12)
+            removed = {e.host for e in plan.events if e.kind in REMOVAL_KINDS}
+            roster = {s.host_id for s in plan.initial_hosts}
+            assert roster - removed, f"seed {seed} removed the whole roster"
+
+    def test_horizon_too_small_rejected(self):
+        with pytest.raises(ValueError, match="horizon"):
+            random_membership_plan(0, horizon_steps=1)

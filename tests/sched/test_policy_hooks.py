@@ -1,0 +1,66 @@
+"""API parity of the policy notification hooks.
+
+Every shipped scheduling policy must expose ``on_preempt``, ``on_join``
+and ``on_slowdown`` with the base class's exact signatures — a policy
+that renames a parameter or drops one silently stops receiving the
+simulator's membership and fault notifications.  ``AIMaster``'s job-side
+hooks (``on_grant``/``on_preempt``/``on_join``) share one shape too.
+"""
+
+import inspect
+
+import pytest
+
+from repro.sched.aimaster import AIMaster
+from repro.sched.colocation_policy import ServingColocationPolicy
+from repro.sched.easyscale_policy import EasyScalePolicy
+from repro.sched.simulator import SchedulingPolicy
+from repro.sched.yarn_cs import YarnCapacityScheduler
+
+POLICIES = [
+    SchedulingPolicy,
+    YarnCapacityScheduler,
+    EasyScalePolicy,
+    ServingColocationPolicy,
+]
+HOOKS = ["on_preempt", "on_join", "on_slowdown"]
+
+
+def _params(cls, hook):
+    return list(inspect.signature(getattr(cls, hook)).parameters)
+
+
+class TestPolicyHookParity:
+    @pytest.mark.parametrize("policy_cls", POLICIES)
+    @pytest.mark.parametrize("hook", HOOKS)
+    def test_signature_matches_base(self, policy_cls, hook):
+        assert _params(policy_cls, hook) == _params(SchedulingPolicy, hook), (
+            f"{policy_cls.__name__}.{hook} drifted from the "
+            f"SchedulingPolicy signature"
+        )
+
+    def test_base_hook_shapes(self):
+        assert _params(SchedulingPolicy, "on_preempt") == [
+            "self", "sim", "runtime", "now"
+        ]
+        assert _params(SchedulingPolicy, "on_join") == [
+            "self", "sim", "now", "gtype", "count"
+        ]
+        assert _params(SchedulingPolicy, "on_slowdown") == [
+            "self", "sim", "runtime", "now", "factor"
+        ]
+
+    @pytest.mark.parametrize("hook", ["on_join", "on_slowdown"])
+    def test_base_hooks_are_callable_no_ops(self, hook):
+        policy = SchedulingPolicy()
+        args = {
+            "on_join": (None, 0.0, "v100", 2),
+            "on_slowdown": (None, None, 0.0, 2.0),
+        }[hook]
+        assert getattr(policy, hook)(*args) is None
+
+
+class TestAIMasterHookParity:
+    @pytest.mark.parametrize("hook", ["on_grant", "on_preempt", "on_join"])
+    def test_job_side_hooks_share_one_shape(self, hook):
+        assert _params(AIMaster, hook) == ["self", "now", "owned"]

@@ -98,6 +98,19 @@ def test_lint_walk_covers_flight_recorder_modules():
         assert expected in files, f"lint gate does not see {expected}"
 
 
+def test_lint_walk_covers_membership_package():
+    # same pinning for the cluster-membership subsystem
+    files = {os.path.relpath(p, SRC) for p in _python_files(SRC)}
+    for expected in (
+        "membership/__init__.py",
+        "membership/plan.py",
+        "membership/lifecycle.py",
+        "membership/discovery.py",
+        "membership/controller.py",
+    ):
+        assert expected in files, f"lint gate does not see {expected}"
+
+
 def test_no_pyflakes_errors():
     pyflakes_api = pytest.importorskip(
         "pyflakes.api", reason="pyflakes not installed; compile check still ran"
