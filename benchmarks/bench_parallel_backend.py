@@ -3,18 +3,31 @@
 The §4 bitwise serial/parallel contract is proven by the tier-1 suite;
 this regenerator times what the contract *costs*: the same global steps
 of a ResNet-18 job driven once through :class:`SerialBackend` and once
-through :class:`ProcessPoolBackend` (two sticky single-child slots), and
-confirms the two backends still agree on every loss along the way.
+through :class:`ProcessPoolBackend` per transport — ``pickle`` (state
+dicts and flat gradients through the pool's result pipe) and ``shm``
+(zero-copy shared-memory slabs) — and confirms all backends still agree
+on every loss along the way.
 
 On multi-core hosts the pool amortizes its state-shipping overhead and
 approaches the ideal speedup (``tests/exec/test_parallel_speedup.py``
 pins that bar under ``-m parallel``); on a single core it measures pure
 overhead — both are exactly what the ``BENCH_parallel.json`` trajectory
 should track, keyed by this machine's fingerprint.
+
+The Table-1 mini models carry only tens of kilobytes of state, so a
+second *transport-stress* experiment drives a wide two-layer MLP
+(~13 MB of parameters) through both pool transports: per step the pickle
+path serializes the state once per worker plus one flat gradient set per
+EST (~75 MB through the result pipe), while the shm path replaces all of
+it with slab memcpys.  That byte-bound regime is where the transport
+choice shows up in wall-clock even on one core.
 """
 
 import time
 
+import numpy as np
+
+from repro import nn
 from repro.core import (
     EasyScaleEngine,
     EasyScaleJobConfig,
@@ -24,13 +37,52 @@ from repro.core import (
 from repro.exec import ProcessPoolBackend, SerialBackend
 from repro.hw import gpu_type
 from repro.models import get_workload
+from repro.models.registry import WorkloadSpec
+from repro.nn.loss import cross_entropy
 from repro.optim import SGD
+from repro.tensor.tensor import Tensor
 
 from benchmarks.conftest import print_header, print_table, record_trajectory, smoke_scale
 
 STEPS = smoke_scale(4, 2)
+STRESS_STEPS = smoke_scale(3, 2)
 ESTS = 4
 POOL = ["V100", "V100"]
+
+
+class _WideMLP(nn.Module):
+    """Two dense layers sized so transport bytes dwarf the compute."""
+
+    def __init__(self, in_dim, hidden, classes, rng):
+        super().__init__()
+        self.fc1 = nn.Linear(in_dim, hidden, rng.spawn("fc1"))
+        self.act = nn.ReLU()
+        self.fc2 = nn.Linear(hidden, classes, rng.spawn("fc2"))
+
+    def forward(self, x):
+        return self.fc2(self.act(self.fc1(x.reshape(x.shape[0], -1))))
+
+
+def _build_wide(rng):
+    return _WideMLP(768, 4096, 10, rng)
+
+
+def _wide_loss(model, x, y):
+    return cross_entropy(model(Tensor(x)), y.astype(np.int64))
+
+
+STRESS_SPEC = WorkloadSpec(
+    name="bench-transport-stress",
+    builder=_build_wide,
+    dataset_name="cifar10-like",
+    dataset_kwargs={"shape": (3, 16, 16), "num_classes": 10},
+    batch_size=8,
+    forward_loss=_wide_loss,
+    params_gb=0.1,
+    act_gb_per_sample=0.001,
+    throughput={"v100": 100.0, "p100": 45.0, "t4": 33.0},
+    conv_heavy=False,
+)
 
 
 def _engine(spec, dataset, backend):
@@ -46,6 +98,20 @@ def _engine(spec, dataset, backend):
     )
 
 
+def _run_pool(spec, dataset, transport, steps):
+    with ProcessPoolBackend(max_workers=len(POOL), transport=transport) as backend:
+        pooled = _engine(spec, dataset, backend)
+        # first step pays child start-up + replica builds; time it apart
+        # from steady state but keep its loss for the contract check
+        start = time.perf_counter()
+        warmup_losses = pooled.train_steps(1)
+        warmup_s = time.perf_counter() - start
+        start = time.perf_counter()
+        losses = warmup_losses + pooled.train_steps(steps - 1)
+        step_s = (time.perf_counter() - start) / max(steps - 1, 1)
+    return step_s, warmup_s, losses
+
+
 def run_experiment():
     spec = get_workload("resnet18")
     dataset = spec.build_dataset(64, seed=7)
@@ -55,38 +121,88 @@ def run_experiment():
     serial_losses = serial.train_steps(STEPS)
     serial_s = (time.perf_counter() - start) / STEPS
 
-    with ProcessPoolBackend(max_workers=len(POOL)) as backend:
-        pooled = _engine(spec, dataset, backend)
-        # first step pays child start-up + replica builds; time it apart
-        # from steady state but keep its loss for the contract check
-        start = time.perf_counter()
-        warmup_losses = pooled.train_steps(1)
-        warmup_s = time.perf_counter() - start
-        start = time.perf_counter()
-        pool_losses = warmup_losses + pooled.train_steps(STEPS - 1)
-        pool_s = (time.perf_counter() - start) / max(STEPS - 1, 1)
-    return serial_s, pool_s, warmup_s, serial_losses, pool_losses
+    pickle_s, pickle_warmup_s, pickle_losses = _run_pool(spec, dataset, "pickle", STEPS)
+    shm_s, shm_warmup_s, shm_losses = _run_pool(spec, dataset, "shm", STEPS)
+    return (
+        serial_s, pickle_s, shm_s, pickle_warmup_s, shm_warmup_s,
+        serial_losses, pickle_losses, shm_losses,
+    )
+
+
+def run_stress_experiment():
+    dataset = STRESS_SPEC.build_dataset(64, seed=7)
+    pickle_s, _, pickle_losses = _run_pool(STRESS_SPEC, dataset, "pickle", STRESS_STEPS)
+    shm_s, _, shm_losses = _run_pool(STRESS_SPEC, dataset, "shm", STRESS_STEPS)
+    return pickle_s, shm_s, pickle_losses, shm_losses
 
 
 def test_parallel_backend_step_cost(run_once):
-    serial_s, pool_s, warmup_s, serial_losses, pool_losses = run_once(run_experiment)
+    (
+        serial_s, pickle_s, shm_s, pickle_warmup_s, shm_warmup_s,
+        serial_losses, pickle_losses, shm_losses,
+    ) = run_once(run_experiment)
 
-    # the contract half: identical training trajectories, step by step
-    assert pool_losses == serial_losses
+    # the contract half: identical training trajectories, step by step,
+    # regardless of how bytes cross the process boundary
+    assert pickle_losses == serial_losses
+    assert shm_losses == serial_losses
 
     print_header(f"Execution backends: {STEPS} steps, {len(POOL)} workers, {ESTS} ESTs")
     print_table(
-        ["backend", "s/step", "vs serial"],
+        ["backend", "s/step", "vs serial", "vs pickle"],
         [
-            ["serial", f"{serial_s:.4f}", "x1.00"],
-            ["process pool", f"{pool_s:.4f}", f"x{serial_s / pool_s:.2f}"],
+            ["serial", f"{serial_s:.4f}", "x1.00", "-"],
+            ["pool (pickle)", f"{pickle_s:.4f}", f"x{serial_s / pickle_s:.2f}", "x1.00"],
+            ["pool (shm)", f"{shm_s:.4f}", f"x{serial_s / shm_s:.2f}",
+             f"x{pickle_s / shm_s:.2f}"],
         ],
         fmt="14",
     )
-    print(f"\npool warm-up (first step, incl. replica builds): {warmup_s:.4f}s")
+    print(
+        f"\npool warm-up (first step, incl. replica builds): "
+        f"pickle {pickle_warmup_s:.4f}s, shm {shm_warmup_s:.4f}s"
+    )
 
     record_trajectory(
         "parallel", "backend_step",
         {"workers": len(POOL), "ests": ESTS, "steps": STEPS},
-        {"serial_step_s": [serial_s], "pool_step_s": [pool_s]},
+        {
+            "serial_step_s": [serial_s],
+            # pool_step_s keeps tracking the product default (shm) so the
+            # trajectory stays continuous across the transport switch
+            "pool_step_s": [shm_s],
+            "pool_pickle_step_s": [pickle_s],
+            "pool_shm_step_s": [shm_s],
+        },
+    )
+
+
+def test_transport_stress_step_cost(run_once):
+    pickle_s, shm_s, pickle_losses, shm_losses = run_once(run_stress_experiment)
+
+    # same trajectory through either transport — the stress model's
+    # gradients cross the boundary bitwise-intact both ways
+    assert shm_losses == pickle_losses
+
+    print_header(
+        f"Transport stress (~13 MB state): {STRESS_STEPS} steps, "
+        f"{len(POOL)} workers, {ESTS} ESTs"
+    )
+    print_table(
+        ["transport", "s/step", "vs pickle"],
+        [
+            ["pickle", f"{pickle_s:.4f}", "x1.00"],
+            ["shm", f"{shm_s:.4f}", f"x{pickle_s / shm_s:.2f}"],
+        ],
+        fmt="14",
+    )
+
+    record_trajectory(
+        "parallel", "transport_stress",
+        {"workers": len(POOL), "ests": ESTS, "steps": STRESS_STEPS,
+         "state_mb": 13},
+        {
+            "pool_pickle_step_s": [pickle_s],
+            "pool_shm_step_s": [shm_s],
+        },
     )

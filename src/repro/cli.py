@@ -145,6 +145,7 @@ def _run_train(args: argparse.Namespace) -> int:
     config = EasyScaleJobConfig(
         num_ests=args.ests, seed=args.seed, batch_size=args.batch_size,
         determinism=determinism,
+        batches_per_commit=getattr(args, "commit_every", 1),
     )
     profiler = (
         OnlineProfiler(
@@ -218,7 +219,10 @@ def _build_backend(args):
     from repro.exec import ProcessPoolBackend, SerialBackend
 
     if getattr(args, "backend", "serial") in ("process", "pool"):
-        return ProcessPoolBackend(max_workers=args.workers)
+        return ProcessPoolBackend(
+            max_workers=args.workers,
+            transport=getattr(args, "transport", "shm"),
+        )
     return SerialBackend()
 
 
@@ -1063,6 +1067,17 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--workers", type=int, default=None, metavar="N",
                        help="process-pool size for --backend process "
                             "(default: min(4, CPU count))")
+    train.add_argument("--transport", default="shm", choices=["shm", "pickle"],
+                       help="gradient/state transport for --backend process: "
+                            "'shm' (default) moves state broadcast and "
+                            "gradient buckets through shared-memory slabs "
+                            "with overlapped per-bucket collection; 'pickle' "
+                            "is the result-queue path (both bitwise-identical)")
+    train.add_argument("--commit-every", type=int, default=1, metavar="K",
+                       help="commit cadence (batches_per_commit): flush "
+                            "RNG/BN-journal write-back into the parent every "
+                            "K steps instead of per step; checkpoints, eval, "
+                            "and drive boundaries always flush (default: 1)")
     train.add_argument("--verify", action="store_true", help="compare bitwise vs DDP")
     train.add_argument("--trace", metavar="PATH", default=None,
                        help="record a span trace (JSONL) of the run")

@@ -210,9 +210,22 @@ def rebuild_from_arrival(
     """Post-first-iteration rebuild by gradient readiness order."""
     expected = set(param_sizes)
     got = list(arrival_order)
-    if set(got) != expected:
-        missing = expected - set(got)
-        raise ValueError(f"arrival order missing parameters: {sorted(missing)[:5]}")
+    seen: set = set()
+    for name in got:
+        # reject duplicates here, where the cause is visible — letting one
+        # through surfaces later as BucketAssignment's "appears in multiple
+        # buckets", far from the arrival sink that produced it
+        if name in seen:
+            raise ValueError(f"arrival order records {name!r} more than once")
+        seen.add(name)
+    if seen != expected:
+        missing = expected - seen
+        if missing:
+            raise ValueError(
+                f"arrival order missing parameters: {sorted(missing)[:5]}"
+            )
+        unknown = seen - expected
+        raise ValueError(f"arrival order has unknown parameters: {sorted(unknown)[:5]}")
     buckets: List[List[str]] = []
     current: List[str] = []
     used = 0

@@ -10,8 +10,9 @@ from __future__ import annotations
 from typing import Dict, Optional, Type, Union
 
 from repro.exec.base import ExecutionBackend, StepRequest
-from repro.exec.pool import ProcessPoolBackend
+from repro.exec.pool import TRANSPORTS, ProcessPoolBackend
 from repro.exec.serial import SerialBackend
+from repro.exec.shm import ShmTransport, SlabPlan, shm_available
 
 #: registry consulted by :func:`resolve_backend` and ``cli train --backend``
 #: ("pool" is an alias for the process-pool backend)
@@ -51,9 +52,13 @@ def resolve_backend(
 
 __all__ = [
     "BACKENDS",
+    "TRANSPORTS",
     "ExecutionBackend",
     "ProcessPoolBackend",
     "SerialBackend",
+    "ShmTransport",
+    "SlabPlan",
     "StepRequest",
     "resolve_backend",
+    "shm_available",
 ]

@@ -64,6 +64,12 @@ class StepRequest:
     arrival_sink: Optional[List[str]]
     #: current bucket layout — the unit of gradient shipping
     layout: "BucketAssignment"
+    #: when False, the backend may defer RNG/BN-journal write-back into
+    #: the parent's state until the next committed step (or an explicit
+    #: :meth:`ExecutionBackend.commit`).  The engine keeps this True on
+    #: every ``batches_per_commit``-th step, for audit-trail runs, and
+    #: for backends that never defer (serial).
+    commit: bool = True
 
 
 class ExecutionBackend(ABC):
@@ -89,6 +95,24 @@ class ExecutionBackend(ABC):
         span records merged.
         """
         return 0
+
+    def commit(self) -> None:
+        """Flush any write-back deferred by ``StepRequest.commit=False``.
+
+        After this returns, the parent's EST RNG streams and BN running
+        stats are bitwise what per-step write-back would have produced.
+        The engine calls it before checkpoints, evaluation, and at the
+        end of every training drive.  No-op for backends that never
+        defer.
+        """
+
+    def discard_pending(self) -> None:
+        """Drop deferred write-back without applying it.
+
+        Called on checkpoint restore: the restored state predates the
+        deferred steps, so applying their banked RNG/BN write-back would
+        corrupt it.  No-op for backends that never defer.
+        """
 
     def close(self) -> None:
         """Release backend resources (pools).  Idempotent."""

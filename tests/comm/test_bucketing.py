@@ -48,6 +48,22 @@ class TestRebuild:
         with pytest.raises(ValueError):
             rebuild_from_arrival(["a"], {"a": 1, "b": 1})
 
+    def test_duplicate_arrival_rejected_with_offender(self):
+        """Regression: a doubly-recorded arrival used to slip through the
+        set comparison and surface later as BucketAssignment's confusing
+        "appears in multiple buckets" error, far from the cause."""
+        with pytest.raises(ValueError, match="'b' more than once"):
+            rebuild_from_arrival(["a", "b", "b", "c"], _sizes(["a", "b", "c"]))
+
+    def test_duplicate_covering_all_params_still_rejected(self):
+        # the old `set(got) != expected` check passed this case outright
+        with pytest.raises(ValueError, match="'a' more than once"):
+            rebuild_from_arrival(["a", "b", "a"], _sizes(["a", "b"]))
+
+    def test_unknown_param_named(self):
+        with pytest.raises(ValueError, match="unknown"):
+            rebuild_from_arrival(["a", "ghost"], {"a": 1})
+
     def test_rebuild_differs_from_initial(self):
         names = ["a", "b", "c"]
         initial = build_initial_buckets(names, _sizes(names), 100)
@@ -182,6 +198,34 @@ class TestFlatBufferCache:
         small = cache.buffer(layout, 0, 0, 8)
         grown = cache.buffer(layout, 0, 0, 12)
         assert grown is not small and grown.size == 12
+
+    def test_slot_reuse_across_mid_job_layout_change(self):
+        """Multi-slot buffers must all be dropped when the layout re-keys
+        mid-job (the one-time DDP arrival rebuild), then rebuilt per slot
+        under the new layout without cross-slot mixups."""
+        cache = FlatBufferCache()
+        old = self._layout(["a", "b"], ["c"])
+        old_buffers = {
+            (bucket, slot): cache.buffer(old, bucket, slot, 8 + bucket)
+            for bucket in (0, 1)
+            for slot in (0, 1, 2)
+        }
+        assert len(cache) == 6 and cache.misses == 6
+        new = self._layout(["b", "a"], ["c"])
+        fresh = {
+            (bucket, slot): cache.buffer(new, bucket, slot, 8 + bucket)
+            for bucket in (0, 1)
+            for slot in (0, 1, 2)
+        }
+        # every old buffer was invalidated — none may be handed back
+        for key, buf in fresh.items():
+            assert buf is not old_buffers[key]
+        assert cache.misses == 12 and cache.hits == 0
+        assert len(cache) == 6
+        # steady state under the new layout hits per (bucket, slot)
+        for (bucket, slot), buf in fresh.items():
+            assert cache.buffer(new, bucket, slot, 8 + bucket) is buf
+        assert cache.hits == 6
 
     def test_clear_and_validation(self):
         cache = FlatBufferCache()

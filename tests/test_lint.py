@@ -54,6 +54,7 @@ def test_lint_walk_covers_exec_package():
         "exec/base.py",
         "exec/serial.py",
         "exec/pool.py",
+        "exec/shm.py",
     ):
         assert expected in files, f"lint gate does not see {expected}"
 
