@@ -622,13 +622,15 @@ def _plan_cache_totals(result) -> Optional[Tuple[int, int, float]]:
 
 def _cmd_trace_sim(args: argparse.Namespace) -> int:
     from repro import obs
-    from repro.hw import microbench_cluster
+    from repro.hw import microbench_cluster, production_cluster
     from repro.obs.report import save_events_jsonl
     from repro.sched import (
         ClusterSimulator,
         EasyScalePolicy,
         YarnCapacityScheduler,
+        diurnal_trace,
         generate_trace,
+        heavy_tail_trace,
     )
 
     calibration = None
@@ -661,11 +663,30 @@ def _cmd_trace_sim(args: argparse.Namespace) -> int:
 
     if args.trace:
         obs.configure(enabled=True, clock="sim")
-    jobs = generate_trace(
-        num_jobs=args.jobs,
-        seed=args.seed,
-        mean_interarrival_s=args.interarrival,
-        mean_duration_s=args.duration,
+    if args.shape == "diurnal":
+        jobs = diurnal_trace(
+            num_jobs=args.jobs,
+            seed=args.seed,
+            days=args.days,
+            mean_duration_s=args.duration,
+        )
+    elif args.shape == "heavy-tail":
+        jobs = heavy_tail_trace(
+            num_jobs=args.jobs,
+            seed=args.seed,
+            mean_interarrival_s=args.interarrival,
+        )
+    else:
+        jobs = generate_trace(
+            num_jobs=args.jobs,
+            seed=args.seed,
+            mean_interarrival_s=args.interarrival,
+            mean_duration_s=args.duration,
+        )
+    build_cluster = (
+        (lambda: production_cluster(args.cluster_gpus))
+        if args.cluster_gpus
+        else microbench_cluster
     )
     policies = {
         "yarn": YarnCapacityScheduler,
@@ -676,9 +697,14 @@ def _cmd_trace_sim(args: argparse.Namespace) -> int:
     try:
         for name in names:
             sim = ClusterSimulator(
-                microbench_cluster(), jobs, policies[name](), faults=fault_plan
+                build_cluster(), jobs, policies[name](), faults=fault_plan
             )
-            result = sim.run() if args.core == "heap" else sim.run_reference()
+            runner = {
+                "heap": sim.run,
+                "batched": sim.run_batched,
+                "reference": sim.run_reference,
+            }[args.core]
+            result = runner()
             print(
                 f"{result.policy:<16} avg JCT {result.average_jct:>10.1f} s   "
                 f"makespan {result.makespan:>10.1f} s   "
@@ -1111,6 +1137,21 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--seed", type=int, default=4)
     trace.add_argument("--interarrival", type=float, default=45.0)
     trace.add_argument("--duration", type=float, default=1200.0)
+    trace.add_argument("--shape", default="bursty",
+                       choices=["bursty", "diurnal", "heavy-tail"],
+                       help="arrival/runtime shape: 'bursty' (Philly-like "
+                            "Poisson, default), 'diurnal' (month-scale "
+                            "day/night cosine intensity; --interarrival is "
+                            "ignored, --days sets the horizon), or "
+                            "'heavy-tail' (Pareto runtimes, production "
+                            "demand mix)")
+    trace.add_argument("--days", type=float, default=30.0,
+                       help="horizon in days for --shape diurnal "
+                            "(default 30)")
+    trace.add_argument("--cluster-gpus", type=int, default=None,
+                       help="simulate a production_cluster of this many "
+                            "GPUs (e.g. 3000) instead of the 64-GPU "
+                            "microbench cluster")
     trace.add_argument("--trace", metavar="PATH", default=None,
                        help="record the simulator event timeline as a span trace (JSONL)")
     trace.add_argument("--events", metavar="PATH", default=None,
@@ -1126,11 +1167,14 @@ def build_parser() -> argparse.ArgumentParser:
                             "factors, e.g. {\"scale\": {\"t4\": 0.8}} — "
                             "profiler-measured corrections to the static "
                             "capability table")
-    trace.add_argument("--core", default="heap", choices=["heap", "reference"],
+    trace.add_argument("--core", default="heap",
+                       choices=["heap", "batched", "reference"],
                        help="discrete-event core: 'heap' (single priority "
-                            "queue, default) or 'reference' (the linear "
-                            "candidate scan) — both produce identical "
-                            "event streams")
+                            "queue, default), 'batched' (coalesced event "
+                            "drain + vectorized job advance + incremental "
+                            "arbitration — the production-scale fast path), "
+                            "or 'reference' (the linear candidate scan) — "
+                            "all three produce byte-identical event streams")
 
     faults = sub.add_parser(
         "faults", help="deterministic fault injection (plan generation, replay)"
@@ -1328,7 +1372,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     def _bench_common(p: argparse.ArgumentParser) -> None:
         p.add_argument("--area", action="append", default=None,
-                       choices=["sched", "parallel", "determinism", "all"],
+                       choices=["sched", "parallel", "determinism", "dessim", "all"],
                        help="bench area (repeatable; default all)")
         p.add_argument("--dir", metavar="PATH", default=None,
                        help="trajectory directory (default: repo root, or "

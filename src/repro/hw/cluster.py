@@ -6,14 +6,27 @@ Two canonical configurations mirror the paper's testbeds:
   8 V100, 8 servers x 2 P100, 4 servers x 4 T4);
 - :func:`production_cluster` — a parameterized large pool for the §5.3
   co-location experiment (3,000+ GPUs).
+
+The inventory is *indexed*: per-type free lists (kept sorted by pool
+position) and an owner map make ``free_by_type``/``allocated_count``/
+``owned_by`` independent of cluster size, which is what lets the
+discrete-event simulator replay month-long traces on 3,000-GPU pools —
+the seed implementation rescanned every GPU on each of those queries.
+Allocation still hands out the lowest-position free GPUs and
+``remove_free`` still takes the highest-position ones, so every consumer
+sees exactly the seed pool-order semantics.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from bisect import insort
+from dataclasses import dataclass
+from operator import attrgetter
 from typing import Dict, Iterable, List, Optional
 
-from repro.hw.gpu import GPU, GPUType, P100, T4, V100, gpu_type
+from repro.hw.gpu import GPU, GPUType, P100, T4, V100
+
+_pool_position = attrgetter("_pool_index")
 
 
 @dataclass
@@ -36,35 +49,56 @@ class Cluster:
         self.gpus: List[GPU] = [gpu for machine in self.machines for gpu in machine.gpus]
         if not self.gpus:
             raise ValueError("cluster has no GPUs")
+        #: monotone registration counter: a GPU's position in the pool,
+        #: preserved across removals (newly joined capacity always sorts
+        #: after everything registered before it)
+        self._next_position = 0
+        self._totals: Dict[str, int] = {}
+        #: per-type free GPUs, sorted ascending by pool position
+        self._free_lists: Dict[str, List[GPU]] = {}
+        #: job id -> held GPUs, sorted ascending by pool position
+        self._owned: Dict[str, List[GPU]] = {}
+        for gpu in self.gpus:
+            self._register(gpu)
+
+    def _register(self, gpu: GPU) -> None:
+        gpu._pool_index = self._next_position
+        self._next_position += 1
+        name = gpu.type.name
+        self._totals[name] = self._totals.get(name, 0) + 1
+        if gpu.free:
+            self._free_lists.setdefault(name, []).append(gpu)
+        else:
+            insort(self._owned.setdefault(gpu.owner, []), gpu, key=_pool_position)
 
     # ------------------------------------------------------------------
     # inventory queries
     # ------------------------------------------------------------------
     def total(self, type_name: Optional[str] = None) -> int:
-        return sum(1 for gpu in self.gpus if type_name is None or gpu.type.name == type_name)
+        if type_name is None:
+            return sum(self._totals.values())
+        return self._totals.get(type_name, 0)
 
     def free(self, type_name: Optional[str] = None) -> List[GPU]:
-        return [
-            gpu
-            for gpu in self.gpus
-            if gpu.free and (type_name is None or gpu.type.name == type_name)
-        ]
+        if type_name is not None:
+            return list(self._free_lists.get(type_name, ()))
+        merged = [gpu for lst in self._free_lists.values() for gpu in lst]
+        merged.sort(key=_pool_position)
+        return merged
 
     def free_count(self, type_name: Optional[str] = None) -> int:
-        return len(self.free(type_name))
+        if type_name is None:
+            return sum(len(lst) for lst in self._free_lists.values())
+        return len(self._free_lists.get(type_name, ()))
 
     def allocated_count(self, type_name: Optional[str] = None) -> int:
         return self.total(type_name) - self.free_count(type_name)
 
     def free_by_type(self) -> Dict[str, int]:
-        counts: Dict[str, int] = {}
-        for gpu in self.gpus:
-            if gpu.free:
-                counts[gpu.type.name] = counts.get(gpu.type.name, 0) + 1
-        return counts
+        return {name: len(lst) for name, lst in self._free_lists.items() if lst}
 
     def type_names(self) -> List[str]:
-        return sorted({gpu.type.name for gpu in self.gpus})
+        return sorted(name for name, count in self._totals.items() if count > 0)
 
     # ------------------------------------------------------------------
     # membership: capacity joining and leaving at runtime
@@ -75,6 +109,8 @@ class Cluster:
             raise ValueError(f"machine {machine.name!r} has no GPUs")
         self.machines.append(machine)
         self.gpus.extend(machine.gpus)
+        for gpu in machine.gpus:
+            self._register(gpu)
 
     def remove_free(self, type_name: str, count: int) -> int:
         """Shrink the inventory by ``count`` *free* GPUs of one type.
@@ -86,23 +122,21 @@ class Cluster:
         """
         if count <= 0:
             return 0
-        victims: List[GPU] = []
-        for gpu in reversed(self.gpus):
-            if len(victims) == count:
-                break
-            if gpu.free and gpu.type.name == type_name:
-                victims.append(gpu)
-        if len(victims) < count:
+        free_list = self._free_lists.get(type_name, [])
+        if len(free_list) < count:
             raise RuntimeError(
-                f"cannot remove {count} {type_name}: only {len(victims)} free"
+                f"cannot remove {count} {type_name}: only {len(free_list)} free"
             )
         if len(self.gpus) - count == 0:
             raise RuntimeError("cannot remove the last GPUs in the cluster")
+        victims = free_list[-count:]
+        del free_list[-count:]
         doomed = set(map(id, victims))
         self.gpus = [g for g in self.gpus if id(g) not in doomed]
         for machine in self.machines:
             machine.gpus = [g for g in machine.gpus if id(g) not in doomed]
         self.machines = [m for m in self.machines if m.gpus]
+        self._totals[type_name] -= count
         return count
 
     # ------------------------------------------------------------------
@@ -110,30 +144,58 @@ class Cluster:
     # ------------------------------------------------------------------
     def allocate(self, job_id: str, type_name: str, count: int) -> List[GPU]:
         """Grab ``count`` free GPUs of one type for a job (all or nothing)."""
-        available = self.free(type_name)
+        available = self._free_lists.get(type_name, [])
         if len(available) < count:
             raise RuntimeError(
                 f"cannot allocate {count} {type_name} for {job_id}: only {len(available)} free"
             )
         taken = available[:count]
+        del available[:count]
         for gpu in taken:
             gpu.allocate(job_id)
+        owned = self._owned.setdefault(job_id, [])
+        owned.extend(taken)
+        owned.sort(key=_pool_position)
         return taken
 
     def release(self, job_id: str, gpus: Iterable[GPU]) -> None:
-        for gpu in gpus:
-            gpu.release(job_id)
+        released: List[GPU] = []
+        try:
+            for gpu in gpus:
+                gpu.release(job_id)
+                released.append(gpu)
+        finally:
+            if released:
+                self._untrack(job_id, released)
 
     def release_all(self, job_id: str) -> int:
-        released = 0
-        for gpu in self.gpus:
-            if gpu.owner == job_id:
-                gpu.release(job_id)
-                released += 1
-        return released
+        owned = self._owned.pop(job_id, [])
+        for gpu in owned:
+            gpu.release(job_id)
+        self._refile(owned)
+        return len(owned)
 
     def owned_by(self, job_id: str) -> List[GPU]:
-        return [gpu for gpu in self.gpus if gpu.owner == job_id]
+        return list(self._owned.get(job_id, ()))
+
+    def _untrack(self, job_id: str, gpus: List[GPU]) -> None:
+        owned = self._owned.get(job_id)
+        if owned is not None:
+            doomed = set(map(id, gpus))
+            owned[:] = [g for g in owned if id(g) not in doomed]
+            if not owned:
+                del self._owned[job_id]
+        self._refile(gpus)
+
+    def _refile(self, gpus: List[GPU]) -> None:
+        """Return released GPUs to their per-type free lists, in order."""
+        by_type: Dict[str, List[GPU]] = {}
+        for gpu in gpus:
+            by_type.setdefault(gpu.type.name, []).append(gpu)
+        for name, batch in by_type.items():
+            free_list = self._free_lists.setdefault(name, [])
+            free_list.extend(batch)
+            free_list.sort(key=_pool_position)
 
 
 def microbench_cluster() -> Cluster:

@@ -56,7 +56,7 @@ DEFAULT_THRESHOLD = 0.30
 MIN_TRUSTED_REPEATS = 3
 
 #: Trajectory areas and their repo-root file names.
-AREAS: Tuple[str, ...] = ("sched", "parallel", "determinism")
+AREAS: Tuple[str, ...] = ("sched", "parallel", "determinism", "dessim")
 
 STATUSES = ("improved", "flat", "regressed", "baseline")
 
@@ -424,6 +424,10 @@ class BenchSpec:
     #: fn(smoke) -> (params, {metric: one_sample}); called once per repeat
     fn: Callable[[bool], Tuple[Dict[str, Any], Dict[str, float]]]
     description: str = ""
+    #: per-metric direction overrides (default "lower"); e.g. a speedup
+    #: ratio is higher-is-better and must not be scaled or inverted by
+    #: the regression comparator
+    directions: Optional[Dict[str, str]] = None
 
 
 def _bench_sched_plan_round(smoke: bool) -> Tuple[Dict[str, Any], Dict[str, float]]:
@@ -540,6 +544,48 @@ def _bench_determinism_kernel(smoke: bool) -> Tuple[Dict[str, Any], Dict[str, fl
     return params, {"vendor_s": vendor, "agnostic_s": agnostic}
 
 
+def _bench_dessim_replay(smoke: bool) -> Tuple[Dict[str, Any], Dict[str, float]]:
+    """Month-shaped trace replay: heap core vs batched core wall cost.
+
+    A scaled-down cousin of ``benchmarks/bench_dessim.py`` (which replays
+    the full 3,000-GPU month): a diurnal trace on a production-mix pool,
+    replayed under EasyScale-heter by the heap core and the batched core.
+    The two event logs must stay byte-identical — the speedup is only a
+    speedup if it is the *same* simulation.
+    """
+    from repro.hw import microbench_cluster, production_cluster
+    from repro.sched import ClusterSimulator, EasyScalePolicy, diurnal_trace
+
+    if smoke:
+        jobs = diurnal_trace(num_jobs=60, seed=11, days=0.5)
+        build = microbench_cluster
+        gpus = 64
+    else:
+        jobs = diurnal_trace(num_jobs=240, seed=11, days=2)
+        build = lambda: production_cluster(256)
+        gpus = 256
+
+    def replay(core: str) -> Tuple[float, str]:
+        sim = ClusterSimulator(build(), jobs, EasyScalePolicy(True))
+        runner = sim.run if core == "heap" else sim.run_batched
+        t0 = time.perf_counter()
+        result = runner()
+        return time.perf_counter() - t0, result.events.fingerprint()
+
+    heap_s, heap_fp = replay("heap")
+    batched_s, batched_fp = replay("batched")
+    if heap_fp != batched_fp:
+        raise RuntimeError(
+            f"batched core diverged from heap core: {batched_fp} != {heap_fp}"
+        )
+    params = {"jobs": len(jobs), "gpus": gpus, "shape": "diurnal", "smoke": smoke}
+    return params, {
+        "heap_s": heap_s,
+        "batched_s": batched_s,
+        "speedup_x": heap_s / batched_s if batched_s > 0 else 1.0,
+    }
+
+
 #: The built-in per-PR benches, keyed by area.
 BENCHES: Dict[str, BenchSpec] = {
     "sched": BenchSpec(
@@ -553,6 +599,11 @@ BENCHES: Dict[str, BenchSpec] = {
     "determinism": BenchSpec(
         "determinism", "kernel_overhead", _bench_determinism_kernel,
         "vendor vs hardware-agnostic GEMM kernel cost",
+    ),
+    "dessim": BenchSpec(
+        "dessim", "trace_replay", _bench_dessim_replay,
+        "diurnal trace replay: heap core vs batched core wall cost",
+        directions={"speedup_x": "higher"},
     ),
 }
 
@@ -589,7 +640,10 @@ def run_benches(
             params, metrics = spec.fn(smoke)
             for name, value in metrics.items():
                 samples.setdefault(name, []).append(value)
-        record = record_samples(area, spec.name, params, samples, directory=directory)
+        record = record_samples(
+            area, spec.name, params, samples,
+            directions=spec.directions, directory=directory,
+        )
         traj = Trajectory.load(area, trajectory_path(area, directory))
         rows = compare_trajectory(traj, threshold=threshold)
         results.append(BenchRunResult(area=area, record=record, rows=rows))

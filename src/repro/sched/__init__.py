@@ -18,7 +18,14 @@ from repro.sched.simulator import ClusterSimulator, JobRuntime, SchedulingPolicy
 from repro.sched.yarn_cs import YarnCapacityScheduler
 from repro.sched.easyscale_policy import EasyScalePolicy
 from repro.sched.colocation_policy import ServingColocationPolicy
-from repro.sched.trace import GPU_DEMAND, TraceJob, generate_trace
+from repro.sched.trace import (
+    GPU_DEMAND,
+    PRODUCTION_DEMAND,
+    TraceJob,
+    diurnal_trace,
+    generate_trace,
+    heavy_tail_trace,
+)
 from repro.sched.serving import (
     MINUTES_PER_DAY,
     ColocationStats,
@@ -53,7 +60,10 @@ __all__ = [
     "ServingColocationPolicy",
     "TraceJob",
     "generate_trace",
+    "diurnal_trace",
+    "heavy_tail_trace",
     "GPU_DEMAND",
+    "PRODUCTION_DEMAND",
     "ServingLoadModel",
     "ColocationStats",
     "simulate_colocation",

@@ -31,6 +31,11 @@ class ServingColocationPolicy(EasyScalePolicy):
 
     SERVING_JOB_ID = "__serving__"
 
+    # serving demand varies with simulated time, so rescheduling is never
+    # skippable: a quiet-looking decision point may still need to revoke
+    # or return GPUs for the serving tenant
+    fixpoint_reschedule = False
+
     def __init__(
         self,
         serving_demand: Callable[[float], Dict[str, int]],
@@ -82,15 +87,16 @@ class ServingColocationPolicy(EasyScalePolicy):
     def _reclaim_from_elastic(
         self, sim: ClusterSimulator, now: float, gtype: str, amount: int
     ) -> None:
-        holdings = {
-            r.job.job_id: dict(r.owned)
-            for r in sim.runtimes
+        candidates = [
+            r
+            for r in sim.active_jobs()
             if r.status == "running" and r.owned.get(gtype, 0) > 0
-        }
+        ]
+        holdings = {r.job.job_id: dict(r.owned) for r in candidates}
         if not holdings:
             return
         revocations = InterJobScheduler.reclaim({gtype: amount}, holdings)
-        by_id = {r.job.job_id: r for r in sim.runtimes}
+        by_id = {r.job.job_id: r for r in candidates}
         for grant in revocations:
             runtime = by_id[grant.job_id]
             sim.revoke(runtime, grant.gtype, -grant.gpus)

@@ -20,11 +20,17 @@ from repro.sched.companion import CompanionModule
 from repro.sched.inter import InterJobScheduler
 from repro.sched.intra import IntraJobScheduler, ResourceProposal
 from repro.sched.perfmodel import estimated_throughput
+from repro.sched.plancache import availability_key
 from repro.sched.simulator import ClusterSimulator, JobRuntime, SchedulingPolicy
 
 
 class EasyScalePolicy(SchedulingPolicy):
     """Proposal-driven elastic scheduling (homo or heter)."""
+
+    # Role-1 replans and Role-2 proposals are pure functions of ownership
+    # vectors, the free pool, and companion generations; a pass that
+    # granted nothing (no events) left all of those untouched
+    fixpoint_reschedule = True
 
     def __init__(
         self,
@@ -76,15 +82,23 @@ class EasyScalePolicy(SchedulingPolicy):
 
     # ------------------------------------------------------------------
     def reschedule(self, sim: ClusterSimulator, now: float) -> None:
-        active = [
-            r
-            for r in sim.runtimes
-            if r.status in ("pending", "running")
-            and r.job.arrival_time <= now
-            and r.agent is not None
-        ]
-        # Role-1: re-plan everyone on current ownership (cheap, idempotent)
+        # the simulator's active set is the seed filter under the heap and
+        # reference cores, and an incrementally maintained list under the
+        # batched core — identical contents either way
+        active = [r for r in sim.active_jobs() if r.agent is not None]
+        # under the batched core, Role-1 replans and Role-2 proposals go
+        # through availability-keyed memos: only jobs whose clamped
+        # ownership/free vectors or capability generation changed are
+        # re-scored
+        incremental = getattr(sim, "incremental_scheduling", False)
+
+        # Role-1: re-plan everyone on current ownership (idempotent); the
+        # incremental path skips jobs whose plan inputs are unchanged —
+        # their rate/current_plan are already the values a re-plan would
+        # produce, because apply_best_plan is deterministic in them
         for runtime in active:
+            if incremental and runtime.agent.applied_plan_key == self._plan_key(runtime):
+                continue
             self._apply_plan(runtime)
 
         # Role-2 + inter-job arbitration, iterated until the free pool is
@@ -97,7 +111,12 @@ class EasyScalePolicy(SchedulingPolicy):
             for runtime in active:
                 if runtime.status == "done":
                     continue
-                proposals.extend(runtime.agent.propose(runtime.owned, free))
+                if incremental:
+                    proposals.extend(
+                        self.inter.proposals_for(runtime.agent, runtime.owned, free)
+                    )
+                else:
+                    proposals.extend(runtime.agent.propose(runtime.owned, free))
             grants = self.inter.arbitrate(proposals, free)
             if not grants:
                 break
@@ -122,6 +141,21 @@ class EasyScalePolicy(SchedulingPolicy):
                 runtime.rate = 0.0
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def _plan_key(runtime: JobRuntime) -> tuple:
+        """Everything :meth:`_apply_plan`'s outcome depends on."""
+        companion = runtime.agent.companion
+        return (
+            availability_key(
+                runtime.owned,
+                companion.capability,
+                companion.max_p,
+                companion.max_gpus_per_type,
+            ),
+            companion.generation,
+        )
+
     def _apply_plan(self, runtime: JobRuntime) -> None:
         scored = runtime.agent.apply_best_plan(runtime.owned)
         runtime.rate = scored.throughput if scored else 0.0
+        runtime.agent.applied_plan_key = self._plan_key(runtime)

@@ -18,11 +18,14 @@ speedup-per-GPU victims first.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from bisect import bisect_right
+from dataclasses import dataclass, replace
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.obs import flightrec
-from repro.sched.intra import ResourceProposal
+from repro.sched.intra import IntraJobScheduler, ResourceProposal
+from repro.sched.plancache import availability_key
 
 
 @dataclass(frozen=True)
@@ -37,6 +40,99 @@ class InterJobScheduler:
 
     def __init__(self) -> None:
         self.grant_log: List[Grant] = []
+        #: incremental-arbitration memo, shared across *all* jobs of the
+        #: same class: the key folds the companion's full parameterization
+        #: (capability-table contents, caps, plan-shape flags, proposal
+        #: menu) with the clamped ownership and free vectors — every
+        #: input that Role-2 proposal generation depends on
+        self._proposal_memo: Dict[tuple, List[ResourceProposal]] = {}
+        #: second-level memo for propose() misses: per-job-class caches of
+        #: the inner best_plan_delta searches, keyed by (clamped owned,
+        #: gtype, chunk) — two proposal passes that differ only in their
+        #: free vectors still share every plan search they have in common
+        self._delta_memo: Dict[tuple, Dict[tuple, object]] = {}
+        self.proposal_memo_hits = 0
+        self.proposal_memo_misses = 0
+
+    # ------------------------------------------------------------------
+    # incremental Role-2: only re-score jobs whose availability changed
+    # ------------------------------------------------------------------
+    def proposals_for(
+        self,
+        agent: IntraJobScheduler,
+        owned: Mapping[str, int],
+        free: Mapping[str, int],
+    ) -> List[ResourceProposal]:
+        """Role-2 proposals with class-level availability memoization.
+
+        :meth:`IntraJobScheduler.propose` is — apart from the ``job_id``
+        stamped into each proposal — a pure function of (a) the
+        companion's parameterization (capability-table *contents*, which
+        calibration mutates, plus ``maxP`` / per-type caps / plan-shape
+        flag) and the agent's proposal menu, (b) the job's ownership
+        vector clamped to the enumeration caps (:func:`availability_key`
+        — raw counts beyond the caps cannot change any plan score), and
+        (c) how many chunks of the sorted scale-out menu fit each free
+        pool — the per-type *fit count*, not the exact free count.  The
+        memo key is exactly that tuple, so it is shared across every job
+        of the
+        same *class*: a saturated 3,000-GPU queue holds hundreds of
+        pending zero-ownership jobs per workload/size class, and one plan
+        search serves all of them (the cached proposals are re-stamped
+        with the asking job's id).  ``current_plan``, which feeds the
+        speedup filter, is itself a deterministic function of the same
+        clamped ownership and capability table, so it needs no key term.
+
+        Memo hits skip the agent's ``sched.propose`` flight-recorder
+        entry (forensic telemetry, not part of the :class:`EventLog`
+        equivalence surface).
+        """
+        companion = agent.companion
+        owned_key = availability_key(
+            owned, companion.capability, companion.max_p, companion.max_gpus_per_type
+        )
+        # propose() reads the free pool only through "which chunks of the
+        # sorted menu fit this type" (the chunk loop breaks at the first
+        # chunk > free; per-chunk scores never see the exact count), so
+        # the key folds each type down to its fit count — free counts of
+        # 5, 6, and 7 against menu (1, 2, 4, 8) are all the same pool
+        chunks = agent.scaleout_chunks
+        free_key = tuple(
+            (t, fits)
+            for t, v in sorted(free.items())
+            if t in companion.capability and (fits := bisect_right(chunks, int(v))) > 0
+        )
+        key = (
+            tuple(sorted(companion.capability.items())),
+            companion.max_p,
+            companion.max_gpus_per_type,
+            companion.homogeneous_only,
+            agent.scaleout_chunks,
+            agent.top_k,
+            owned_key,
+            free_key,
+        )
+        cached = self._proposal_memo.get(key)
+        if cached is not None:
+            self.proposal_memo_hits += 1
+            if obs.is_enabled():
+                obs.metrics().counter(
+                    "sched_proposal_memo_total", result="hit"
+                ).inc()
+            if cached and cached[0].job_id != agent.job_id:
+                return [replace(p, job_id=agent.job_id) for p in cached]
+            return list(cached)
+        self.proposal_memo_misses += 1
+        if obs.is_enabled():
+            obs.metrics().counter("sched_proposal_memo_total", result="miss").inc()
+        # key[:6] is the class identity (capability contents, caps, plan
+        # shape, proposal menu) without the owned/free terms: the right
+        # scope for sharing raw plan searches across proposal passes
+        proposals = agent.propose(
+            owned, free, delta_cache=self._delta_memo.setdefault(key[:6], {})
+        )
+        self._proposal_memo[key] = proposals
+        return list(proposals)
 
     def arbitrate(
         self,
@@ -84,14 +180,22 @@ class InterJobScheduler:
         ``priorities[job]`` (higher = keep longer) defaults to holdings
         size, so the cheapest-to-shrink jobs shed GPUs first.  Returns
         negative grants (revocations).
+
+        The victim order is a *total* order — ``(priority, job_id)``,
+        exactly like :meth:`arbitrate`'s grant ranking — and demand types
+        are processed sorted: exact-priority ties must not fall back to
+        the caller's dict insertion order, or the revocation stream (and
+        every downstream simulator event) would depend on how the caller
+        happened to build its collections.
         """
         revocations: List[Grant] = []
-        for gtype, needed in demand.items():
+        for gtype in sorted(demand):
+            needed = demand[gtype]
             if needed <= 0:
                 continue
             victims = sorted(
                 (job for job in holdings if holdings[job].get(gtype, 0) > 0),
-                key=lambda j: (priorities or {}).get(j, sum(holdings[j].values())),
+                key=lambda j: ((priorities or {}).get(j, sum(holdings[j].values())), j),
             )
             left = needed
             for job in victims:
@@ -101,4 +205,7 @@ class InterJobScheduler:
                 if take > 0:
                     revocations.append(Grant(job_id=job, gtype=gtype, gpus=-take))
                     left -= take
+                    flightrec.record(
+                        "sched.reclaim", job=job, gtype=gtype, gpus=take
+                    )
         return revocations

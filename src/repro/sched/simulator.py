@@ -12,12 +12,18 @@ Reconfiguration is not free: a job whose allocation changed pauses for
 ``reconfig_delay`` seconds (on-demand checkpoint + restart), matching the
 paper's "scale in seconds" granularity.
 
-Two event cores share one iteration body: :meth:`ClusterSimulator.run`
+Three event cores share one iteration body: :meth:`ClusterSimulator.run`
 drives a single ``heapq`` priority queue of arrival/fault/round/completion
-events (lazily invalidated, ``(time, seq)``-ordered), while
+events (lazily invalidated, ``(time, seq)``-ordered),
+:meth:`ClusterSimulator.run_batched` adds a NumPy structure-of-arrays
+mirror of the running jobs on top of the same queue (vectorized
+``advance``/``predicted_completion``, an incrementally maintained active
+set, and memoized inter-job arbitration), while
 :meth:`ClusterSimulator.run_reference` keeps the original linear
-candidate scan as the equivalence oracle — both produce identical
-:class:`EventLog` streams for the same trace.
+candidate scan as the equivalence oracle — all three produce identical
+:class:`EventLog` streams for the same trace (elementwise float64 NumPy
+arithmetic is IEEE-identical to the scalar CPython arithmetic it mirrors,
+so the batched core is bit-exact, not merely close).
 """
 
 from __future__ import annotations
@@ -25,6 +31,8 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro import obs
 from repro.hw.cluster import Cluster
@@ -87,6 +95,17 @@ class SchedulingPolicy:
     """Reallocates GPUs at every decision point."""
 
     name = "abstract"
+
+    #: True when :meth:`reschedule` is a deterministic function of the
+    #: simulator/cluster/job state alone (never of ``now``), and a call
+    #: that emitted no :class:`EventLog` events made no observable state
+    #: change — i.e. the state is a *fixed point* of rescheduling.  The
+    #: batched event core then skips the policy entirely at decision
+    #: points where nothing observable changed since such a call, which
+    #: is most periodic rounds of a month-long trace.  Policies whose
+    #: decisions read the clock (e.g. time-varying serving demand) must
+    #: leave this False.
+    fixpoint_reschedule = False
 
     def on_job_arrival(self, sim: "ClusterSimulator", runtime: JobRuntime) -> None:
         """Hook for per-job setup (e.g. build an intra-job scheduler)."""
@@ -210,6 +229,16 @@ class ClusterSimulator:
         #: index into ``runtimes`` of the next not-yet-admitted arrival
         #: (runtimes are sorted by arrival time above)
         self._arrival_cursor = 0
+        #: batched-core working set (arrived, not yet done, arrival order);
+        #: ``None`` under the heap/reference cores, which keep the seed's
+        #: full-list scans
+        self._active: Optional[List[JobRuntime]] = None
+        #: set by :meth:`run_batched`: policies may route Role-2 proposal
+        #: generation through the inter-scheduler's availability-keyed memo
+        self.incremental_scheduling = False
+        #: batched core: True while the last reschedule emitted no events
+        #: and nothing observable changed since (fixpoint policies only)
+        self._quiescent = False
         # lead the log with the cluster's per-type capacity so a saved
         # event stream is self-describing (the utilization report derives
         # idle GPU-seconds from it without access to the Cluster object)
@@ -254,6 +283,24 @@ class ClusterSimulator:
 
     def free_by_type(self) -> Dict[str, int]:
         return {k.lower(): v for k, v in self.cluster.free_by_type().items()}
+
+    def active_jobs(self) -> List[JobRuntime]:
+        """Arrived, unfinished jobs in arrival order — the policies' working set.
+
+        The batched core maintains this list incrementally (append on
+        arrival, prune on completion), so month-long traces never rescan
+        thousands of finished jobs per decision point; the heap and
+        reference cores derive it with the seed's full scan.  ``runtimes``
+        is sorted by arrival time and the arrival cursor admits strictly
+        in that order, so both forms produce the identical list.
+        """
+        if self._active is not None:
+            return self._active
+        return [
+            r
+            for r in self.runtimes
+            if r.status in ("pending", "running") and r.job.arrival_time <= self.now
+        ]
 
     # ------------------------------------------------------------------
     # fault injection
@@ -509,15 +556,7 @@ class ClusterSimulator:
             runtime.advance(self.now, t_next)
         self.now = t_next
 
-        while (
-            self._arrival_cursor < len(self.runtimes)
-            and self.runtimes[self._arrival_cursor].job.arrival_time <= self.now
-        ):
-            runtime = self.runtimes[self._arrival_cursor]
-            self._arrival_cursor += 1
-            arrived.append(runtime)
-            self.events.emit(self.now, "job_submit", job=runtime.job.job_id)
-            self.policy.on_job_arrival(self, runtime)
+        self._admit_arrivals(arrived)
 
         if self.membership is not None:
             # membership precedes faults: a host that joins and a fault
@@ -531,28 +570,109 @@ class ClusterSimulator:
 
         for runtime in arrived:
             if runtime.status == "running" and runtime.remaining_work <= self.WORK_EPS:
-                runtime.status = "done"
-                runtime.completion_time = self.now
-                runtime.rate = 0.0
-                released = runtime.total_owned
-                self.release_all(runtime)
-                self.events.emit(
-                    self.now, "job_done", job=runtime.job.job_id, released=released
-                )
-                if obs.is_enabled() and runtime.start_time is not None:
-                    obs.tracer().add_span(
-                        f"job:{runtime.job.job_id}",
-                        start=runtime.start_time,
-                        end=self.now,
-                        cat="sched",
-                        track=runtime.job.job_id,
-                        policy=self.policy.name,
-                    )
-                    obs.metrics().counter(
-                        "sim_jobs_completed_total", policy=self.policy.name
-                    ).inc()
+                self._complete(runtime)
 
         self.policy.reschedule(self, self.now)
+        self._timeline.append((self.now, self.cluster.allocated_count()))
+
+    def _admit_arrivals(self, arrived: List[JobRuntime]) -> bool:
+        """Admit every arrival due at ``now``; True when any was admitted."""
+        admitted = False
+        while (
+            self._arrival_cursor < len(self.runtimes)
+            and self.runtimes[self._arrival_cursor].job.arrival_time <= self.now
+        ):
+            runtime = self.runtimes[self._arrival_cursor]
+            self._arrival_cursor += 1
+            arrived.append(runtime)
+            admitted = True
+            self.events.emit(self.now, "job_submit", job=runtime.job.job_id)
+            self.policy.on_job_arrival(self, runtime)
+        return admitted
+
+    def _complete(self, runtime: JobRuntime) -> None:
+        """Mark one running job finished (shared by all event cores)."""
+        runtime.status = "done"
+        runtime.completion_time = self.now
+        runtime.rate = 0.0
+        released = runtime.total_owned
+        self.release_all(runtime)
+        self.events.emit(
+            self.now, "job_done", job=runtime.job.job_id, released=released
+        )
+        if obs.is_enabled() and runtime.start_time is not None:
+            obs.tracer().add_span(
+                f"job:{runtime.job.job_id}",
+                start=runtime.start_time,
+                end=self.now,
+                cat="sched",
+                track=runtime.job.job_id,
+                policy=self.policy.name,
+            )
+            obs.metrics().counter(
+                "sim_jobs_completed_total", policy=self.policy.name
+            ).inc()
+
+    def _iterate_batched(
+        self, t_next: float, state: "_BatchedState", mutating: bool
+    ) -> None:
+        """One decision point on the batched core.
+
+        Identical observable behavior to :meth:`_iterate`, but:
+
+        - progress accrual runs vectorized over the persistent SoA
+          mirror, written back to the job objects only when ``mutating``
+          (an arrival, fault, or membership entry is due — scalar code is
+          about to read/modify job state);
+        - the completion scan reads the mirror on quiet points;
+        - the policy is *skipped* at decision points where nothing
+          observable changed since a reschedule that emitted no events —
+          valid only for ``fixpoint_reschedule`` policies, whose
+          rescheduling is a pure function of unchanged state (a skipped
+          call would have been a no-op and emitted nothing, so the
+          :class:`EventLog` is untouched).
+        """
+        arrived = self._active
+        state.advance(self.now, t_next)
+        self.now = t_next
+
+        if mutating:
+            state.writeback()
+            changed = self._admit_arrivals(arrived)
+            if self.membership is not None:
+                for action in self.membership.due(self.now):
+                    self._apply_membership(action, arrived)
+                    changed = True
+            if self.fault_injector is not None:
+                for event in self.fault_injector.due(self.now):
+                    self._apply_fault(event, arrived)
+                    changed = True
+            done = [
+                r
+                for r in arrived
+                if r.status == "running" and r.remaining_work <= self.WORK_EPS
+            ]
+        else:
+            changed = False
+            # no mid-body mutation: the mirror's post-advance remaining
+            # work is exact, and its job order is the arrival order the
+            # scalar scan would have used
+            done = state.completed_jobs()
+        for runtime in done:
+            self._complete(runtime)
+        if done:
+            changed = True
+            arrived[:] = [r for r in arrived if r.status != "done"]
+
+        if changed or not self._quiescent or not self.policy.fixpoint_reschedule:
+            events_before = len(self.events)
+            self.policy.reschedule(self, self.now)
+            emitted = len(self.events) != events_before
+            self._quiescent = self.policy.fixpoint_reschedule and not emitted
+            if changed or emitted or not self.policy.fixpoint_reschedule:
+                # job state moved outside the mirror (or the policy gives
+                # no fixpoint guarantee): rebuild from the objects
+                state.refresh(arrived)
         self._timeline.append((self.now, self.cluster.allocated_count()))
 
     def _result(self) -> SimResult:
@@ -679,6 +799,142 @@ class ClusterSimulator:
         return self._result()
 
     # ------------------------------------------------------------------
+    # batched event core (heap queue + vectorized decision points)
+    # ------------------------------------------------------------------
+    def run_batched(self, max_time: float = 10_000_000.0) -> SimResult:
+        """Run the trace on the batched event core.
+
+        Same priority queue, lazy invalidation, and decision-point
+        semantics as :meth:`run`, with three scale enablers:
+
+        - an incrementally maintained **active set** (append on arrival,
+          prune on completion) replaces the seed's scan over every job
+          ever admitted — month-long traces stop paying O(total jobs) per
+          decision point;
+        - a **structure-of-arrays mirror** of the running jobs turns
+          per-job ``advance``/``predicted_completion``/completion checks
+          into vectorized NumPy float64 expressions (elementwise IEEE
+          ops: bit-identical to the scalar arithmetic);
+        - runs of coincident events are **drained in one pass**: every
+          queue entry at the chosen timestamp is consumed before the
+          decision point executes, instead of being popped and discarded
+          one iteration at a time;
+        - ``incremental_scheduling`` is switched on, letting
+          :class:`~repro.sched.easyscale_policy.EasyScalePolicy` reuse
+          memoized Role-2 proposals for jobs whose availability key and
+          capability-table generation did not change.
+
+        Produces an :class:`EventLog` byte-for-byte identical to
+        :meth:`run` and :meth:`run_reference` (asserted by the batched
+        equivalence suite).  A simulator instance is single-shot.
+        """
+        heap: List[Tuple[float, int, str, object]] = []
+        seq = 0
+        self._active = []
+        self.incremental_scheduling = True
+        self._quiescent = False
+        arrived = self._active
+        runtimes = self.runtimes
+
+        for runtime in runtimes:
+            heap.append((runtime.job.arrival_time, seq, "arrival", None))
+            seq += 1
+        if self.fault_injector is not None:
+            # t=0 faults/membership fire via due() at the first real
+            # decision point, exactly as in run() — never enqueued
+            t = 0.0
+            while True:
+                t = self.fault_injector.next_time(t)
+                if t is None:
+                    break
+                heap.append((t, seq, "fault", None))
+                seq += 1
+        if self.membership is not None:
+            for t in self.membership.times():
+                if t > 0.0:
+                    heap.append((t, seq, "membership", None))
+                    seq += 1
+        heapq.heapify(heap)
+        last_round_pushed: Optional[float] = None
+        processed_until: Optional[float] = None
+        state = _BatchedState()
+        #: generation counter for the single min-ETA completion entry;
+        #: entries stamped with an older generation are stale predictions
+        eta_gen = 0
+        MUTATING = ("arrival", "fault", "membership")
+
+        while True:
+            t_next: Optional[float] = None
+            mutating = False
+            while heap:
+                time, _, kind, data = heapq.heappop(heap)
+                if processed_until is not None and time <= processed_until:
+                    continue  # this decision point already handled it
+                if kind == "completion":
+                    if data != eta_gen:
+                        continue  # superseded prediction
+                elif kind == "round":
+                    # statuses cannot change between the last refresh and
+                    # this pop, so the mirror's liveness flag is exact
+                    if not state.any_running:
+                        continue
+                t_next = time
+                mutating = kind in MUTATING
+                break
+            if t_next is None:
+                break
+            if t_next > max_time:
+                break
+            # drain the whole run of coincident entries now: the decision
+            # point below batches everything due at t_next regardless of
+            # which entry surfaced it.  Every fault/membership time after
+            # t=0 has a queue entry, so the drained kinds tell exactly
+            # whether scalar mutation paths can fire at this point; the
+            # first decision point is always treated as mutating because
+            # t<=0 faults/membership fire via due() without an entry.
+            while heap and heap[0][0] == t_next:
+                kind = heapq.heappop(heap)[2]
+                if kind in MUTATING:
+                    mutating = True
+            if processed_until is None:
+                mutating = True
+            elif (
+                self._arrival_cursor < len(runtimes)
+                and runtimes[self._arrival_cursor].job.arrival_time <= t_next
+            ):
+                mutating = True  # belt and braces: a due arrival always mutates
+
+            self._iterate_batched(t_next, state, mutating)
+            processed_until = t_next
+
+            if self._arrival_cursor >= len(runtimes) and not arrived:
+                break
+
+            # one generation-stamped candidate for the earliest predicted
+            # completion — the only future ETA that can become the next
+            # decision point; everything is re-predicted after it fires
+            eta = state.min_eta(self.now)
+            if eta is not None:
+                eta_gen += 1
+                heapq.heappush(heap, (eta, seq, "completion", eta_gen))
+                seq += 1
+            if state.any_running:
+                next_round = (
+                    int(self.now / self.round_interval) + 1
+                ) * self.round_interval
+                if next_round != last_round_pushed:
+                    last_round_pushed = next_round
+                    heapq.heappush(heap, (next_round, seq, "round", None))
+                    seq += 1
+
+        state.writeback()
+        if obs.is_enabled():
+            obs.metrics().counter(
+                "sim_batched_decision_points_total", policy=self.policy.name
+            ).inc(len(self._timeline))
+        return self._result()
+
+    # ------------------------------------------------------------------
     # reference event core (the seed linear-scan loop)
     # ------------------------------------------------------------------
     def run_reference(self, max_time: float = 10_000_000.0) -> SimResult:
@@ -725,6 +981,104 @@ class ClusterSimulator:
                 break
 
         return self._result()
+
+
+class _BatchedState:
+    """Structure-of-arrays mirror of the running jobs (batched core).
+
+    The mirror is *persistent*: :meth:`advance` updates the remaining-work
+    vector in place across decision points and only lazily writes the
+    values back to the :class:`JobRuntime` objects (:meth:`writeback`)
+    when scalar code is about to read them — so a quiescent periodic
+    round costs a handful of vector ops, not a Python loop over every
+    running job.  :meth:`refresh` rebuilds the mirror from the objects
+    whenever job state changed outside it (arrivals, completions, faults,
+    membership, grants).
+
+    Every array op mirrors the scalar arithmetic of
+    :meth:`JobRuntime.advance` / :meth:`JobRuntime.predicted_completion`
+    elementwise in float64 — IEEE-identical (NumPy does not fuse or
+    reassociate elementwise expressions), so fingerprints are bit-exact.
+    """
+
+    __slots__ = ("jobs", "remaining", "eff_rate", "reconfig", "any_running", "stale")
+
+    def __init__(self) -> None:
+        self.jobs: List[JobRuntime] = []
+        self.remaining = np.empty(0, dtype=np.float64)
+        self.eff_rate = np.empty(0, dtype=np.float64)
+        self.reconfig = np.empty(0, dtype=np.float64)
+        self.any_running = False
+        #: True while the remaining-work vector is ahead of the objects
+        self.stale = False
+
+    def refresh(self, active: List[JobRuntime]) -> None:
+        """Rebuild the mirror from the job objects (after syncing them)."""
+        self.writeback()
+        jobs = [r for r in active if r.status == "running"]
+        self.jobs = jobs
+        n = len(jobs)
+        self.any_running = n > 0
+        self.remaining = np.fromiter(
+            (r.remaining_work for r in jobs), dtype=np.float64, count=n
+        )
+        rate = np.fromiter((r.rate for r in jobs), dtype=np.float64, count=n)
+        slowdown = np.fromiter(
+            (r.fault_slowdown for r in jobs), dtype=np.float64, count=n
+        )
+        self.reconfig = np.fromiter(
+            (r.reconfig_until for r in jobs), dtype=np.float64, count=n
+        )
+        # JobRuntime.effective_rate: rate / fault_slowdown if rate > 0 else 0
+        self.eff_rate = np.where(rate > 0.0, rate / np.where(rate > 0.0, slowdown, 1.0), 0.0)
+
+    def writeback(self) -> None:
+        """Scatter the advanced remaining-work values back to the objects."""
+        if not self.stale:
+            return
+        for runtime, value in zip(self.jobs, self.remaining.tolist()):
+            runtime.remaining_work = value
+        self.stale = False
+
+    def advance(self, t_from: float, t_to: float) -> None:
+        """Vectorized :meth:`JobRuntime.advance` over the running jobs."""
+        if not self.jobs:
+            return
+        dt = t_to - np.maximum(t_from, self.reconfig)
+        mask = (self.eff_rate > 0.0) & (dt > 0.0)
+        if not mask.any():
+            return
+        stepped = np.maximum(0.0, self.remaining - self.eff_rate * dt)
+        np.copyto(self.remaining, stepped, where=mask)
+        self.stale = True
+
+    def completed_jobs(self) -> List[JobRuntime]:
+        """Running jobs at/below the completion epsilon, in arrival order."""
+        if not self.jobs:
+            return []
+        idx = np.nonzero(self.remaining <= ClusterSimulator.WORK_EPS)[0]
+        return [self.jobs[i] for i in idx.tolist()]
+
+    def min_eta(self, now: float) -> Optional[float]:
+        """The earliest predicted completion strictly after ``now``.
+
+        The batched core enqueues only this single candidate per decision
+        point (generation-stamped, so older minima are discarded on pop)
+        instead of one entry per running job: the next decision point is
+        the *minimum* over all candidate times, and every later ETA is
+        recomputed afresh once that point executes.  Per-element ETA math
+        is identical to :meth:`JobRuntime.predicted_completion`, so the
+        minimum is the exact float the reference core would have stepped
+        to.  Predictions at or before ``now`` are not candidates, exactly
+        like the reference core's strictly-future candidate scan.
+        """
+        if not self.jobs:
+            return None
+        with np.errstate(divide="ignore", invalid="ignore"):
+            etas = np.maximum(now, self.reconfig) + self.remaining / self.eff_rate
+        etas = np.where((self.eff_rate > 0.0) & (etas > now), etas, np.inf)
+        earliest = float(etas.min())
+        return earliest if earliest != float("inf") else None
 
 
 def _canonical(name: str) -> str:

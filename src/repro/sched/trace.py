@@ -34,6 +34,19 @@ class TraceJob:
     total_work: float
 
     def __post_init__(self) -> None:
+        if self.arrival_time < 0:
+            raise ValueError(
+                f"job {self.job_id!r}: arrival_time must be >= 0, got {self.arrival_time}"
+            )
+        if self.workload not in WORKLOADS:
+            raise ValueError(
+                f"job {self.job_id!r}: unknown workload {self.workload!r}"
+            )
+        if self.requested_type not in WORKLOADS[self.workload].throughput:
+            raise ValueError(
+                f"job {self.job_id!r}: requested_type {self.requested_type!r} is not "
+                f"in workload {self.workload!r}'s capability table"
+            )
         if self.requested_gpus <= 0:
             raise ValueError("requested_gpus must be positive")
         if self.total_work <= 0:
@@ -59,6 +72,35 @@ class TraceJob:
 #: GPU-count demand distribution (Philly-like: mostly small, heavy tail)
 GPU_DEMAND = [(1, 0.30), (2, 0.25), (4, 0.25), (8, 0.15), (16, 0.05)]
 
+#: demand mix for production-scale traces: the same Philly skew with a
+#: fatter multi-node tail (32- and 64-GPU jobs exist on 3,000-GPU pools)
+PRODUCTION_DEMAND = [
+    (1, 0.25),
+    (2, 0.20),
+    (4, 0.20),
+    (8, 0.15),
+    (16, 0.10),
+    (32, 0.06),
+    (64, 0.04),
+]
+
+
+def _mix_distributions(
+    type_weights: Optional[Dict[str, float]],
+    demand: Optional[Sequence[Tuple[int, float]]],
+    default_demand: Sequence[Tuple[int, float]],
+) -> Tuple[List[str], np.ndarray, List[int], np.ndarray]:
+    """Normalise the GPU-type and GPU-count mixes into sampling tables."""
+    weights = type_weights or {"v100": 0.6, "p100": 0.25, "t4": 0.15}
+    type_names = sorted(weights)
+    type_probs = np.array([weights[t] for t in type_names])
+    type_probs = type_probs / type_probs.sum()
+    demand_dist = list(demand) if demand is not None else list(default_demand)
+    demand_values = [d for d, _ in demand_dist]
+    demand_probs = np.array([p for _, p in demand_dist])
+    demand_probs = demand_probs / demand_probs.sum()
+    return type_names, type_probs, demand_values, demand_probs
+
 
 def generate_trace(
     num_jobs: int = 40,
@@ -81,15 +123,9 @@ def generate_trace(
     if num_jobs <= 0:
         raise ValueError("num_jobs must be positive")
     rng = np.random.Generator(np.random.PCG64(derive_seed(seed, "trace")))
-    weights = type_weights or {"v100": 0.6, "p100": 0.25, "t4": 0.15}
-    type_names = sorted(weights)
-    type_probs = np.array([weights[t] for t in type_names])
-    type_probs = type_probs / type_probs.sum()
-
-    demand_dist = list(demand) if demand is not None else GPU_DEMAND
-    demand_values = [d for d, _ in demand_dist]
-    demand_probs = np.array([p for _, p in demand_dist])
-    demand_probs = demand_probs / demand_probs.sum()
+    type_names, type_probs, demand_values, demand_probs = _mix_distributions(
+        type_weights, demand, GPU_DEMAND
+    )
 
     jobs: List[TraceJob] = []
     t = 0.0
@@ -99,21 +135,185 @@ def generate_trace(
         burst = rng.random() < burst_fraction
         gap = rng.exponential(mean_interarrival_s / 10 if burst else mean_interarrival_s)
         t += float(gap)
-        workload = TABLE1[int(rng.integers(0, len(TABLE1)))]
-        gpus = int(demand_values[int(rng.choice(len(demand_values), p=demand_probs))])
-        gtype = str(type_names[int(rng.choice(len(type_names), p=type_probs))])
+        jobs.append(
+            _sample_job(
+                rng,
+                i,
+                t,
+                type_names,
+                type_probs,
+                demand_values,
+                demand_probs,
+                mu,
+                sigma,
+                mean_duration_s,
+                max_duration_factor,
+            )
+        )
+    return jobs
+
+
+def _sample_job(
+    rng: np.random.Generator,
+    index: int,
+    arrival: float,
+    type_names: List[str],
+    type_probs: np.ndarray,
+    demand_values: List[int],
+    demand_probs: np.ndarray,
+    mu: float,
+    sigma: float,
+    mean_duration_s: float,
+    max_duration_factor: float,
+    duration: Optional[float] = None,
+) -> TraceJob:
+    """Draw one job's (workload, demand, type, duration) tuple.
+
+    The draw order — ``integers``, ``choice`` (demand), ``choice``
+    (type), ``lognormal`` — is frozen: :func:`generate_trace`'s output
+    for a given seed is part of the repo's determinism surface (bench
+    fingerprints, recorded trajectories).  When ``duration`` is given
+    (heavy-tail traces draw Pareto durations up front) the lognormal
+    draw is skipped.
+    """
+    workload = TABLE1[int(rng.integers(0, len(TABLE1)))]
+    gpus = int(demand_values[int(rng.choice(len(demand_values), p=demand_probs))])
+    gtype = str(type_names[int(rng.choice(len(type_names), p=type_probs))])
+    if duration is None:
         duration = float(rng.lognormal(mu, sigma))
         duration = min(max(duration, 60.0), max_duration_factor * mean_duration_s)
-        spec = WORKLOADS[workload]
-        work = duration * gpus * spec.throughput[gtype]
+    spec = WORKLOADS[workload]
+    work = duration * gpus * spec.throughput[gtype]
+    return TraceJob(
+        job_id=f"job-{index:03d}",
+        workload=workload,
+        arrival_time=arrival,
+        requested_gpus=gpus,
+        requested_type=gtype,
+        total_work=work,
+    )
+
+
+def diurnal_trace(
+    num_jobs: int = 2000,
+    seed: int = 0,
+    days: int = 30,
+    mean_duration_s: float = 4 * 3600.0,
+    trough_level: float = 0.2,
+    peak_hour: float = 14.0,
+    burst_fraction: float = 0.15,
+    type_weights: Optional[Dict[str, float]] = None,
+    demand: Optional[Sequence[Tuple[int, float]]] = None,
+    duration_sigma: float = 0.8,
+    max_duration_factor: float = 8.0,
+) -> List[TraceJob]:
+    """A month-long production-shaped trace with a day/night cycle.
+
+    Arrivals follow a non-homogeneous Poisson process (thinning): the
+    intensity is a cosine peaking at ``peak_hour`` local time and
+    bottoming out at ``trough_level`` of the peak rate overnight — the
+    shape of the production cluster traces the paper samples from.
+    ``burst_fraction`` of candidate arrivals use a 20x tighter gap
+    (submission scripts firing sweeps).  The base rate is calibrated so
+    that ``num_jobs`` jobs span roughly ``days`` days.
+    """
+    if num_jobs <= 0:
+        raise ValueError("num_jobs must be positive")
+    if days <= 0:
+        raise ValueError("days must be positive")
+    if not 0.0 < trough_level <= 1.0:
+        raise ValueError("trough_level must be in (0, 1]")
+    rng = np.random.Generator(np.random.PCG64(derive_seed(seed, "diurnal-trace")))
+    type_names, type_probs, demand_values, demand_probs = _mix_distributions(
+        type_weights, demand, PRODUCTION_DEMAND
+    )
+    sigma = duration_sigma
+    mu = np.log(mean_duration_s) - sigma**2 / 2
+    # thinning accepts with probability intensity(t) in [trough, 1], whose
+    # time average is trough + (1-trough)/2; calibrate the candidate rate
+    # so the accepted count lands on num_jobs over the requested horizon
+    mean_intensity = trough_level + (1.0 - trough_level) / 2.0
+    base_gap = days * 86400.0 * mean_intensity / num_jobs
+    jobs: List[TraceJob] = []
+    t = 0.0
+    while len(jobs) < num_jobs:
+        burst = rng.random() < burst_fraction
+        gap = rng.exponential(base_gap / 20.0 if burst else base_gap)
+        t += float(gap)
+        hour = (t / 3600.0) % 24.0
+        phase = 2.0 * np.pi * (hour - peak_hour) / 24.0
+        intensity = trough_level + (1.0 - trough_level) * 0.5 * (1.0 + np.cos(phase))
+        if rng.random() >= intensity:
+            continue  # thinned: candidate point falls in a quiet hour
         jobs.append(
-            TraceJob(
-                job_id=f"job-{i:03d}",
-                workload=workload,
-                arrival_time=t,
-                requested_gpus=gpus,
-                requested_type=gtype,
-                total_work=work,
+            _sample_job(
+                rng,
+                len(jobs),
+                t,
+                type_names,
+                type_probs,
+                demand_values,
+                demand_probs,
+                mu,
+                sigma,
+                mean_duration_s,
+                max_duration_factor,
+            )
+        )
+    return jobs
+
+
+def heavy_tail_trace(
+    num_jobs: int = 400,
+    seed: int = 0,
+    mean_interarrival_s: float = 120.0,
+    min_duration_s: float = 300.0,
+    alpha: float = 1.5,
+    max_duration_s: float = 14 * 86400.0,
+    burst_fraction: float = 0.3,
+    type_weights: Optional[Dict[str, float]] = None,
+    demand: Optional[Sequence[Tuple[int, float]]] = None,
+) -> List[TraceJob]:
+    """A trace whose runtimes are Pareto-distributed (no lognormal cap).
+
+    Most jobs finish in minutes but a small fraction run for days — the
+    regime that stresses long-horizon event scheduling (stale-completion
+    invalidation, month-long heaps).  GPU demand defaults to
+    :data:`PRODUCTION_DEMAND` (up to 64-GPU jobs).
+    """
+    if num_jobs <= 0:
+        raise ValueError("num_jobs must be positive")
+    if alpha <= 0:
+        raise ValueError("alpha must be positive")
+    rng = np.random.Generator(np.random.PCG64(derive_seed(seed, "heavy-tail-trace")))
+    type_names, type_probs, demand_values, demand_probs = _mix_distributions(
+        type_weights, demand, PRODUCTION_DEMAND
+    )
+    jobs: List[TraceJob] = []
+    t = 0.0
+    for i in range(num_jobs):
+        burst = rng.random() < burst_fraction
+        gap = rng.exponential(
+            mean_interarrival_s / 10 if burst else mean_interarrival_s
+        )
+        t += float(gap)
+        duration = min(
+            min_duration_s * (1.0 + float(rng.pareto(alpha))), max_duration_s
+        )
+        jobs.append(
+            _sample_job(
+                rng,
+                i,
+                t,
+                type_names,
+                type_probs,
+                demand_values,
+                demand_probs,
+                0.0,
+                0.0,
+                0.0,
+                0.0,
+                duration=duration,
             )
         )
     return jobs

@@ -19,6 +19,10 @@ class YarnCapacityScheduler(SchedulingPolicy):
     """Strict-FIFO gang scheduling with same-type allocation."""
 
     name = "yarn-cs"
+    # admission depends only on the queue and the free pool; a pass that
+    # admitted nothing (no events) changes nothing and stays blocked until
+    # the free pool or the queue changes
+    fixpoint_reschedule = True
 
     def __init__(self) -> None:
         self._queue: List[JobRuntime] = []

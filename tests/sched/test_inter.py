@@ -121,3 +121,52 @@ class TestReclaim:
     def test_partial_when_insufficient(self):
         revocations = InterJobScheduler.reclaim({"t4": 10}, {"a": {"t4": 3}})
         assert revocations == [Grant("a", "t4", -3)]
+
+    def test_priority_ties_break_by_job_id(self):
+        # equal holdings => equal default priority: the job id must close
+        # the total order, never the dict insertion order
+        holdings = {"z": {"v100": 2}, "a": {"v100": 2}}
+        revocations = InterJobScheduler.reclaim({"v100": 2}, holdings)
+        assert revocations == [Grant("a", "v100", -2)]
+
+    def test_deterministic_over_insertion_orders(self):
+        import itertools
+        import random
+
+        jobs = {
+            "a": {"v100": 2, "t4": 1},
+            "b": {"v100": 2},
+            "c": {"v100": 1, "t4": 2},
+            "d": {"t4": 3},
+        }
+        demand = {"t4": 3, "v100": 3}
+        baseline = InterJobScheduler.reclaim(demand, jobs)
+        rng = random.Random(0)
+        for _ in range(20):
+            job_order = list(jobs)
+            rng.shuffle(job_order)
+            shuffled = {}
+            for job in job_order:
+                types = list(jobs[job])
+                rng.shuffle(types)
+                shuffled[job] = {t: jobs[job][t] for t in types}
+            demand_order = list(demand)
+            rng.shuffle(demand_order)
+            shuffled_demand = {t: demand[t] for t in demand_order}
+            assert InterJobScheduler.reclaim(shuffled_demand, shuffled) == baseline
+        # sanity: the permutations actually cover distinct insertion orders
+        assert len(set(itertools.permutations(jobs))) == 24
+
+    def test_reclaim_records_flightrec_events(self):
+        from repro.obs import flightrec
+
+        rec = flightrec.configure()
+        try:
+            InterJobScheduler.reclaim({"v100": 2}, {"a": {"v100": 1}, "b": {"v100": 5}})
+            events = [e for e in rec.events if e["kind"] == "sched.reclaim"]
+            assert [(e["job"], e["gtype"], e["gpus"]) for e in events] == [
+                ("a", "v100", 1),
+                ("b", "v100", 1),
+            ]
+        finally:
+            flightrec.reset()

@@ -1,0 +1,163 @@
+"""Batched event core vs heap core vs reference: identical event streams.
+
+``ClusterSimulator.run_batched`` (coincident-event draining, vectorized
+advance/ETA, quiescent reschedule skipping, incremental arbitration) must
+reproduce both ``run`` (heap core) and ``run_reference`` (seed linear
+scan) byte-for-byte: same ``EventLog`` fingerprint across policies,
+trace shapes, fault plans, and membership plans.  The hypothesis sweep
+is the PR's acceptance property; the deterministic cases pin the regimes
+the sweep samples only occasionally (colocation, shapes, membership).
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults import FaultEvent, FaultPlan, random_sim_plan
+from repro.hw import microbench_cluster
+from repro.membership import HostEvent, HostSpec, MembershipPlan
+from repro.sched import (
+    ClusterSimulator,
+    EasyScalePolicy,
+    ServingColocationPolicy,
+    YarnCapacityScheduler,
+    diurnal_trace,
+    generate_trace,
+    heavy_tail_trace,
+)
+
+CORES = ("run", "run_batched", "run_reference")
+
+
+def _serving_demand(now):
+    return {"v100": max(0, int(2 + 2 * math.sin(now / 1800.0)))}
+
+
+POLICIES = {
+    "yarn": YarnCapacityScheduler,
+    "homo": lambda: EasyScalePolicy(False),
+    "heter": lambda: EasyScalePolicy(True),
+    "coloc": lambda: ServingColocationPolicy(_serving_demand),
+}
+
+
+def _membership_plan():
+    return MembershipPlan(
+        initial_hosts=(HostSpec("member-v", "v100", 2),),
+        events=(
+            HostEvent(kind="announce", host="spot", at_time=90.0,
+                      gtype="t4", slots=2, magnitude=30.0),
+            HostEvent(kind="drain", host="member-v", at_time=200.0),
+            HostEvent(kind="blacklist", host="spot", at_time=400.0,
+                      magnitude=100.0),
+        ),
+    )
+
+
+def _fingerprints(policy_factory, jobs, faults=None, membership=None):
+    prints = {}
+    for core in CORES:
+        sim = ClusterSimulator(
+            microbench_cluster(), jobs, policy_factory(),
+            faults=faults,
+            membership=(None if membership is None else MembershipPlan(
+                initial_hosts=membership.initial_hosts,
+                events=membership.events,
+            )),
+        )
+        prints[core] = getattr(sim, core)().events.fingerprint()
+    return prints
+
+
+def _assert_all_equal(prints, label):
+    assert prints["run_batched"] == prints["run"] == prints["run_reference"], (
+        f"{label}: core fingerprints diverged: {prints}"
+    )
+
+
+class TestThreeCoreEquivalence:
+    @given(seed=st.integers(0, 200), num_jobs=st.integers(4, 16))
+    @settings(max_examples=8, deadline=None)
+    def test_random_traces_with_faults_and_membership(self, seed, num_jobs):
+        jobs = generate_trace(num_jobs=num_jobs, seed=seed)
+        faults = random_sim_plan(seed=seed, horizon_s=4000.0)
+        membership = _membership_plan()
+        for name, factory in POLICIES.items():
+            _assert_all_equal(
+                _fingerprints(factory, jobs, faults=faults, membership=membership),
+                f"seed={seed} policy={name}",
+            )
+
+    @pytest.mark.parametrize("name", sorted(POLICIES))
+    def test_clean_trace(self, name):
+        jobs = generate_trace(num_jobs=20, seed=3)
+        _assert_all_equal(_fingerprints(POLICIES[name], jobs), name)
+
+    @pytest.mark.parametrize("name", sorted(POLICIES))
+    def test_diurnal_shape(self, name):
+        jobs = diurnal_trace(num_jobs=30, seed=7, days=0.5)
+        _assert_all_equal(_fingerprints(POLICIES[name], jobs), name)
+
+    @pytest.mark.parametrize("name", sorted(POLICIES))
+    def test_heavy_tail_shape(self, name):
+        jobs = heavy_tail_trace(num_jobs=16, seed=7)
+        _assert_all_equal(_fingerprints(POLICIES[name], jobs), name)
+
+    def test_fixed_fault_plan(self):
+        plan = FaultPlan(events=(
+            FaultEvent(kind="slowdown", at_time=300.0, magnitude=2.0),
+            FaultEvent(kind="node_preempt", at_time=600.0, magnitude=2.0),
+            FaultEvent(kind="worker_crash", at_time=900.0),
+            FaultEvent(kind="gpu_revoke", at_time=1100.0),
+        ), seed=5)
+        jobs = generate_trace(num_jobs=18, seed=9)
+        for name, factory in POLICIES.items():
+            _assert_all_equal(_fingerprints(factory, jobs, faults=plan), name)
+
+    def test_max_time_cutoff(self):
+        jobs = generate_trace(num_jobs=12, seed=4)
+        for core in CORES:
+            sims = {}
+            for c in CORES:
+                sim = ClusterSimulator(microbench_cluster(), jobs, EasyScalePolicy(True))
+                sims[c] = getattr(sim, c)(max_time=900.0)
+            assert sims["run_batched"].events.fingerprint() == \
+                sims["run"].events.fingerprint() == \
+                sims["run_reference"].events.fingerprint()
+
+
+class TestBatchedResultParity:
+    def test_full_result_surface_matches_heap(self):
+        jobs = diurnal_trace(num_jobs=24, seed=1, days=0.5)
+        heap = ClusterSimulator(microbench_cluster(), jobs, EasyScalePolicy(True)).run()
+        batched = ClusterSimulator(
+            microbench_cluster(), jobs, EasyScalePolicy(True)
+        ).run_batched()
+        assert batched.events.as_tuples() == heap.events.as_tuples()
+        assert batched.jcts == heap.jcts
+        assert batched.makespan == heap.makespan
+        assert batched.allocation_timeline == heap.allocation_timeline
+
+    def test_proposal_memo_shares_searches_across_jobs(self):
+        # many same-class pending jobs (one size, one type preference):
+        # the class-level memo must answer most Role-2 passes without a
+        # fresh plan search
+        jobs = generate_trace(
+            num_jobs=30, seed=2, demand=[(8, 1.0)], type_weights={"v100": 1.0},
+            mean_interarrival_s=30.0,
+        )
+        policy = EasyScalePolicy(True)
+        ClusterSimulator(microbench_cluster(), jobs, policy).run_batched()
+        assert policy.inter.proposal_memo_hits > policy.inter.proposal_memo_misses
+
+    def test_memoized_proposals_restamp_job_id(self):
+        jobs = generate_trace(num_jobs=30, seed=2)
+        policy = EasyScalePolicy(True)
+        result = ClusterSimulator(microbench_cluster(), jobs, policy).run_batched()
+        granted = {g.job_id for g in policy.inter.grant_log}
+        # more than one job received grants, so memo-shared proposals were
+        # re-stamped rather than granted under the original asker's id
+        assert len(granted) > 1
+        assert all(any(r.job.job_id == j for r in result.jobs) for j in granted)

@@ -4,7 +4,14 @@ import numpy as np
 import pytest
 
 from repro.models import TABLE1
-from repro.sched.trace import GPU_DEMAND, TraceJob, generate_trace
+from repro.sched.trace import (
+    GPU_DEMAND,
+    PRODUCTION_DEMAND,
+    TraceJob,
+    diurnal_trace,
+    generate_trace,
+    heavy_tail_trace,
+)
 
 
 class TestTraceJob:
@@ -26,6 +33,22 @@ class TestTraceJob:
             TraceJob("j", "resnet50", 0.0, 0, "v100", 10.0)
         with pytest.raises(ValueError):
             TraceJob("j", "resnet50", 0.0, 1, "v100", 0.0)
+
+    def test_negative_arrival_rejected_eagerly(self):
+        with pytest.raises(ValueError, match=r"job 'late'.*arrival_time.*-1\.5"):
+            TraceJob("late", "resnet50", -1.5, 1, "v100", 10.0)
+
+    def test_unknown_workload_names_job(self):
+        with pytest.raises(ValueError, match=r"job 'j'.*unknown workload 'nope'"):
+            TraceJob("j", "nope", 0.0, 1, "v100", 10.0)
+
+    def test_unknown_requested_type_names_job_and_field(self):
+        # before eager validation this surfaced as a bare KeyError deep
+        # inside requested_rate()/policy scoring
+        with pytest.raises(
+            ValueError, match=r"job 'j'.*requested_type 'h100'.*capability table"
+        ):
+            TraceJob("j", "resnet50", 0.0, 1, "h100", 10.0)
 
 
 class TestGenerateTrace:
@@ -80,3 +103,62 @@ class TestGenerateTrace:
     def test_num_jobs_positive(self):
         with pytest.raises(ValueError):
             generate_trace(num_jobs=0)
+
+
+class TestDiurnalTrace:
+    def test_reproducible(self):
+        a = diurnal_trace(num_jobs=40, seed=9, days=2)
+        b = diurnal_trace(num_jobs=40, seed=9, days=2)
+        assert [(j.arrival_time, j.workload, j.requested_gpus) for j in a] == [
+            (j.arrival_time, j.workload, j.requested_gpus) for j in b
+        ]
+
+    def test_arrivals_monotone_and_span_days(self):
+        days = 3
+        jobs = diurnal_trace(num_jobs=200, seed=1, days=days)
+        arrivals = [j.arrival_time for j in jobs]
+        assert arrivals == sorted(arrivals)
+        assert arrivals[0] >= 0.0
+        assert arrivals[-1] <= days * 86400.0 * 1.5  # thinning overshoot margin
+
+    def test_peak_hours_denser_than_trough(self):
+        # the Fig-1 swing: more submissions near the peak hour than the
+        # opposite side of the clock
+        jobs = diurnal_trace(num_jobs=600, seed=2, days=10, peak_hour=14.0)
+        def hour(t):
+            return (t / 3600.0) % 24.0
+        peak = sum(1 for j in jobs if 11.0 <= hour(j.arrival_time) <= 17.0)
+        trough = sum(
+            1 for j in jobs if hour(j.arrival_time) <= 5.0 or hour(j.arrival_time) >= 23.0
+        )
+        assert peak > 1.5 * trough
+
+    def test_production_demand_mix(self):
+        jobs = diurnal_trace(num_jobs=100, seed=3)
+        allowed = {d for d, _ in PRODUCTION_DEMAND}
+        assert {j.requested_gpus for j in jobs} <= allowed
+
+
+class TestHeavyTailTrace:
+    def test_reproducible(self):
+        a = heavy_tail_trace(num_jobs=30, seed=5)
+        b = heavy_tail_trace(num_jobs=30, seed=5)
+        assert [(j.arrival_time, j.total_work) for j in a] == [
+            (j.arrival_time, j.total_work) for j in b
+        ]
+
+    def test_durations_heavy_tailed(self):
+        jobs = heavy_tail_trace(num_jobs=400, seed=6)
+        durations = sorted(j.total_work / j.requested_rate() for j in jobs)
+        mean = sum(durations) / len(durations)
+        median = durations[len(durations) // 2]
+        # Pareto mix: the mean sits far above the median
+        assert mean > 1.5 * median
+
+    def test_duration_bounds(self):
+        jobs = heavy_tail_trace(
+            num_jobs=100, seed=7, min_duration_s=300.0, max_duration_s=7 * 86400.0
+        )
+        for job in jobs:
+            duration = job.total_work / job.requested_rate()
+            assert 300.0 - 1e-6 <= duration <= 7 * 86400.0 + 1e-6

@@ -51,7 +51,7 @@ def test_gate_flat_on_rerun_then_fails_on_injected_slowdown(tmp_path):
     for _ in range(2):
         proc = _repro(run_args, tmp_path)
         assert proc.returncode == 0, proc.stdout + proc.stderr
-    for area in ("sched", "parallel", "determinism"):
+    for area in ("sched", "parallel", "determinism", "dessim"):
         assert (tmp_path / f"BENCH_{area}.json").exists()
 
     gate = _repro(["bench", "gate"], tmp_path)
@@ -69,3 +69,21 @@ def test_gate_flat_on_rerun_then_fails_on_injected_slowdown(tmp_path):
     gate = _repro(["bench", "gate"], tmp_path)
     assert gate.returncode == 5, gate.stdout + gate.stderr
     assert "FAILED" in gate.stdout
+
+
+def test_dessim_area_gates_standalone(tmp_path):
+    """``bench gate --area dessim`` (smoke sizes): record twice, gate flat.
+
+    The dessim bench replays the same diurnal trace under the heap core
+    and the batched core and refuses to report a speedup unless the two
+    event logs are byte-identical, so a green gate here also re-proves
+    core equivalence in the CI loop.
+    """
+    for _ in range(2):
+        proc = _repro(["bench", "run", "--area", "dessim", "--repeats", "2"], tmp_path)
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert (tmp_path / "BENCH_dessim.json").exists()
+
+    gate = _repro(["bench", "gate", "--area", "dessim"], tmp_path)
+    assert gate.returncode == 0, gate.stdout + gate.stderr
+    assert "bench gate: ok" in gate.stdout

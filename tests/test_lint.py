@@ -88,6 +88,24 @@ def test_lint_walk_covers_sched_fastpath_modules():
         assert expected in files, f"lint gate does not see {expected}"
 
 
+def test_lint_walk_covers_batched_core_modules():
+    # pin the batched-event DES surface (vectorized core, trace shapes,
+    # incremental arbitration, policies carrying the fixpoint flag) so a
+    # restructuring cannot silently drop it from the gate
+    files = {os.path.relpath(p, SRC) for p in _python_files(SRC)}
+    for expected in (
+        "sched/simulator.py",
+        "sched/trace.py",
+        "sched/inter.py",
+        "sched/easyscale_policy.py",
+        "sched/colocation_policy.py",
+        "sched/yarn_cs.py",
+        "hw/cluster.py",
+        "obs/bench.py",
+    ):
+        assert expected in files, f"lint gate does not see {expected}"
+
+
 def test_lint_walk_covers_flight_recorder_modules():
     # pin the always-on flight recorder and the divergence forensics so a
     # restructuring cannot silently drop them from the gate
